@@ -1,0 +1,470 @@
+// Benchmarks regenerating the paper's evaluation artefacts, one per
+// figure/experiment (see DESIGN.md's experiment index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The sizes here are scaled down so the suite completes quickly; the
+// published numbers in EXPERIMENTS.md come from cmd/stark-bench at
+// the paper's N = 1,000,000.
+package stark_test
+
+import (
+	"testing"
+
+	"stark/internal/baselines"
+	"stark/internal/bench"
+	"stark/internal/cluster"
+	"stark/internal/core"
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/index"
+	"stark/internal/partition"
+	"stark/internal/stobject"
+	"stark/internal/workload"
+)
+
+const benchN = 20_000
+
+func benchCfg() bench.Config {
+	return bench.Config{N: benchN, Seed: 42, Dist: workload.Skewed}
+}
+
+func benchTuples(b *testing.B, n int) []baselines.Tuple {
+	b.Helper()
+	return workload.SpatialTuples(workload.Config{
+		N: n, Seed: 42, Dist: workload.Skewed, Clusters: 5, Spread: 6,
+		Width: 1000, Height: 1000,
+	})
+}
+
+// ---- Figure 4: the self-join micro-benchmark, one sub-benchmark per
+// bar of the figure. ----
+
+func BenchmarkFigure4STARKNoPartitioning(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4STARKBSP(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: benchN / 32}, objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism())).PartitionBy(bsp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4GeoSparkVoronoi(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := baselines.GeoSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+			Eps: 0.25, Partitioner: baselines.VoronoiPartitioner, NumSeeds: 64, Dedupe: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4SpatialSparkNoPartitioning(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := baselines.SpatialSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+			Eps: 0.25, Partitioner: baselines.NoPartitioner,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4SpatialSparkTile(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := baselines.SpatialSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+			Eps: 0.25, Partitioner: baselines.TilePartitioner, PPD: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E1: partitioner construction ----
+
+func BenchmarkPartitionersGridSkewed(b *testing.B) {
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.NewGrid(8, objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionersBSPSkewed(b *testing.B) {
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.NewBSP(partition.BSPConfig{MaxCost: benchN / 64}, objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionersVoronoiSkewed(b *testing.B) {
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.NewVoronoi(64, 42, objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E2: indexing modes (range filter) ----
+
+func indexModeFixture(b *testing.B) (*core.SpatialDataset[int], stobject.STObject) {
+	b.Helper()
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
+	if _, err := ds.Count(); err != nil {
+		b.Fatal(err)
+	}
+	q := stobject.New(geom.NewEnvelope(450, 450, 550, 550).ToPolygon())
+	return ds, q
+}
+
+func BenchmarkIndexModeNone(b *testing.B) {
+	ds, q := indexModeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Intersects(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexModeLive(b *testing.B) {
+	ds, q := indexModeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := ds.LiveIndex(16, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := idx.Intersects(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexModePersistent(b *testing.B) {
+	ds, q := indexModeFixture(b)
+	idx, err := ds.Index(16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Intersects(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E3: spatio-temporal filter ----
+
+func BenchmarkSTFilterSpatialOnly(b *testing.B) {
+	ds, q := indexModeFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.ContainedBy(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTFilterSpatioTemporal(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := workload.Tuples(workload.Config{
+		N: benchN, Seed: 42, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
+	if _, err := ds.Count(); err != nil {
+		b.Fatal(err)
+	}
+	q, err := stobject.FromWKTWithInterval(
+		"POLYGON ((450 450, 550 450, 550 550, 450 550, 450 450))", 0, 250_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.ContainedBy(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: kNN ----
+
+func knnFixture(b *testing.B) (*core.SpatialDataset[int], *core.IndexedDataset[int], stobject.STObject) {
+	b.Helper()
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	grid, err := partition.NewGrid(8, objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism())).Cache()
+	if _, err := ds.Count(); err != nil {
+		b.Fatal(err)
+	}
+	parted, err := ds.PartitionBy(grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := parted.Index(16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, idx, stobject.New(geom.NewPoint(500, 500))
+}
+
+func BenchmarkKNNScan(b *testing.B) {
+	ds, _, q := knnFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.KNN(q, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPartitionedIndexed(b *testing.B) {
+	_, idx, q := knnFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.KNN(q, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5: DBSCAN ----
+
+func BenchmarkDBSCANSequential(b *testing.B) {
+	pts := workload.Points(workload.Config{
+		N: benchN, Seed: 42, Dist: workload.Skewed, Width: 1000, Height: 1000,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.DBSCAN(pts, 2.0, 5)
+	}
+}
+
+func BenchmarkDBSCANDistributed(b *testing.B) {
+	pts := workload.Points(workload.Config{
+		N: benchN, Seed: 42, Dist: workload.Skewed, Width: 1000, Height: 1000,
+	})
+	objs := make([]stobject.STObject, len(pts))
+	for i, p := range pts {
+		objs[i] = stobject.New(p)
+	}
+	ctx := engine.NewContext(0)
+	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: benchN / 16}, objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	home := make([]int, len(objs))
+	for i, o := range objs {
+		home[i] = bsp.PartitionFor(o)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cluster.DBSCANDistributed(pts, cluster.DistributedConfig{
+			Eps: 2.0, MinPts: 5, Regions: bsp, Home: home, Runner: ctx,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E6: join predicates ----
+
+func joinFixture(b *testing.B) (*core.SpatialDataset[int], *core.SpatialDataset[int]) {
+	b.Helper()
+	ctx := engine.NewContext(0)
+	pointsT := benchTuples(b, benchN)
+	regions := workload.Regions(workload.Config{Seed: 42, Width: 1000, Height: 1000}, 200)
+	regionT := make([]core.Tuple[int], len(regions))
+	for i, r := range regions {
+		regionT[i] = engine.NewPair(r, i)
+	}
+	left := core.Wrap(engine.Parallelize(ctx, regionT, ctx.Parallelism())).Cache()
+	right := core.Wrap(engine.Parallelize(ctx, pointsT, ctx.Parallelism())).Cache()
+	if _, err := left.Count(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := right.Count(); err != nil {
+		b.Fatal(err)
+	}
+	return left, right
+}
+
+func BenchmarkJoinIntersects(b *testing.B) {
+	left, right := joinFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Join(left, right, core.JoinOptions{IndexOrder: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinContains(b *testing.B) {
+	left, right := joinFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.JoinOptions{Predicate: stobject.Contains, IndexOrder: -1}
+		if _, err := core.Join(left, right, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinWithinDistance(b *testing.B) {
+	left, right := joinFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.JoinOptions{
+			Predicate:      stobject.WithinDistancePredicate(1, nil),
+			IndexOrder:     -1,
+			ProbeExpansion: 1,
+		}
+		if _, err := core.Join(left, right, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkRTreeBuild(b *testing.B) {
+	tuples := benchTuples(b, benchN)
+	envs := make([]geom.Envelope, len(tuples))
+	for i, kv := range tuples {
+		envs[i] = kv.Key.Envelope()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BuildFromEnvelopes(16, envs)
+	}
+}
+
+func BenchmarkRTreeQuery(b *testing.B) {
+	tuples := benchTuples(b, benchN)
+	envs := make([]geom.Envelope, len(tuples))
+	for i, kv := range tuples {
+		envs[i] = kv.Key.Envelope()
+	}
+	tree := index.BuildFromEnvelopes(16, envs)
+	q := geom.NewEnvelope(450, 450, 550, 550)
+	var buf []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.Query(q, buf[:0])
+	}
+}
+
+func BenchmarkWKTParsePolygon(b *testing.B) {
+	const wkt = "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), (20 30, 35 35, 30 20, 20 30))"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := geom.ParseWKT(wkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineShuffle(b *testing.B) {
+	ctx := engine.NewContext(0)
+	tuples := benchTuples(b, benchN)
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	grid, err := partition.NewGrid(8, objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := engine.Parallelize(ctx, tuples, ctx.Parallelism())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.PartitionBy(ds, engine.FuncPartitioner[stobject.STObject]{
+			N:  grid.NumPartitions(),
+			Fn: grid.PartitionFor,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4EndToEnd runs the whole figure at reduced N; kept
+// last because it is the most expensive.
+func BenchmarkFigure4EndToEnd(b *testing.B) {
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

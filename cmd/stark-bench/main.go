@@ -1,0 +1,150 @@
+// Command stark-bench regenerates the paper's evaluation artefacts.
+//
+// Usage:
+//
+//	stark-bench -experiment figure4 -n 1000000
+//	stark-bench -experiment all -n 100000 -parallelism 8
+//
+// Experiments: figure4 (the paper's micro-benchmark), partitioning,
+// indexing, stfilter, knn, dbscan, joins, localindex, persist, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stark/internal/bench"
+	"stark/internal/workload"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|all")
+		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
+		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 42, "data generation seed")
+		eps         = flag.Float64("eps", 0, "self-join distance (0 = derived from n)")
+		dist        = flag.String("dist", "skewed", "spatial distribution: uniform|skewed|diagonal")
+	)
+	flag.Parse()
+
+	var d workload.Distribution
+	switch strings.ToLower(*dist) {
+	case "uniform":
+		d = workload.Uniform
+	case "skewed":
+		d = workload.Skewed
+	case "diagonal":
+		d = workload.Diagonal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	cfg := bench.Config{N: *n, Parallelism: *parallelism, Seed: *seed, Eps: *eps, Dist: d}
+
+	run := func(name string) error {
+		switch name {
+		case "figure4":
+			fmt.Printf("== Figure 4: self join on %d points (eps derived/%g, %s data) ==\n", *n, *eps, d)
+			rows, err := bench.Figure4(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure4(rows))
+		case "partitioning":
+			fmt.Println("== E1: partitioner construction and balance ==")
+			rows, err := bench.Partitioners(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-10s %12s %12s %12s\n", "Partitioner", "Data", "Build [s]", "Partitions", "Imbalance")
+			for _, r := range rows {
+				fmt.Printf("%-10s %-10s %12.3f %12d %12.2f\n", r.Name, r.Dist, r.BuildSecs, r.Partitions, r.Imbalance)
+			}
+		case "indexing":
+			fmt.Println("== E2: indexing modes (range filter) ==")
+			rows, err := bench.IndexModes(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %12s %12s %12s\n", "Mode", "Selectivity", "Time [s]", "Results")
+			for _, r := range rows {
+				fmt.Printf("%-12s %12.4f %12.4f %12d\n", r.Mode, r.Selectivity, r.Seconds, r.Results)
+			}
+		case "stfilter":
+			fmt.Println("== E3: spatial-only vs spatio-temporal filter ==")
+			rows, err := bench.STFilter(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-30s %12s %12s\n", "Query", "Time [s]", "Results")
+			for _, r := range rows {
+				fmt.Printf("%-30s %12.4f %12d\n", r.Query, r.Seconds, r.Results)
+			}
+		case "knn":
+			fmt.Println("== E4: kNN strategies ==")
+			rows, err := bench.KNN(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s %6s %12s\n", "Strategy", "k", "Time [s]")
+			for _, r := range rows {
+				fmt.Printf("%-22s %6d %12.5f\n", r.Strategy, r.K, r.Seconds)
+			}
+		case "dbscan":
+			fmt.Println("== E5: DBSCAN sequential vs distributed ==")
+			rows, err := bench.DBSCAN(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %12s %12s\n", "Strategy", "Time [s]", "Clusters")
+			for _, r := range rows {
+				fmt.Printf("%-20s %12.3f %12d\n", r.Strategy, r.Seconds, r.Clusters)
+			}
+		case "joins":
+			fmt.Println("== E6: join predicate sweep (regions × points) ==")
+			rows, err := bench.JoinPredicates(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %12s %12s\n", "Predicate", "Time [s]", "Results")
+			for _, r := range rows {
+				fmt.Printf("%-20s %12.3f %12d\n", r.Predicate, r.Seconds, r.Results)
+			}
+		case "localindex":
+			fmt.Println("== E7: partition-local index structures ==")
+			rows, err := bench.LocalIndexes(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %-10s %12s %14s %12s\n", "Index", "Data", "Build [s]", "Query [s]", "Results")
+			for _, r := range rows {
+				fmt.Printf("%-8s %-10s %12.3f %14.6f %12d\n", r.Structure, r.Dist, r.BuildSecs, r.QuerySecs, r.Results)
+			}
+		case "persist":
+			fmt.Println("== persistent index round trip ==")
+			build, reloadDur, err := bench.PersistIndexRoundTrip(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("build+persist: %.3fs   reload+query: %.3fs\n", build.Seconds(), reloadDur.Seconds())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "stark-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

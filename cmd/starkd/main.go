@@ -1,0 +1,46 @@
+// Command starkd serves the demonstration web front end: a
+// spatio-temporal query UI over a generated event dataset, mirroring
+// the paper's demo scenario (Section 4).
+//
+// Usage:
+//
+//	starkd -addr :8080 -events 100000
+//
+// Then open http://localhost:8080 for the query interface, or use the
+// JSON API directly:
+//
+//	curl -X POST localhost:8080/api/query -d '{"predicate":"intersects","wkt":"POLYGON ((0 0, 500 0, 500 500, 0 500, 0 0))"}'
+//	curl -X POST localhost:8080/api/knn   -d '{"wkt":"POINT (500 500)","k":5}'
+//	curl localhost:8080/api/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"stark/internal/engine"
+	"stark/internal/server"
+	"stark/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		events      = flag.Int("events", 100_000, "number of generated events")
+		seed        = flag.Int64("seed", 42, "event generation seed")
+		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	evs := workload.Events(workload.Config{
+		N: *events, Seed: *seed, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	srv, err := server.New(engine.NewContext(*parallelism), evs)
+	if err != nil {
+		log.Fatalf("starkd: %v", err)
+	}
+	fmt.Printf("starkd: serving %d events on %s\n", *events, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,34 @@
+// Package stark is a from-scratch Go reproduction of STARK, the
+// spatio-temporal data processing framework for Apache Spark
+// presented in "Efficient spatio-temporal event processing with
+// STARK" (Hagedorn & Räth, EDBT 2017).
+//
+// The repository contains the full stack the paper builds on or
+// evaluates against, re-implemented on the Go standard library:
+//
+//   - internal/engine    — a Spark-core stand-in: partitioned, lazily
+//     evaluated datasets with a parallel task scheduler and shuffle;
+//   - internal/dfs       — a simulated HDFS block store;
+//   - internal/geom      — the JTS-subset geometry kernel (WKT,
+//     predicates, distances);
+//   - internal/temporal  — instants, intervals and temporal predicates;
+//   - internal/stobject  — the STObject data type with the paper's
+//     combined spatio-temporal predicate semantics;
+//   - internal/partition — grid, cost-based BSP, tile and Voronoi
+//     spatial partitioners with extent bookkeeping;
+//   - internal/index     — the STR-packed R-tree with kNN and
+//     persistence;
+//   - internal/core      — the STARK operator surface (filters, joins,
+//     kNN, the three indexing modes, DBSCAN entry point);
+//   - internal/cluster   — sequential and MR-DBSCAN-style distributed
+//     DBSCAN;
+//   - internal/baselines — GeoSpark- and SpatialSpark-style join
+//     strategies for the Figure 4 comparison;
+//   - internal/piglet    — the Pig Latin derivative of the demo;
+//   - internal/server    — the web front end;
+//   - internal/bench     — the experiment harness regenerating the
+//     paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for the reproduced evaluation.
+package stark

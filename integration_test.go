@@ -1,0 +1,261 @@
+// Integration tests exercising the full stack across module
+// boundaries: the paper's Figure-2 workflow (load raw data →
+// spatially partition → index → persist → query), the Piglet
+// scripting path, the web front end, and cross-strategy result
+// agreement on the Figure-4 workload.
+package stark_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"stark/internal/baselines"
+	"stark/internal/core"
+	"stark/internal/dfs"
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/partition"
+	"stark/internal/piglet"
+	"stark/internal/server"
+	"stark/internal/stobject"
+	"stark/internal/temporal"
+	"stark/internal/workload"
+)
+
+// TestFigure2Workflow walks the paper's internal workflow end to end:
+// raw data on (simulated) HDFS → load → spatial partitioning →
+// persistent indexing → store index to HDFS → reuse in a "second
+// program" → query with partition pruning.
+func TestFigure2Workflow(t *testing.T) {
+	ctx := engine.NewContext(4)
+	fs := dfs.New(0, 0)
+
+	// Raw data lands on the DFS.
+	raw := workload.Events(workload.Config{
+		N: 5_000, Seed: 3, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1000,
+	})
+	if err := workload.WriteEventsCSV(fs, "/raw/events.csv", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Program 1: load, partition, index, persist, and already query.
+	loaded, err := workload.ReadEventsCSV(fs, "/raw/events.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, dropped := workload.EventTuples(loaded)
+	if dropped != 0 {
+		t.Fatalf("%d events dropped", dropped)
+	}
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: 500}, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := ds.PartitionBy(bsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := parted.Index(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Persist(fs, "/indexes/events"); err != nil {
+		t.Fatal(err)
+	}
+	q := stobject.NewWithInterval(
+		geom.NewEnvelope(200, 200, 600, 600).ToPolygon(),
+		temporal.MustInterval(0, 400))
+	hits1, err := idx.ContainedBy(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Program 2: same data and partitioning, index loaded from DFS.
+	loadedIdx, err := core.LoadIndex(parted, fs, "/indexes/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, err := loadedIdx.ContainedBy(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: unindexed scan.
+	hits3, err := parted.ContainedBy(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := func(ts []core.Tuple[workload.Event]) []int {
+		out := make([]int, len(ts))
+		for i, kv := range ts {
+			out[i] = kv.Value.ID
+		}
+		sort.Ints(out)
+		return out
+	}
+	a, b, c := ids(hits1), ids(hits2), ids(hits3)
+	if len(a) == 0 {
+		t.Fatal("query matched nothing — bad test setup")
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("strategies disagree at %d", i)
+		}
+	}
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("result sizes: %d/%d/%d", len(a), len(b), len(c))
+	}
+}
+
+// TestFigure4ResultAgreement checks that every join strategy in the
+// benchmark returns the identical pair count at integration scale.
+func TestFigure4ResultAgreement(t *testing.T) {
+	ctx := engine.NewContext(4)
+	tuples := workload.SpatialTuples(workload.Config{
+		N: 4_000, Seed: 4, Dist: workload.Skewed, Clusters: 5, Spread: 6,
+		Width: 1000, Height: 1000,
+	})
+	const eps = 1.5
+	want := baselines.STARKSelfJoinCount(tuples, eps)
+	if want <= int64(len(tuples)) {
+		t.Fatalf("reference count %d too small", want)
+	}
+
+	geo, err := baselines.GeoSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+		Eps: eps, Partitioner: baselines.VoronoiPartitioner, NumSeeds: 16, Dedupe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssNone, err := baselines.SpatialSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+		Eps: eps, Partitioner: baselines.NoPartitioner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssTile, err := baselines.SpatialSparkSelfJoin(ctx, tuples, baselines.SelfJoinConfig{
+		Eps: eps, Partitioner: baselines.TilePartitioner, PPD: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
+	stark, err := core.SelfJoinWithinDistanceCount(ds, eps, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		objs[i] = kv.Key
+	}
+	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: 500}, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := ds.PartitionBy(bsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starkBSP, err := core.SelfJoinWithinDistanceCount(parted, eps, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]int64{
+		"geospark-voronoi": geo, "spatialspark-none": ssNone,
+		"spatialspark-tile": ssTile, "stark-none": stark, "stark-bsp": starkBSP,
+	} {
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestPigletPipelineAgainstAPI cross-checks a Piglet filter against
+// the same query through the Go API.
+func TestPigletPipelineAgainstAPI(t *testing.T) {
+	fs := dfs.New(0, 0)
+	events := workload.Events(workload.Config{
+		N: 2_000, Seed: 8, Width: 1000, Height: 1000, TimeRange: 1000,
+	})
+	if err := workload.WriteEventsCSV(fs, "data/events.csv", events); err != nil {
+		t.Fatal(err)
+	}
+	ctx := engine.NewContext(4)
+	out, err := piglet.Run(`
+e = LOAD 'data/events.csv';
+w = FILTER e BY CONTAINEDBY('POLYGON ((100 100, 500 100, 500 500, 100 500, 100 100))', 200, 800);
+`, &piglet.Env{Ctx: ctx, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same query through the API.
+	tuples, _ := workload.EventTuples(events)
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
+	q := stobject.NewWithInterval(
+		geom.NewEnvelope(100, 100, 500, 500).ToPolygon(),
+		temporal.MustInterval(200, 800))
+	hits, err := ds.ContainedBy(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Relations["w"].Rows()); got != len(hits) {
+		t.Errorf("piglet %d vs API %d", got, len(hits))
+	}
+	if len(hits) == 0 {
+		t.Error("degenerate comparison")
+	}
+}
+
+// TestServerAgainstAPI round-trips a query through the HTTP layer and
+// compares with the direct API result.
+func TestServerAgainstAPI(t *testing.T) {
+	ctx := engine.NewContext(4)
+	events := workload.Events(workload.Config{
+		N: 1_000, Seed: 9, Width: 1000, Height: 1000, TimeRange: 1000,
+	})
+	srv, err := server.New(ctx, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(server.QueryRequest{
+		Predicate: "intersects",
+		WKT:       "POLYGON ((0 0, 500 0, 500 500, 0 500, 0 0))",
+		HasTime:   true, Begin: 0, End: 1000,
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/api/query", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	tuples, _ := workload.EventTuples(events)
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
+	q := stobject.NewWithInterval(
+		geom.NewEnvelope(0, 0, 500, 500).ToPolygon(),
+		temporal.MustInterval(0, 1000))
+	hits, err := ds.Intersects(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != len(hits) {
+		t.Errorf("server %d vs API %d", resp.Count, len(hits))
+	}
+	if len(hits) == 0 {
+		t.Error("degenerate comparison")
+	}
+}

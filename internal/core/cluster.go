@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"stark/internal/cluster"
+	"stark/internal/geom"
+	"stark/internal/partition"
+	"stark/internal/stobject"
+)
+
+// This file exposes STARK's density-based clustering operator on
+// SpatialDataset, delegating to the MR-DBSCAN-style implementation in
+// internal/cluster. Clustering operates on the centroids of the
+// spatial components, as the paper's point-event use cases do.
+
+// ClusterOptions configures SpatialDataset.Cluster.
+type ClusterOptions struct {
+	// Eps is the DBSCAN ε radius; must be > 0.
+	Eps float64
+	// MinPts is the density threshold (counting the point itself).
+	MinPts int
+	// MaxCost bounds the partition cost when the dataset is not
+	// already partitioned by a region-based partitioner and a BSP
+	// partitioner must be derived; <= 0 selects the dataset size / 2
+	// ... capped sensibly by the implementation.
+	MaxCost int
+}
+
+// ClusteredRecord pairs an input record with its cluster label
+// (cluster.Noise for noise points).
+type ClusteredRecord[V any] struct {
+	Key     stobject.STObject
+	Value   V
+	Cluster int
+}
+
+// Cluster runs distributed DBSCAN over the dataset and returns one
+// ClusteredRecord per input record plus the number of clusters found.
+// The dataset's spatial partitioner is reused when it provides
+// space-tiling bounds (grid or BSP); otherwise a BSP partitioner is
+// derived from the data.
+func (s *SpatialDataset[V]) Cluster(opts ClusterOptions) ([]ClusteredRecord[V], int, error) {
+	if opts.Eps <= 0 {
+		return nil, 0, fmt.Errorf("core: cluster eps must be > 0, got %v", opts.Eps)
+	}
+	if opts.MinPts < 1 {
+		return nil, 0, fmt.Errorf("core: cluster minPts must be >= 1, got %d", opts.MinPts)
+	}
+	tuples, err := s.Collect()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(tuples) == 0 {
+		return nil, 0, nil
+	}
+	points := make([]geom.Point, len(tuples))
+	objs := make([]stobject.STObject, len(tuples))
+	for i, kv := range tuples {
+		points[i] = kv.Key.Centroid()
+		objs[i] = kv.Key
+	}
+
+	// Pick a region-based partitioner.
+	var regions partition.SpatialPartitioner
+	switch p := s.sp.(type) {
+	case *partition.Grid:
+		regions = p
+	case *partition.BSP:
+		regions = p
+	default:
+		maxCost := opts.MaxCost
+		if maxCost <= 0 {
+			maxCost = len(tuples)/(2*s.Context().Parallelism()) + 1
+		}
+		bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: maxCost}, objs)
+		if err != nil {
+			return nil, 0, err
+		}
+		regions = bsp
+	}
+	home := make([]int, len(objs))
+	for i, o := range objs {
+		home[i] = regions.PartitionFor(o)
+	}
+	res, err := cluster.DBSCANDistributed(points, cluster.DistributedConfig{
+		Eps:     opts.Eps,
+		MinPts:  opts.MinPts,
+		Regions: regions,
+		Home:    home,
+		Runner:  s.Context(),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]ClusteredRecord[V], len(tuples))
+	for i, kv := range tuples {
+		out[i] = ClusteredRecord[V]{Key: kv.Key, Value: kv.Value, Cluster: res.Labels[i]}
+	}
+	return out, res.NumClusters, nil
+}

@@ -1,0 +1,121 @@
+// Package core implements the STARK API: spatio-temporal operators
+// over partitioned datasets of (STObject, V) pairs.
+//
+// It is the Go equivalent of STARK's SpatialRDDFunctions DSL. Where
+// the Scala original relies on an implicit conversion from
+// RDD[(STObject, V)], Go code wraps explicitly:
+//
+//	events := core.Wrap(pairs)                  // RDD[(STObject, V)] → SpatialDataset
+//	hits, _ := events.ContainedBy(query)        // spatio-temporal filter
+//	idx, _ := events.LiveIndex(5, partitioner)  // live indexing, order 5
+//	hits2, _ := idx.Intersects(query)
+//
+// Operators honour spatial partitioning when present: a filter first
+// prunes partitions whose extent cannot overlap the query envelope
+// and only schedules tasks for the remainder — the execution strategy
+// the paper's Figure 4 measures.
+package core
+
+import (
+	"fmt"
+
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/partition"
+	"stark/internal/stobject"
+)
+
+// Tuple is the record type of all STARK datasets: the spatio-temporal
+// key plus the user payload.
+type Tuple[V any] = engine.Pair[stobject.STObject, V]
+
+// SpatialDataset wraps an engine dataset of (STObject, V) records and
+// provides the spatio-temporal operators. A SpatialDataset may carry
+// a SpatialPartitioner, in which case partition i of the underlying
+// dataset holds exactly the objects the partitioner assigns to i and
+// queries can prune partitions by extent.
+type SpatialDataset[V any] struct {
+	ds *engine.Dataset[Tuple[V]]
+	sp partition.SpatialPartitioner // nil when not spatially partitioned
+}
+
+// Wrap lifts a plain engine dataset into a SpatialDataset — the
+// explicit counterpart of STARK's implicit RDD conversion. The data
+// is assumed not to be spatially partitioned.
+func Wrap[V any](ds *engine.Dataset[Tuple[V]]) *SpatialDataset[V] {
+	return &SpatialDataset[V]{ds: ds}
+}
+
+// WrapPartitioned lifts a dataset that is already partitioned by sp.
+// The caller asserts that partition i holds exactly the records with
+// sp.PartitionFor(key) == i.
+func WrapPartitioned[V any](ds *engine.Dataset[Tuple[V]], sp partition.SpatialPartitioner) (*SpatialDataset[V], error) {
+	if sp != nil && ds.NumPartitions() != sp.NumPartitions() {
+		return nil, fmt.Errorf("core: dataset has %d partitions, partitioner %d",
+			ds.NumPartitions(), sp.NumPartitions())
+	}
+	return &SpatialDataset[V]{ds: ds, sp: sp}, nil
+}
+
+// Dataset returns the underlying engine dataset.
+func (s *SpatialDataset[V]) Dataset() *engine.Dataset[Tuple[V]] { return s.ds }
+
+// Partitioner returns the spatial partitioner, or nil.
+func (s *SpatialDataset[V]) Partitioner() partition.SpatialPartitioner { return s.sp }
+
+// NumPartitions returns the partition count of the underlying data.
+func (s *SpatialDataset[V]) NumPartitions() int { return s.ds.NumPartitions() }
+
+// Context returns the engine context.
+func (s *SpatialDataset[V]) Context() *engine.Context { return s.ds.Context() }
+
+// Collect materialises all records.
+func (s *SpatialDataset[V]) Collect() ([]Tuple[V], error) { return s.ds.Collect() }
+
+// Count returns the number of records.
+func (s *SpatialDataset[V]) Count() (int64, error) { return s.ds.Count() }
+
+// Cache marks the underlying dataset for in-memory materialisation.
+func (s *SpatialDataset[V]) Cache() *SpatialDataset[V] {
+	s.ds.Cache()
+	return s
+}
+
+// PartitionBy shuffles the dataset with the given spatial partitioner
+// and returns a spatially partitioned SpatialDataset — the DSL's
+// rdd.partitionBy(gridPartitioner) step.
+func (s *SpatialDataset[V]) PartitionBy(sp partition.SpatialPartitioner) (*SpatialDataset[V], error) {
+	if sp == nil {
+		return nil, fmt.Errorf("core: nil partitioner")
+	}
+	shuffled, err := engine.PartitionBy(s.ds, engine.Partitioner[stobject.STObject](spAdapter{sp}))
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialDataset[V]{ds: shuffled, sp: sp}, nil
+}
+
+// spAdapter adapts a SpatialPartitioner to engine.Partitioner.
+type spAdapter struct{ sp partition.SpatialPartitioner }
+
+func (a spAdapter) NumPartitions() int                   { return a.sp.NumPartitions() }
+func (a spAdapter) PartitionFor(o stobject.STObject) int { return a.sp.PartitionFor(o) }
+
+// relevantPartitions returns the partitions a query with the given
+// envelope must visit, counting pruned partitions in the metrics.
+// Without a partitioner every partition is visited.
+func (s *SpatialDataset[V]) relevantPartitions(q geom.Envelope) []int {
+	if s.sp == nil {
+		parts := make([]int, s.ds.NumPartitions())
+		for i := range parts {
+			parts[i] = i
+		}
+		return parts
+	}
+	visit := partition.PruneByEnvelope(s.sp, q)
+	pruned := s.ds.NumPartitions() - len(visit)
+	if pruned > 0 {
+		s.Context().Metrics().TasksSkipped.Add(int64(pruned))
+	}
+	return visit
+}

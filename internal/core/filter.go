@@ -1,0 +1,94 @@
+package core
+
+import (
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/stobject"
+)
+
+// This file implements the scan-based (non-indexed) filter operators:
+// every record of every relevant partition is checked against the
+// full spatio-temporal predicate. Partition pruning still applies
+// when the dataset is spatially partitioned.
+
+// filterScan runs pred(record.Key, q) over the partitions relevant
+// for the query envelope and collects the matches.
+func (s *SpatialDataset[V]) filterScan(q stobject.STObject, pred stobject.Predicate) ([]Tuple[V], error) {
+	metrics := s.Context().Metrics()
+	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
+		var out []Tuple[V]
+		metrics.ElementsScanned.Add(int64(len(in)))
+		for _, kv := range in {
+			if pred(kv.Key, q) {
+				out = append(out, kv)
+			}
+		}
+		return out, nil
+	})
+	return filtered.CollectPartitions(s.relevantPartitions(q.Envelope()))
+}
+
+// Intersects returns the records whose key intersects q in the
+// combined spatio-temporal semantics.
+func (s *SpatialDataset[V]) Intersects(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterScan(q, stobject.Intersects)
+}
+
+// Contains returns the records whose key completely contains q.
+func (s *SpatialDataset[V]) Contains(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterScan(q, stobject.Contains)
+}
+
+// ContainedBy returns the records whose key is completely contained
+// by q — the paper's events.containedBy(qry) example.
+func (s *SpatialDataset[V]) ContainedBy(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterScan(q, stobject.ContainedBy)
+}
+
+// CoveredBy is ContainedBy with boundary tolerance.
+func (s *SpatialDataset[V]) CoveredBy(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterScan(q, stobject.CoveredBy)
+}
+
+// WithinDistance returns the records whose key lies within maxDist of
+// q under the distance function df (nil selects the exact planar
+// geometry distance). The paper highlights that df is pluggable.
+func (s *SpatialDataset[V]) WithinDistance(q stobject.STObject, maxDist float64, df geom.DistanceFunc) ([]Tuple[V], error) {
+	pred := stobject.WithinDistancePredicate(maxDist, df)
+	// The pruning envelope must be grown by maxDist: an object
+	// within distance of q can live in a partition whose extent does
+	// not touch q itself.
+	metrics := s.Context().Metrics()
+	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
+		var out []Tuple[V]
+		metrics.ElementsScanned.Add(int64(len(in)))
+		for _, kv := range in {
+			if pred(kv.Key, q) {
+				out = append(out, kv)
+			}
+		}
+		return out, nil
+	})
+	return filtered.CollectPartitions(s.relevantPartitions(q.Envelope().ExpandBy(maxDist)))
+}
+
+// Filter applies an arbitrary spatio-temporal predicate against q,
+// visiting the partitions relevant for pruneEnv (pass the query
+// envelope, expanded as needed for distance predicates).
+func (s *SpatialDataset[V]) Filter(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate) ([]Tuple[V], error) {
+	metrics := s.Context().Metrics()
+	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
+		var out []Tuple[V]
+		metrics.ElementsScanned.Add(int64(len(in)))
+		for _, kv := range in {
+			if pred(kv.Key, q) {
+				out = append(out, kv)
+			}
+		}
+		return out, nil
+	})
+	if s.sp == nil || pruneEnv.IsEmpty() {
+		return filtered.Collect()
+	}
+	return filtered.CollectPartitions(s.relevantPartitions(pruneEnv))
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"stark/internal/dfs"
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/index"
+	"stark/internal/stobject"
+)
+
+// This file implements STARK's three indexing modes on top of the
+// scan operators in filter.go:
+//
+//   - no indexing: the plain SpatialDataset operators;
+//   - live indexing (liveIndex method in the DSL): when a partition is
+//     processed, its content is first put into an R-tree, the tree is
+//     queried with the query object, and the candidates are refined
+//     with the exact spatio-temporal predicate;
+//   - persistent indexing (index method in the DSL): the per-partition
+//     trees are materialised so they are built at most once, and can
+//     be saved to the simulated HDFS and re-attached in later runs.
+
+// IndexedPartition is one partition of an IndexedDataset: the records
+// plus an R-tree over their envelopes (entry ID = slice position).
+type IndexedPartition[V any] struct {
+	Items []Tuple[V]
+	Tree  *index.RTree
+}
+
+// IndexedDataset is a SpatialDataset whose partitions carry R-trees.
+type IndexedDataset[V any] struct {
+	parts *engine.Dataset[IndexedPartition[V]]
+	sp    sp
+	order int
+}
+
+// sp aliases the partitioner interface locally to keep struct
+// definitions short.
+type sp = interface {
+	NumPartitions() int
+	PartitionFor(o stobject.STObject) int
+	Bounds(i int) geom.Envelope
+	Extent(i int) geom.Envelope
+}
+
+// LiveIndex returns an indexed view of the dataset with the given
+// R-tree order. When p is non-nil the dataset is repartitioned by p
+// first, mirroring liveIndex(order, partitioner). Trees are built
+// lazily inside each partition task, on every job — the live mode
+// trades index build time per query for zero memory retention.
+func (s *SpatialDataset[V]) LiveIndex(order int, p sp) (*IndexedDataset[V], error) {
+	base := s
+	if p != nil {
+		repartitioned, err := s.PartitionBy(p)
+		if err != nil {
+			return nil, err
+		}
+		base = repartitioned
+	}
+	metrics := base.Context().Metrics()
+	parts := engine.MapPartitions(base.ds, func(_ int, in []Tuple[V]) ([]IndexedPartition[V], error) {
+		return []IndexedPartition[V]{buildIndexedPartition(in, order, metrics)}, nil
+	})
+	return &IndexedDataset[V]{parts: parts, sp: base.sp, order: order}, nil
+}
+
+// Index returns an indexed view whose trees are materialised once and
+// reused across queries — STARK's persistent indexing mode. When p is
+// non-nil the dataset is repartitioned first.
+func (s *SpatialDataset[V]) Index(order int, p sp) (*IndexedDataset[V], error) {
+	idx, err := s.LiveIndex(order, p)
+	if err != nil {
+		return nil, err
+	}
+	idx.parts.Cache()
+	// Force materialisation now so subsequent queries only probe.
+	if _, err := idx.parts.Count(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func buildIndexedPartition[V any](in []Tuple[V], order int, metrics *engine.Metrics) IndexedPartition[V] {
+	tree := index.New(order)
+	for i, kv := range in {
+		tree.Insert(kv.Key.Envelope(), int32(i))
+	}
+	tree.Build()
+	_ = metrics // build cost is measured by wall time, not a counter
+	return IndexedPartition[V]{Items: in, Tree: tree}
+}
+
+// Partitioner returns the spatial partitioner, or nil.
+func (s *IndexedDataset[V]) Partitioner() sp { return s.sp }
+
+// Order returns the R-tree order used for the partition indexes.
+func (s *IndexedDataset[V]) Order() int { return s.order }
+
+// Context returns the engine context.
+func (s *IndexedDataset[V]) Context() *engine.Context { return s.parts.Context() }
+
+// NumPartitions returns the partition count.
+func (s *IndexedDataset[V]) NumPartitions() int { return s.parts.NumPartitions() }
+
+// relevantPartitions mirrors SpatialDataset.relevantPartitions.
+func (s *IndexedDataset[V]) relevantPartitions(q geom.Envelope) []int {
+	if s.sp == nil {
+		parts := make([]int, s.parts.NumPartitions())
+		for i := range parts {
+			parts[i] = i
+		}
+		return parts
+	}
+	var visit []int
+	for i := 0; i < s.sp.NumPartitions(); i++ {
+		if s.sp.Extent(i).Intersects(q) {
+			visit = append(visit, i)
+		}
+	}
+	if pruned := s.parts.NumPartitions() - len(visit); pruned > 0 {
+		s.Context().Metrics().TasksSkipped.Add(int64(pruned))
+	}
+	return visit
+}
+
+// filterIndexed probes each relevant partition tree with the query
+// envelope and refines the candidates with the exact predicate —
+// including the temporal component, which is evaluated during the
+// candidate pruning step exactly as the paper describes.
+func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate) ([]Tuple[V], error) {
+	metrics := s.Context().Metrics()
+	qEnv := q.Envelope()
+	if !pruneEnv.IsEmpty() {
+		qEnv = pruneEnv
+	}
+	results := engine.MapPartitions(s.parts, func(_ int, in []IndexedPartition[V]) ([]Tuple[V], error) {
+		var out []Tuple[V]
+		for _, ip := range in {
+			metrics.IndexProbes.Add(1)
+			candidates := ip.Tree.Query(qEnv, nil)
+			metrics.CandidatesRefined.Add(int64(len(candidates)))
+			for _, id := range candidates {
+				kv := ip.Items[id]
+				if pred(kv.Key, q) {
+					out = append(out, kv)
+				}
+			}
+		}
+		return out, nil
+	})
+	return results.CollectPartitions(s.relevantPartitions(qEnv))
+}
+
+// Intersects returns the records intersecting q (index-accelerated).
+func (s *IndexedDataset[V]) Intersects(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterIndexed(q, geom.EmptyEnvelope(), stobject.Intersects)
+}
+
+// Contains returns the records containing q (index-accelerated).
+func (s *IndexedDataset[V]) Contains(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterIndexed(q, geom.EmptyEnvelope(), stobject.Contains)
+}
+
+// ContainedBy returns the records contained by q (index-accelerated).
+func (s *IndexedDataset[V]) ContainedBy(q stobject.STObject) ([]Tuple[V], error) {
+	return s.filterIndexed(q, geom.EmptyEnvelope(), stobject.ContainedBy)
+}
+
+// WithinDistance returns the records within maxDist of q. The index
+// is probed with the query envelope expanded by maxDist, then
+// candidates are refined with the exact distance predicate.
+func (s *IndexedDataset[V]) WithinDistance(q stobject.STObject, maxDist float64, df geom.DistanceFunc) ([]Tuple[V], error) {
+	return s.filterIndexed(q, q.Envelope().ExpandBy(maxDist),
+		stobject.WithinDistancePredicate(maxDist, df))
+}
+
+// Collect returns all records of the indexed dataset.
+func (s *IndexedDataset[V]) Collect() ([]Tuple[V], error) {
+	flat := engine.FlatMap(s.parts, func(ip IndexedPartition[V]) []Tuple[V] { return ip.Items })
+	return flat.Collect()
+}
+
+// Count returns the number of records.
+func (s *IndexedDataset[V]) Count() (int64, error) {
+	var total int64
+	parts, err := s.parts.Collect()
+	if err != nil {
+		return 0, err
+	}
+	for _, ip := range parts {
+		total += int64(len(ip.Items))
+	}
+	return total, nil
+}
+
+// Persist writes every partition tree to the file system under
+// pathPrefix ("<prefix>/part-<i>.idx"), replacing previous files —
+// Spark's saveAsObjectFile analogue for STARK's persistent indexing.
+// Only the trees (envelopes + slot IDs) are persisted; re-attaching
+// requires the same data partitioned the same way, see LoadIndex.
+func (s *IndexedDataset[V]) Persist(fs *dfs.FileSystem, pathPrefix string) error {
+	parts, err := s.parts.Collect()
+	if err != nil {
+		return err
+	}
+	for i, ip := range parts {
+		if err := ip.Tree.Save(fs, fmt.Sprintf("%s/part-%d.idx", pathPrefix, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadIndex re-attaches trees persisted with Persist to a dataset
+// with the same partition layout, skipping the R-tree build. It
+// validates that entry counts match the partition sizes.
+func LoadIndex[V any](s *SpatialDataset[V], fs *dfs.FileSystem, pathPrefix string) (*IndexedDataset[V], error) {
+	n := s.ds.NumPartitions()
+	trees := make([]*index.RTree, n)
+	loadTasks := make([]int, n)
+	for i := range loadTasks {
+		loadTasks[i] = i
+	}
+	err := s.Context().RunJob(loadTasks, func(i int) error {
+		t, err := index.Load(fs, fmt.Sprintf("%s/part-%d.idx", pathPrefix, i))
+		if err != nil {
+			return fmt.Errorf("core: loading index partition %d: %w", i, err)
+		}
+		trees[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := index.DefaultOrder
+	if n > 0 {
+		order = trees[0].Order()
+	}
+	parts := engine.MapPartitions(s.ds, func(idx int, in []Tuple[V]) ([]IndexedPartition[V], error) {
+		t := trees[idx]
+		if t.Len() != len(in) {
+			return nil, fmt.Errorf("core: persisted index partition %d holds %d entries, data has %d",
+				idx, t.Len(), len(in))
+		}
+		return []IndexedPartition[V]{{Items: in, Tree: t}}, nil
+	})
+	parts.Cache()
+	if _, err := parts.Count(); err != nil {
+		return nil, err
+	}
+	return &IndexedDataset[V]{parts: parts, sp: s.sp, order: order}, nil
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stark/internal/index"
+	"stark/internal/stobject"
+)
+
+// This file implements the spatio-temporal join. STARK's join takes
+// two datasets of (STObject, V) records and a predicate; the result
+// holds every pair of records whose keys satisfy it.
+//
+// Execution strategy: the join enumerates pairs of (left partition,
+// right partition). When both sides are spatially partitioned, pairs
+// whose extents are disjoint are skipped — this is the partition
+// pruning that makes the partitioned STARK join in Figure 4 fast.
+// Within a partition pair, the right side is put into a live R-tree
+// and probed with each left record's envelope; candidates are refined
+// with the exact predicate. Setting IndexOrder to 0 disables the tree
+// and falls back to a nested loop (the behaviour of the SpatialSpark
+// baseline).
+
+// JoinedPair is one join result row.
+type JoinedPair[V, W any] struct {
+	LeftKey  stobject.STObject
+	LeftVal  V
+	RightKey stobject.STObject
+	RightVal W
+}
+
+// JoinOptions configures a spatial join.
+type JoinOptions struct {
+	// Predicate is the spatio-temporal join predicate; nil selects
+	// Intersects.
+	Predicate stobject.Predicate
+	// IndexOrder is the order of the live R-tree built on the right
+	// side of every partition pair; 0 disables indexing (nested
+	// loop), negative selects the default order.
+	IndexOrder int
+	// ProbeExpansion expands the left record's envelope before
+	// probing — required for withinDistance joins, where matching
+	// right records can lie outside the left envelope.
+	ProbeExpansion float64
+	// DisablePruning turns partition-pair pruning off even when both
+	// sides are spatially partitioned (used by ablation benches).
+	DisablePruning bool
+}
+
+// Join computes the spatio-temporal join of l and r.
+func Join[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], opts JoinOptions) ([]JoinedPair[V, W], error) {
+	pred := opts.Predicate
+	if pred == nil {
+		pred = stobject.Intersects
+	}
+	order := opts.IndexOrder
+	if order < 0 {
+		order = index.DefaultOrder
+	}
+
+	type task struct{ li, ri int }
+	var tasks []task
+	prune := !opts.DisablePruning && l.sp != nil && r.sp != nil
+	pruned := 0
+	for li := 0; li < l.ds.NumPartitions(); li++ {
+		for ri := 0; ri < r.ds.NumPartitions(); ri++ {
+			if prune {
+				le := l.sp.Extent(li).ExpandBy(opts.ProbeExpansion)
+				if !le.Intersects(r.sp.Extent(ri)) {
+					pruned++
+					continue
+				}
+			}
+			tasks = append(tasks, task{li, ri})
+		}
+	}
+	ctx := l.Context()
+	metrics := ctx.Metrics()
+	if pruned > 0 {
+		metrics.TasksSkipped.Add(int64(pruned))
+	}
+
+	// Cache right-side trees per right partition: several left
+	// partitions may probe the same right partition.
+	var (
+		treeMu sync.Mutex
+		trees  = make(map[int]*index.RTree)
+	)
+	rightTree := func(ri int, items []Tuple[W]) *index.RTree {
+		treeMu.Lock()
+		t, ok := trees[ri]
+		treeMu.Unlock()
+		if ok {
+			return t
+		}
+		t = index.New(order)
+		for i, kv := range items {
+			t.Insert(kv.Key.Envelope(), int32(i))
+		}
+		t.Build()
+		treeMu.Lock()
+		trees[ri] = t
+		treeMu.Unlock()
+		return t
+	}
+
+	results := make([][]JoinedPair[V, W], len(tasks))
+	taskIdx := make([]int, len(tasks))
+	for i := range taskIdx {
+		taskIdx[i] = i
+	}
+	err := ctx.RunJob(taskIdx, func(t int) error {
+		li, ri := tasks[t].li, tasks[t].ri
+		left, err := l.ds.ComputePartition(li)
+		if err != nil {
+			return err
+		}
+		right, err := r.ds.ComputePartition(ri)
+		if err != nil {
+			return err
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return nil
+		}
+		var out []JoinedPair[V, W]
+		if order == 0 {
+			// Nested loop: every pair is checked exactly.
+			metrics.ElementsScanned.Add(int64(len(left)) * int64(len(right)))
+			for _, lkv := range left {
+				for _, rkv := range right {
+					if pred(lkv.Key, rkv.Key) {
+						out = append(out, JoinedPair[V, W]{
+							LeftKey: lkv.Key, LeftVal: lkv.Value,
+							RightKey: rkv.Key, RightVal: rkv.Value,
+						})
+					}
+				}
+			}
+		} else {
+			tree := rightTree(ri, right)
+			var candBuf []int32
+			for _, lkv := range left {
+				metrics.IndexProbes.Add(1)
+				candBuf = tree.Query(lkv.Key.Envelope().ExpandBy(opts.ProbeExpansion), candBuf[:0])
+				metrics.CandidatesRefined.Add(int64(len(candBuf)))
+				for _, id := range candBuf {
+					rkv := right[id]
+					if pred(lkv.Key, rkv.Key) {
+						out = append(out, JoinedPair[V, W]{
+							LeftKey: lkv.Key, LeftVal: lkv.Value,
+							RightKey: rkv.Key, RightVal: rkv.Value,
+						})
+					}
+				}
+			}
+		}
+		results[t] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []JoinedPair[V, W]
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all, nil
+}
+
+// SelfJoin joins the dataset with itself — the workload of the
+// paper's Figure 4 micro-benchmark. The result includes the identity
+// pairs (every record matches itself under Intersects), matching the
+// semantics of rdd.join(rdd).
+func SelfJoin[V any](s *SpatialDataset[V], opts JoinOptions) ([]JoinedPair[V, V], error) {
+	return Join(s, s, opts)
+}
+
+// SelfJoinWithinDistanceCount counts the unordered within-eps pairs
+// (including self pairs) of the dataset — the exact workload and
+// result convention of the paper's Figure 4 micro-benchmark. Compared
+// to SelfJoin it exploits the symmetry of the self join (only
+// partition pairs li <= ri are processed), streams counts instead of
+// materialising result rows, reuses one live R-tree per partition,
+// and prunes partition pairs by extent when the dataset is spatially
+// partitioned. order <= 0 selects the default R-tree order.
+func SelfJoinWithinDistanceCount[V any](s *SpatialDataset[V], eps float64, order int) (int64, error) {
+	if order <= 0 {
+		order = index.DefaultOrder
+	}
+	n := s.ds.NumPartitions()
+	type task struct{ li, ri int }
+	var tasks []task
+	pruned := 0
+	for li := 0; li < n; li++ {
+		for ri := li; ri < n; ri++ {
+			if s.sp != nil {
+				le := s.sp.Extent(li).ExpandBy(eps)
+				if !le.Intersects(s.sp.Extent(ri)) {
+					pruned++
+					continue
+				}
+			}
+			tasks = append(tasks, task{li, ri})
+		}
+	}
+	ctx := s.Context()
+	metrics := ctx.Metrics()
+	if pruned > 0 {
+		metrics.TasksSkipped.Add(int64(pruned))
+	}
+
+	var (
+		treeMu sync.Mutex
+		trees  = make(map[int]*index.RTree)
+	)
+	treeFor := func(ri int, items []Tuple[V]) *index.RTree {
+		treeMu.Lock()
+		t, ok := trees[ri]
+		treeMu.Unlock()
+		if ok {
+			return t
+		}
+		t = index.New(order)
+		for i, kv := range items {
+			t.Insert(kv.Key.Envelope(), int32(i))
+		}
+		t.Build()
+		treeMu.Lock()
+		trees[ri] = t
+		treeMu.Unlock()
+		return t
+	}
+
+	var total atomic.Int64
+	taskIdx := make([]int, len(tasks))
+	for i := range taskIdx {
+		taskIdx[i] = i
+	}
+	err := ctx.RunJob(taskIdx, func(t int) error {
+		li, ri := tasks[t].li, tasks[t].ri
+		left, err := s.ds.ComputePartition(li)
+		if err != nil {
+			return err
+		}
+		right, err := s.ds.ComputePartition(ri)
+		if err != nil {
+			return err
+		}
+		if len(left) == 0 || len(right) == 0 {
+			return nil
+		}
+		tree := treeFor(ri, right)
+		same := li == ri
+		var local int64
+		var buf []int32
+		for i, lkv := range left {
+			metrics.IndexProbes.Add(1)
+			buf = tree.Query(lkv.Key.Envelope().ExpandBy(eps), buf[:0])
+			metrics.CandidatesRefined.Add(int64(len(buf)))
+			for _, j := range buf {
+				if same && int(j) < i {
+					continue // count unordered pairs once
+				}
+				if lkv.Key.WithinDistance(right[j].Key, eps, nil) {
+					local++
+				}
+			}
+		}
+		total.Add(local)
+		return nil
+	})
+	return total.Load(), err
+}
+
+// JoinCount is Join but only counts results, avoiding result
+// materialisation in benches.
+func JoinCount[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], opts JoinOptions) (int64, error) {
+	out, err := Join(l, r, opts)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(out)), nil
+}

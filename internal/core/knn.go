@@ -1,0 +1,187 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"stark/internal/geom"
+	"stark/internal/stobject"
+)
+
+// This file implements the k nearest neighbour operator. With a
+// spatial partitioner the search probes partitions in order of their
+// extent's distance to the query point and stops as soon as the next
+// partition's extent is farther than the current k-th neighbour — the
+// pruning that makes partitioned kNN sub-linear in the number of
+// partitions. Without a partitioner every partition is scanned.
+
+// NeighborResult is one kNN result record with its distance.
+type NeighborResult[V any] struct {
+	Key      stobject.STObject
+	Value    V
+	Distance float64
+}
+
+// KNN returns the k records nearest to q under df (nil selects the
+// planar distance between q's geometry and each record's geometry).
+// Results are sorted by ascending distance. Fewer than k records are
+// returned when the dataset is smaller than k.
+func (s *SpatialDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: kNN needs k >= 1, got %d", k)
+	}
+	qc := q.Centroid()
+
+	// Order partitions by a lower bound of their distance to q.
+	type partDist struct {
+		idx  int
+		dist float64
+	}
+	n := s.ds.NumPartitions()
+	order := make([]partDist, 0, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		if s.sp != nil {
+			ext := s.sp.Extent(i)
+			if ext.IsEmpty() {
+				continue // empty partition can never contribute
+			}
+			d = ext.DistanceToPoint(qc.X, qc.Y)
+		}
+		order = append(order, partDist{idx: i, dist: d})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].dist < order[j].dist })
+
+	h := &maxHeap[V]{}
+	heap.Init(h)
+	metrics := s.Context().Metrics()
+	pruned := 0
+	for _, pd := range order {
+		// Stop when even the extent lower bound exceeds the current
+		// k-th distance. Only valid when df is consistent with the
+		// Euclidean lower bound; custom metrics scan everything.
+		if s.sp != nil && df == nil && h.Len() == k && pd.dist > (*h)[0].Distance {
+			pruned++
+			continue
+		}
+		part, err := s.ds.ComputePartition(pd.idx)
+		if err != nil {
+			return nil, err
+		}
+		metrics.ElementsScanned.Add(int64(len(part)))
+		for _, kv := range part {
+			d := q.Distance(kv.Key, df)
+			if h.Len() < k {
+				heap.Push(h, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d})
+			} else if d < (*h)[0].Distance {
+				(*h)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d}
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	if pruned > 0 {
+		metrics.TasksSkipped.Add(int64(pruned))
+	}
+
+	out := make([]NeighborResult[V], h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(NeighborResult[V])
+	}
+	return out, nil
+}
+
+// KNN on an indexed dataset probes each relevant partition's R-tree
+// with branch-and-bound and merges the per-partition results. The
+// same extent-distance pruning as the scan version applies.
+func (s *IndexedDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: kNN needs k >= 1, got %d", k)
+	}
+	qc := q.Centroid()
+
+	type partDist struct {
+		idx  int
+		dist float64
+	}
+	n := s.parts.NumPartitions()
+	order := make([]partDist, 0, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		if s.sp != nil {
+			ext := s.sp.Extent(i)
+			if ext.IsEmpty() {
+				continue
+			}
+			d = ext.DistanceToPoint(qc.X, qc.Y)
+		}
+		order = append(order, partDist{idx: i, dist: d})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].dist < order[j].dist })
+
+	h := &maxHeap[V]{}
+	heap.Init(h)
+	metrics := s.Context().Metrics()
+	for _, pd := range order {
+		if s.sp != nil && df == nil && h.Len() == k && pd.dist > (*h)[0].Distance {
+			metrics.TasksSkipped.Add(1)
+			continue
+		}
+		ips, err := s.parts.ComputePartition(pd.idx)
+		if err != nil {
+			return nil, err
+		}
+		for _, ip := range ips {
+			metrics.IndexProbes.Add(1)
+			var nbrs []neighborRaw
+			if df == nil {
+				exact := func(id int32) float64 { return q.Distance(ip.Items[id].Key, nil) }
+				for _, nb := range ip.Tree.KNN(qc.X, qc.Y, k, exact) {
+					nbrs = append(nbrs, neighborRaw{id: nb.ID, dist: nb.Distance})
+				}
+			} else {
+				// Custom metric: the tree's Euclidean bound is not
+				// valid, fall back to scanning the partition items.
+				for i, kv := range ip.Items {
+					nbrs = append(nbrs, neighborRaw{id: int32(i), dist: q.Distance(kv.Key, df)})
+				}
+			}
+			metrics.CandidatesRefined.Add(int64(len(nbrs)))
+			for _, nb := range nbrs {
+				kv := ip.Items[nb.id]
+				if h.Len() < k {
+					heap.Push(h, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist})
+				} else if nb.dist < (*h)[0].Distance {
+					(*h)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist}
+					heap.Fix(h, 0)
+				}
+			}
+		}
+	}
+
+	out := make([]NeighborResult[V], h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(NeighborResult[V])
+	}
+	return out, nil
+}
+
+type neighborRaw struct {
+	id   int32
+	dist float64
+}
+
+// maxHeap keeps the k smallest distances with the largest on top.
+type maxHeap[V any] []NeighborResult[V]
+
+func (h maxHeap[V]) Len() int            { return len(h) }
+func (h maxHeap[V]) Less(i, j int) bool  { return h[i].Distance > h[j].Distance }
+func (h maxHeap[V]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap[V]) Push(x interface{}) { *h = append(*h, x.(NeighborResult[V])) }
+func (h *maxHeap[V]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

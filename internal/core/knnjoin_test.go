@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stark/internal/engine"
+	"stark/internal/partition"
+)
+
+func TestKNNJoinMatchesBruteForce(t *testing.T) {
+	ctx := engine.NewContext(4)
+	l, lt := makeDataset(t, ctx, 150, 3, 60)
+	r, rt := makeDataset(t, ctx, 400, 4, 61)
+	const k = 5
+	rows, err := KNNJoin(l, r, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(lt)*k {
+		t.Fatalf("rows = %d, want %d", len(rows), len(lt)*k)
+	}
+	// Group rows per left record.
+	perLeft := make(map[int][]KNNJoinRow[int, int])
+	for _, row := range rows {
+		perLeft[row.LeftKey] = append(perLeft[row.LeftKey], row)
+	}
+	if len(perLeft) != len(lt) {
+		t.Fatalf("left records covered: %d of %d", len(perLeft), len(lt))
+	}
+	// Validate a sample of left records against brute force.
+	for li := 0; li < len(lt); li += 17 {
+		lkv := lt[li]
+		dists := make([]float64, len(rt))
+		for i, rkv := range rt {
+			dists[i] = lkv.Key.Distance(rkv.Key, nil)
+		}
+		sort.Float64s(dists)
+		got := perLeft[lkv.Value]
+		if len(got) != k {
+			t.Fatalf("left %d has %d neighbours", lkv.Value, len(got))
+		}
+		for i, row := range got {
+			if math.Abs(row.Distance-dists[i]) > 1e-9 {
+				t.Fatalf("left %d neighbour %d: dist %v, want %v", lkv.Value, i, row.Distance, dists[i])
+			}
+			if i > 0 && got[i-1].Distance > row.Distance {
+				t.Fatal("neighbours not ascending")
+			}
+		}
+	}
+}
+
+func TestKNNJoinWithPartitionedRight(t *testing.T) {
+	ctx := engine.NewContext(4)
+	l, _ := makeDataset(t, ctx, 60, 2, 62)
+	r, rt := makeDataset(t, ctx, 500, 4, 63)
+	g, err := partition.NewGrid(4, keysOf(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := r.PartitionBy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := KNNJoin(l, pr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPlain, err := KNNJoin(l, r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same multiset of (left, distance) results.
+	keyOf := func(rws []KNNJoinRow[int, int]) map[[2]int]int {
+		m := make(map[[2]int]int)
+		for _, row := range rws {
+			m[[2]int{row.LeftKey, int(row.Distance * 1e9)}]++
+		}
+		return m
+	}
+	a, b := keyOf(rows), keyOf(rowsPlain)
+	if len(a) != len(b) {
+		t.Fatalf("result sets differ: %d vs %d", len(a), len(b))
+	}
+	for k2, c := range a {
+		if b[k2] != c {
+			t.Fatalf("mismatch at %v", k2)
+		}
+	}
+	_ = rt
+}
+
+func TestKNNJoinSmallRightSide(t *testing.T) {
+	ctx := engine.NewContext(2)
+	l, _ := makeDataset(t, ctx, 10, 2, 64)
+	r, _ := makeDataset(t, ctx, 3, 2, 65)
+	rows, err := KNNJoin(l, r, 5) // k exceeds right size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10*3 {
+		t.Errorf("rows = %d, want 30", len(rows))
+	}
+}
+
+func TestKNNJoinValidation(t *testing.T) {
+	ctx := engine.NewContext(2)
+	l, _ := makeDataset(t, ctx, 5, 1, 66)
+	if _, err := KNNJoin(l, l, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}

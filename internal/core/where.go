@@ -1,0 +1,67 @@
+package core
+
+import (
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/stobject"
+)
+
+// This file provides the lazy, dataset-returning counterparts of the
+// eager filter actions in filter.go. Where* methods return a new
+// SpatialDataset whose partitions are filtered on compute, so
+// pipelines can chain further operators (joins, clustering, kNN)
+// without materialising intermediate results — the RDD style of the
+// original DSL. The spatial partitioner is preserved: a filter never
+// moves a record out of its partition, so partition extents remain
+// valid over-approximations and downstream pruning still applies.
+
+// Where keeps the records whose key satisfies pred against q,
+// lazily.
+func (s *SpatialDataset[V]) Where(q stobject.STObject, pred stobject.Predicate) *SpatialDataset[V] {
+	metrics := s.Context().Metrics()
+	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
+		metrics.ElementsScanned.Add(int64(len(in)))
+		var out []Tuple[V]
+		for _, kv := range in {
+			if pred(kv.Key, q) {
+				out = append(out, kv)
+			}
+		}
+		return out, nil
+	})
+	return &SpatialDataset[V]{ds: filtered, sp: s.sp}
+}
+
+// WhereIntersects is Where with the Intersects predicate.
+func (s *SpatialDataset[V]) WhereIntersects(q stobject.STObject) *SpatialDataset[V] {
+	return s.Where(q, stobject.Intersects)
+}
+
+// WhereContainedBy is Where with the ContainedBy predicate.
+func (s *SpatialDataset[V]) WhereContainedBy(q stobject.STObject) *SpatialDataset[V] {
+	return s.Where(q, stobject.ContainedBy)
+}
+
+// WhereWithinDistance is Where with a withinDistance predicate.
+func (s *SpatialDataset[V]) WhereWithinDistance(q stobject.STObject, maxDist float64, df geom.DistanceFunc) *SpatialDataset[V] {
+	return s.Where(q, stobject.WithinDistancePredicate(maxDist, df))
+}
+
+// MapValues transforms the payloads, preserving keys and
+// partitioning.
+func MapDatasetValues[V, W any](s *SpatialDataset[V], f func(V) W) *SpatialDataset[W] {
+	mapped := engine.Map(s.ds, func(kv Tuple[V]) Tuple[W] {
+		return engine.NewPair(kv.Key, f(kv.Value))
+	})
+	return &SpatialDataset[W]{ds: mapped, sp: s.sp}
+}
+
+// ReKey replaces the spatio-temporal key of every record. The spatial
+// partitioner is dropped because the new keys need not respect the
+// old partitioning; repartition afterwards if needed.
+func ReKey[V any](s *SpatialDataset[V], f func(key stobject.STObject, v V) stobject.STObject) *SpatialDataset[V] {
+	mapped := engine.Map(s.ds, func(kv Tuple[V]) Tuple[V] {
+		return engine.NewPair(f(kv.Key, kv.Value), kv.Value)
+	})
+	return &SpatialDataset[V]{ds: mapped}
+}

@@ -1,0 +1,263 @@
+// Package dfs implements a simulated distributed file system, the
+// stand-in for the HDFS deployment the STARK paper loads data from
+// and persists indexes to.
+//
+// Files are write-once named blobs split into fixed-size blocks, each
+// block carrying a replication count — enough structure to model the
+// HDFS behaviours the reproduction needs: sequential block reads,
+// streaming line-oriented input for raw event data, and binary object
+// persistence for R-tree indexes (Spark's saveAsObjectFile analogue).
+// The store is safe for concurrent use.
+package dfs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBlockSize is the block size used when a FileSystem is
+// created with blockSize <= 0. It is deliberately small (64 KiB
+// rather than HDFS's 128 MiB) so tests exercise multi-block files.
+const DefaultBlockSize = 64 * 1024
+
+// ErrNotFound is returned when a path does not exist.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrExists is returned when creating a path that already exists.
+var ErrExists = errors.New("dfs: file already exists")
+
+// FileSystem is an in-process block store.
+type FileSystem struct {
+	mu          sync.RWMutex
+	blockSize   int
+	replication int
+	files       map[string]*file
+}
+
+type file struct {
+	blocks [][]byte
+	size   int64
+}
+
+// New returns a FileSystem with the given block size (bytes) and
+// replication factor; non-positive arguments select defaults
+// (DefaultBlockSize, 3).
+func New(blockSize, replication int) *FileSystem {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if replication <= 0 {
+		replication = 3
+	}
+	return &FileSystem{
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string]*file),
+	}
+}
+
+// BlockSize returns the block size in bytes.
+func (fs *FileSystem) BlockSize() int { return fs.blockSize }
+
+// Exists reports whether path exists.
+func (fs *FileSystem) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[clean(path)]
+	return ok
+}
+
+// Size returns the byte length of the file at path.
+func (fs *FileSystem) Size(path string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return f.size, nil
+}
+
+// NumBlocks returns the number of blocks of the file at path.
+func (fs *FileSystem) NumBlocks(path string) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return len(f.blocks), nil
+}
+
+// List returns the paths under prefix, sorted.
+func (fs *FileSystem) List(prefix string) []string {
+	prefix = clean(prefix)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes the file at path.
+func (fs *FileSystem) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p := clean(path)
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+// WriteFile creates path with the given contents. It fails when the
+// file exists (HDFS files are write-once).
+func (fs *FileSystem) WriteFile(path string, data []byte) error {
+	p := clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[p]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	f := &file{size: int64(len(data))}
+	for off := 0; off < len(data); off += fs.blockSize {
+		end := off + fs.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := make([]byte, end-off)
+		copy(block, data[off:end])
+		f.blocks = append(f.blocks, block)
+	}
+	fs.files[p] = f
+	return nil
+}
+
+// Overwrite replaces (or creates) path with the given contents.
+func (fs *FileSystem) Overwrite(path string, data []byte) error {
+	p := clean(path)
+	fs.mu.Lock()
+	if _, ok := fs.files[p]; ok {
+		delete(fs.files, p)
+	}
+	fs.mu.Unlock()
+	return fs.WriteFile(path, data)
+}
+
+// ReadFile returns the full contents of path.
+func (fs *FileSystem) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// ReadBlock returns the contents of one block of path.
+func (fs *FileSystem) ReadBlock(path string, block int) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if block < 0 || block >= len(f.blocks) {
+		return nil, fmt.Errorf("dfs: block %d out of range [0, %d) in %s", block, len(f.blocks), path)
+	}
+	return f.blocks[block], nil
+}
+
+// Open returns a reader over the whole file.
+func (fs *FileSystem) Open(path string) (io.Reader, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Create returns a writer that stores its contents at path when
+// closed. Writes buffer in memory until Close.
+func (fs *FileSystem) Create(path string) (io.WriteCloser, error) {
+	if fs.Exists(path) {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	return &fileWriter{fs: fs, path: path}, nil
+}
+
+type fileWriter struct {
+	fs     *FileSystem
+	path   string
+	buf    bytes.Buffer
+	closed bool
+}
+
+// Write implements io.Writer.
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("dfs: write after close")
+	}
+	return w.buf.Write(p)
+}
+
+// Close commits the buffered contents.
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.fs.WriteFile(w.path, w.buf.Bytes())
+}
+
+// WriteLines stores lines joined by '\n' at path.
+func (fs *FileSystem) WriteLines(path string, lines []string) error {
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return fs.WriteFile(path, []byte(sb.String()))
+}
+
+// ReadLines returns the lines of the file at path, without
+// terminators. Empty trailing lines are dropped.
+func (fs *FileSystem) ReadLines(path string) ([]string, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
+// clean normalises a path to a canonical slash-separated form.
+func clean(p string) string {
+	p = strings.TrimSpace(p)
+	for strings.Contains(p, "//") {
+		p = strings.ReplaceAll(p, "//", "/")
+	}
+	return strings.TrimPrefix(p, "/")
+}

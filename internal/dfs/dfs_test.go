@@ -1,0 +1,209 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(16, 3) // tiny blocks to force multi-block files
+	data := []byte("hello distributed world, this spans multiple blocks")
+	if err := fs.WriteFile("/data/test.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("data/test.txt") // path normalisation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+	n, _ := fs.NumBlocks("/data/test.txt")
+	if want := (len(data) + 15) / 16; n != want {
+		t.Errorf("blocks = %d, want %d", n, want)
+	}
+	size, _ := fs.Size("/data/test.txt")
+	if size != int64(len(data)) {
+		t.Errorf("size = %d", size)
+	}
+}
+
+func TestWriteOnceSemantics(t *testing.T) {
+	fs := New(0, 0)
+	if err := fs.WriteFile("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a", []byte("2")); !errors.Is(err, ErrExists) {
+		t.Errorf("err = %v, want ErrExists", err)
+	}
+	if err := fs.Overwrite("a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("a")
+	if string(got) != "2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	fs := New(0, 0)
+	if _, err := fs.ReadFile("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.NumBlocks("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if err := fs.Delete("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if fs.Exists("missing") {
+		t.Error("missing file must not exist")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := New(0, 0)
+	fs.WriteFile("x", []byte("1"))
+	if err := fs.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("x") {
+		t.Error("deleted file still exists")
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New(0, 0)
+	fs.WriteFile("/idx/part-0", nil)
+	fs.WriteFile("/idx/part-1", nil)
+	fs.WriteFile("/other/file", nil)
+	got := fs.List("/idx/")
+	if len(got) != 2 || got[0] != "idx/part-0" || got[1] != "idx/part-1" {
+		t.Errorf("got %v", got)
+	}
+	all := fs.List("")
+	if len(all) != 3 {
+		t.Errorf("all = %v", all)
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	fs := New(4, 1)
+	fs.WriteFile("f", []byte("abcdefgh"))
+	b0, err := fs.ReadBlock("f", 0)
+	if err != nil || string(b0) != "abcd" {
+		t.Errorf("block0 = %q err=%v", b0, err)
+	}
+	b1, _ := fs.ReadBlock("f", 1)
+	if string(b1) != "efgh" {
+		t.Errorf("block1 = %q", b1)
+	}
+	if _, err := fs.ReadBlock("f", 2); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := fs.ReadBlock("f", -1); err == nil {
+		t.Error("expected negative-index error")
+	}
+}
+
+func TestCreateWriter(t *testing.T) {
+	fs := New(8, 1)
+	w, err := fs.Create("streamed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "part one ")
+	io.WriteString(w, "part two")
+	if fs.Exists("streamed") {
+		t.Error("file must not be visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("streamed")
+	if string(got) != "part one part two" {
+		t.Errorf("got %q", got)
+	}
+	// Double close is a no-op; write after close fails.
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after close must fail")
+	}
+	// Creating an existing path fails.
+	if _, err := fs.Create("streamed"); !errors.Is(err, ErrExists) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLines(t *testing.T) {
+	fs := New(0, 0)
+	lines := []string{"id,cat,time,wkt", "1,storm,100,POINT (1 2)", "2,quake,200,POINT (3 4)"}
+	if err := fs.WriteLines("events.csv", lines); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadLines("events.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(lines) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New(32, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("f%d", i)
+			if err := fs.WriteFile(path, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := fs.ReadFile(path)
+			if err != nil || len(got) != 100 {
+				t.Errorf("read %s: len=%d err=%v", path, len(got), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(fs.List("")) != 32 {
+		t.Errorf("files = %d", len(fs.List("")))
+	}
+}
+
+func TestPropBlockSplitLossless(t *testing.T) {
+	f := func(data []byte, bs uint8) bool {
+		fs := New(int(bs%64)+1, 1)
+		if err := fs.WriteFile("p", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("p")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := New(0, 0)
+	if fs.BlockSize() != DefaultBlockSize {
+		t.Errorf("block size = %d", fs.BlockSize())
+	}
+}

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Dataset is an immutable, lazily evaluated, partitioned collection —
+// the engine's RDD. A Dataset records how to compute each of its
+// partitions from its parents (its lineage); nothing is materialised
+// until an action (Collect, Count, Reduce, Foreach) runs a job.
+//
+// Transformations that change the element type are package functions
+// (Map, FlatMap, MapPartitions) because Go methods cannot introduce
+// type parameters; same-type transformations (Filter, Union, Sample)
+// are methods.
+type Dataset[T any] struct {
+	ctx     *Context
+	name    string
+	numPart int
+	compute func(p int) ([]T, error)
+
+	cacheMu  sync.Mutex
+	cacheOn  bool
+	cached   [][]T
+	cachedOK []bool
+}
+
+// newDataset wires a lineage node.
+func newDataset[T any](ctx *Context, name string, numPart int, compute func(p int) ([]T, error)) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, compute: compute}
+}
+
+// Parallelize distributes data across numPartitions partitions in
+// round-robin element order (Spark's default slicing is contiguous
+// ranges; we use ranges too so partition locality is preserved).
+func Parallelize[T any](ctx *Context, data []T, numPartitions int) *Dataset[T] {
+	if numPartitions <= 0 {
+		numPartitions = ctx.parallelism
+	}
+	n := len(data)
+	return newDataset(ctx, "parallelize", numPartitions, func(p int) ([]T, error) {
+		lo := p * n / numPartitions
+		hi := (p + 1) * n / numPartitions
+		return data[lo:hi], nil
+	})
+}
+
+// FromPartitions builds a dataset whose partitions are exactly the
+// given slices. The slices are not copied.
+func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
+	return newDataset(ctx, "fromPartitions", len(parts), func(p int) ([]T, error) {
+		return parts[p], nil
+	})
+}
+
+// Context returns the owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// Name returns the lineage node name, for diagnostics.
+func (d *Dataset[T]) Name() string { return d.name }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.numPart }
+
+// ComputePartition materialises one partition, honouring the cache.
+func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
+	if p < 0 || p >= d.numPart {
+		return nil, fmt.Errorf("engine: partition %d out of range [0, %d)", p, d.numPart)
+	}
+	if !d.cacheOn {
+		return d.compute(p)
+	}
+	d.cacheMu.Lock()
+	if d.cachedOK[p] {
+		out := d.cached[p]
+		d.cacheMu.Unlock()
+		return out, nil
+	}
+	d.cacheMu.Unlock()
+	out, err := d.compute(p)
+	if err != nil {
+		return nil, err
+	}
+	d.cacheMu.Lock()
+	d.cached[p] = out
+	d.cachedOK[p] = true
+	d.cacheMu.Unlock()
+	return out, nil
+}
+
+// Cache marks the dataset for materialisation: each partition is
+// computed at most once and retained in memory, mirroring
+// RDD.cache(). It returns the receiver for chaining.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if !d.cacheOn {
+		d.cacheOn = true
+		d.cached = make([][]T, d.numPart)
+		d.cachedOK = make([]bool, d.numPart)
+	}
+	return d
+}
+
+// Unpersist drops cached partitions and disables caching.
+func (d *Dataset[T]) Unpersist() {
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	d.cacheOn = false
+	d.cached = nil
+	d.cachedOK = nil
+}
+
+// ---- Narrow transformations ----
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".map", d.numPart, func(p int) ([]U, error) {
+		in, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".flatMap", d.numPart, func(p int) ([]U, error) {
+		in, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions transforms whole partitions at once; idx is the
+// partition index (Spark's mapPartitionsWithIndex).
+func MapPartitions[T, U any](d *Dataset[T], f func(idx int, in []T) ([]U, error)) *Dataset[U] {
+	return newDataset(d.ctx, d.name+".mapPartitions", d.numPart, func(p int) ([]U, error) {
+		in, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, in)
+	})
+}
+
+// Filter keeps the elements for which pred is true.
+func (d *Dataset[T]) Filter(pred func(T) bool) *Dataset[T] {
+	return newDataset(d.ctx, d.name+".filter", d.numPart, func(p int) ([]T, error) {
+		in, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []T
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// Union concatenates two datasets partition-wise (their partitions
+// are kept side by side, as in RDD.union).
+func (d *Dataset[T]) Union(o *Dataset[T]) *Dataset[T] {
+	n1 := d.numPart
+	return newDataset(d.ctx, d.name+".union", n1+o.numPart, func(p int) ([]T, error) {
+		if p < n1 {
+			return d.ComputePartition(p)
+		}
+		return o.ComputePartition(p - n1)
+	})
+}
+
+// Sample returns a dataset keeping each element with probability
+// fraction, deterministically derived from seed and the partition
+// index.
+func (d *Dataset[T]) Sample(fraction float64, seed int64) *Dataset[T] {
+	return newDataset(d.ctx, d.name+".sample", d.numPart, func(p int) ([]T, error) {
+		in, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(p)*2654435761))
+		var out []T
+		for _, v := range in {
+			if rng.Float64() < fraction {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// Coalesce reduces the partition count to n without a shuffle by
+// concatenating ranges of parent partitions.
+func (d *Dataset[T]) Coalesce(n int) *Dataset[T] {
+	if n <= 0 || n >= d.numPart {
+		return d
+	}
+	old := d.numPart
+	return newDataset(d.ctx, d.name+".coalesce", n, func(p int) ([]T, error) {
+		lo := p * old / n
+		hi := (p + 1) * old / n
+		var out []T
+		for i := lo; i < hi; i++ {
+			part, err := d.ComputePartition(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	})
+}
+
+// ---- Actions ----
+
+// Collect materialises every partition (in parallel) and returns the
+// concatenated elements in partition order.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	return d.CollectPartitions(allPartitions(d.numPart))
+}
+
+// CollectPartitions materialises only the listed partitions. Spatial
+// operators use this to execute partition-pruned queries: partitions
+// whose bounds cannot match are never scheduled.
+func (d *Dataset[T]) CollectPartitions(parts []int) ([]T, error) {
+	results := make([][]T, d.numPart)
+	err := d.ctx.runJob(parts, func(p int) error {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		results[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []T
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all, nil
+}
+
+// Count returns the number of elements.
+func (d *Dataset[T]) Count() (int64, error) {
+	var total int64
+	var mu sync.Mutex
+	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total += int64(len(out))
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// Reduce combines all elements with f; it returns false when the
+// dataset is empty. f must be associative and commutative, as in
+// Spark.
+func (d *Dataset[T]) Reduce(f func(a, b T) T) (T, bool, error) {
+	var (
+		mu    sync.Mutex
+		acc   T
+		have  bool
+		parts = allPartitions(d.numPart)
+	)
+	err := d.ctx.runJob(parts, func(p int) error {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		local := out[0]
+		for _, v := range out[1:] {
+			local = f(local, v)
+		}
+		mu.Lock()
+		if have {
+			acc = f(acc, local)
+		} else {
+			acc, have = local, true
+		}
+		mu.Unlock()
+		return nil
+	})
+	return acc, have, err
+}
+
+// Foreach runs fn on every element, partition-parallel.
+func (d *Dataset[T]) Foreach(fn func(T)) error {
+	return d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		for _, v := range out {
+			fn(v)
+		}
+		return nil
+	})
+}
+
+// Take returns up to n elements, scanning partitions in order.
+func (d *Dataset[T]) Take(n int) ([]T, error) {
+	var out []T
+	for p := 0; p < d.numPart && len(out) < n; p++ {
+		part, err := d.ComputePartition(p)
+		if err != nil {
+			return nil, err
+		}
+		need := n - len(out)
+		if need > len(part) {
+			need = len(part)
+		}
+		out = append(out, part[:need]...)
+	}
+	return out, nil
+}
+
+// PartitionSizes materialises all partitions and returns their
+// element counts — the balance statistic the partitioning ablation
+// reports.
+func (d *Dataset[T]) PartitionSizes() ([]int, error) {
+	sizes := make([]int, d.numPart)
+	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		sizes[p] = len(out)
+		return nil
+	})
+	return sizes, err
+}
+
+// SortedCollect is Collect followed by a stable sort with less; a
+// convenience for deterministic test assertions.
+func (d *Dataset[T]) SortedCollect(less func(a, b T) bool) ([]T, error) {
+	out, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out, nil
+}

@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	ctx := NewContext(4)
+	data := intRange(100)
+	d := Parallelize(ctx, data, 8)
+	if d.NumPartitions() != 8 {
+		t.Fatalf("partitions = %d", d.NumPartitions())
+	}
+	got, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelizeUnevenSplit(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(10), 3)
+	sizes, err := d.PartitionSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 10 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestParallelizeDefaultPartitions(t *testing.T) {
+	ctx := NewContext(3)
+	d := Parallelize(ctx, intRange(10), 0)
+	if d.NumPartitions() != 3 {
+		t.Errorf("partitions = %d, want parallelism 3", d.NumPartitions())
+	}
+}
+
+func TestMapFilterChain(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intRange(50), 5)
+	doubled := Map(d, func(v int) int { return v * 2 })
+	big := doubled.Filter(func(v int) bool { return v >= 80 })
+	got, err := big.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{80, 82, 84, 86, 88, 90, 92, 94, 96, 98}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, []int{1, 2, 3}, 2)
+	dup := FlatMap(d, func(v int) []int { return []int{v, v} })
+	got, _ := dup.Collect()
+	if len(got) != 6 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMapPartitionsIndex(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(8), 4)
+	idxOnly := MapPartitions(d, func(idx int, in []int) ([]int, error) {
+		return []int{idx}, nil
+	})
+	got, _ := idxOnly.SortedCollect(func(a, b int) bool { return a < b })
+	if fmt.Sprint(got) != "[0 1 2 3]" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCountReduce(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intRange(101), 7)
+	n, err := d.Count()
+	if err != nil || n != 101 {
+		t.Fatalf("count = %d err=%v", n, err)
+	}
+	sum, ok, err := d.Reduce(func(a, b int) int { return a + b })
+	if err != nil || !ok || sum != 5050 {
+		t.Fatalf("sum = %d ok=%v err=%v", sum, ok, err)
+	}
+	empty := Parallelize(ctx, []int{}, 3)
+	_, ok, err = empty.Reduce(func(a, b int) int { return a + b })
+	if err != nil || ok {
+		t.Fatalf("empty reduce ok=%v err=%v", ok, err)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intRange(1000), 10)
+	var sum atomic.Int64
+	if err := d.Foreach(func(v int) { sum.Add(int64(v)) }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 499500 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+}
+
+func TestTake(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(100), 10)
+	got, err := d.Take(7)
+	if err != nil || len(got) != 7 {
+		t.Fatalf("take = %v err=%v", got, err)
+	}
+	got, _ = d.Take(1000)
+	if len(got) != 100 {
+		t.Errorf("over-take len = %d", len(got))
+	}
+}
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(2)
+	a := Parallelize(ctx, []int{1, 2}, 2)
+	b := Parallelize(ctx, []int{3, 4, 5}, 2)
+	u := a.Union(b)
+	if u.NumPartitions() != 4 {
+		t.Errorf("partitions = %d", u.NumPartitions())
+	}
+	got, _ := u.SortedCollect(func(x, y int) bool { return x < y })
+	if fmt.Sprint(got) != "[1 2 3 4 5]" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(10000), 8)
+	s1, _ := d.Sample(0.1, 42).Collect()
+	s2, _ := d.Sample(0.1, 42).Collect()
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Error("same seed must give same sample")
+	}
+	if len(s1) < 800 || len(s1) > 1200 {
+		t.Errorf("sample size = %d, want ≈1000", len(s1))
+	}
+	s3, _ := d.Sample(0.1, 43).Collect()
+	if fmt.Sprint(s1) == fmt.Sprint(s3) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(100), 10)
+	c := d.Coalesce(3)
+	if c.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", c.NumPartitions())
+	}
+	got, _ := c.Collect()
+	if len(got) != 100 {
+		t.Errorf("len = %d", len(got))
+	}
+	// No-op cases.
+	if d.Coalesce(20) != d || d.Coalesce(0) != d {
+		t.Error("coalesce up or to 0 must be identity")
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	ctx := NewContext(2)
+	var computes atomic.Int64
+	d := newDataset(ctx, "test", 4, func(p int) ([]int, error) {
+		computes.Add(1)
+		return []int{p}, nil
+	})
+	d.Cache()
+	if _, err := d.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 4 {
+		t.Errorf("computes = %d, want 4", computes.Load())
+	}
+	d.Unpersist()
+	if _, err := d.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != 8 {
+		t.Errorf("computes after unpersist = %d, want 8", computes.Load())
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	ctx := NewContext(2)
+	wantErr := errors.New("boom")
+	d := newDataset(ctx, "failing", 4, func(p int) ([]int, error) {
+		if p == 2 {
+			return nil, wantErr
+		}
+		return []int{p}, nil
+	})
+	if _, err := d.Collect(); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := d.Count(); !errors.Is(err, wantErr) {
+		t.Errorf("count err = %v", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	ctx := NewContext(2)
+	d := newDataset(ctx, "panicking", 4, func(p int) ([]int, error) {
+		if p == 1 {
+			panic("kaboom")
+		}
+		return nil, nil
+	})
+	if _, err := d.Collect(); err == nil {
+		t.Error("panic must surface as error")
+	}
+}
+
+func TestComputePartitionBounds(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(10), 2)
+	if _, err := d.ComputePartition(-1); err == nil {
+		t.Error("negative partition must error")
+	}
+	if _, err := d.ComputePartition(2); err == nil {
+		t.Error("out-of-range partition must error")
+	}
+}
+
+func TestCollectPartitionsPrunes(t *testing.T) {
+	ctx := NewContext(2)
+	var computed atomic.Int64
+	d := newDataset(ctx, "test", 10, func(p int) ([]int, error) {
+		computed.Add(1)
+		return []int{p}, nil
+	})
+	got, err := d.CollectPartitions([]int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != "[3 7]" {
+		t.Errorf("got %v", got)
+	}
+	if computed.Load() != 2 {
+		t.Errorf("computed %d partitions, want 2", computed.Load())
+	}
+}
+
+func TestPartitionBy(t *testing.T) {
+	ctx := NewContext(4)
+	pairs := make([]Pair[int, string], 100)
+	for i := range pairs {
+		pairs[i] = NewPair(i, fmt.Sprintf("v%d", i))
+	}
+	d := Parallelize(ctx, pairs, 5)
+	byMod, err := PartitionBy(d, FuncPartitioner[int]{N: 4, Fn: func(k int) int { return k % 4 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byMod.NumPartitions() != 4 {
+		t.Fatalf("partitions = %d", byMod.NumPartitions())
+	}
+	// Every partition holds exactly the keys with matching residue.
+	for p := 0; p < 4; p++ {
+		part, err := byMod.ComputePartition(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) != 25 {
+			t.Errorf("partition %d has %d records", p, len(part))
+		}
+		for _, kv := range part {
+			if kv.Key%4 != p {
+				t.Errorf("key %d in partition %d", kv.Key, p)
+			}
+		}
+	}
+	// Shuffle metric counted all records.
+	if got := ctx.Metrics().ShuffledRecords.Load(); got != 100 {
+		t.Errorf("shuffled = %d", got)
+	}
+}
+
+func TestPartitionByClampsOutOfRange(t *testing.T) {
+	ctx := NewContext(2)
+	pairs := []Pair[int, int]{NewPair(1, 1), NewPair(2, 2)}
+	d := Parallelize(ctx, pairs, 1)
+	shuffled, err := PartitionBy(d, FuncPartitioner[int]{N: 2, Fn: func(k int) int { return k * 100 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := shuffled.Count()
+	if n != 2 {
+		t.Errorf("count = %d, want 2 (clamped, not dropped)", n)
+	}
+}
+
+func TestGroupByKeyReduceByKey(t *testing.T) {
+	ctx := NewContext(4)
+	var pairs []Pair[string, int]
+	for i := 0; i < 30; i++ {
+		pairs = append(pairs, NewPair(fmt.Sprintf("k%d", i%3), 1))
+	}
+	d := Parallelize(ctx, pairs, 4)
+	hash := func(s string) int {
+		h := 0
+		for _, c := range s {
+			h = h*31 + int(c)
+		}
+		return h
+	}
+	grouped, err := GroupByKey(d, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := grouped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Value) != 10 {
+			t.Errorf("group %s has %d values", g.Key, len(g.Value))
+		}
+	}
+	reduced, err := ReduceByKey(d, hash, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, _ := reduced.Collect()
+	for _, kv := range sums {
+		if kv.Value != 10 {
+			t.Errorf("sum for %s = %d", kv.Key, kv.Value)
+		}
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewContext(2)
+	pairs := []Pair[string, int]{
+		NewPair("a", 1), NewPair("b", 2), NewPair("a", 3),
+	}
+	d := Parallelize(ctx, pairs, 2)
+	counts, err := CountByKey(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestKeysValuesMapValues(t *testing.T) {
+	ctx := NewContext(2)
+	pairs := []Pair[int, string]{NewPair(1, "a"), NewPair(2, "b")}
+	d := Parallelize(ctx, pairs, 1)
+	ks, _ := Keys(d).Collect()
+	vs, _ := Values(d).Collect()
+	if fmt.Sprint(ks) != "[1 2]" || fmt.Sprint(vs) != "[a b]" {
+		t.Errorf("keys=%v values=%v", ks, vs)
+	}
+	up, _ := MapValues(d, func(s string) string { return s + "!" }).Collect()
+	if up[0].Value != "a!" || up[0].Key != 1 {
+		t.Errorf("mapValues = %v", up)
+	}
+}
+
+func TestCartesianPartitions(t *testing.T) {
+	ctx := NewContext(4)
+	a := Parallelize(ctx, []int{1, 2, 3}, 2)
+	b := Parallelize(ctx, []int{10, 20}, 2)
+	got, err := CartesianPartitions(a, b, func(pa, pb []int) []int {
+		var out []int
+		for _, x := range pa {
+			for _, y := range pb {
+				out = append(out, x+y)
+			}
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("len = %d, want 6", len(got))
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != "[11 12 13 21 22 23]" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMetricsSnapshotReset(t *testing.T) {
+	ctx := NewContext(2)
+	d := Parallelize(ctx, intRange(10), 5)
+	if _, err := d.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	snap := ctx.Metrics().Snapshot()
+	if snap.TasksLaunched != 5 {
+		t.Errorf("tasks = %d", snap.TasksLaunched)
+	}
+	ctx.Metrics().Reset()
+	if ctx.Metrics().Snapshot().TasksLaunched != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestPropShufflePreservesMultiset(t *testing.T) {
+	ctx := NewContext(4)
+	f := func(keys []int16, nPart uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		n := int(nPart%8) + 1
+		pairs := make([]Pair[int, int], len(keys))
+		for i, k := range keys {
+			pairs[i] = NewPair(int(k), i)
+		}
+		d := Parallelize(ctx, pairs, 3)
+		shuffled, err := PartitionBy(d, FuncPartitioner[int]{N: n, Fn: func(k int) int {
+			h := k % n
+			if h < 0 {
+				h += n
+			}
+			return h
+		}})
+		if err != nil {
+			return false
+		}
+		out, err := shuffled.Collect()
+		if err != nil || len(out) != len(pairs) {
+			return false
+		}
+		// Compare multisets of (key, value).
+		count := make(map[Pair[int, int]]int)
+		for _, kv := range pairs {
+			count[kv]++
+		}
+		for _, kv := range out {
+			count[kv]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx := NewContext(0)
+	if ctx.Parallelism() <= 0 {
+		t.Error("default parallelism must be positive")
+	}
+}

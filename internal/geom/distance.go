@@ -1,0 +1,172 @@
+package geom
+
+import "math"
+
+// DistanceFunc computes a distance between two points. STARK lets
+// callers supply their own distance function to withinDistance and
+// kNN operators; the functions in this file are the ones shipped out
+// of the box.
+type DistanceFunc func(a, b Point) float64
+
+// Euclidean returns the planar L2 distance.
+func Euclidean(a, b Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// SquaredEuclidean returns the squared planar L2 distance. Useful for
+// comparisons where the square root is unnecessary.
+func SquaredEuclidean(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Manhattan returns the L1 distance.
+func Manhattan(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// Chebyshev returns the L∞ distance.
+func Chebyshev(a, b Point) float64 {
+	return math.Max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y))
+}
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine.
+const EarthRadiusMeters = 6371008.8
+
+// Haversine returns the great-circle distance in meters, interpreting
+// X as longitude and Y as latitude, both in degrees.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Y * math.Pi / 180
+	lat2 := b.Y * math.Pi / 180
+	dLat := (b.Y - a.Y) * math.Pi / 180
+	dLon := (b.X - a.X) * math.Pi / 180
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Distance returns the minimum planar distance between two geometries
+// of any supported kind; 0 when they intersect.
+func Distance(g1, g2 Geometry) float64 {
+	if Intersects(g1, g2) {
+		return 0
+	}
+	switch a := g1.(type) {
+	case Point:
+		return distancePointGeom(a, g2)
+	case MultiPoint:
+		best := math.Inf(1)
+		for _, p := range a.pts {
+			best = math.Min(best, distancePointGeom(p, g2))
+		}
+		return best
+	case LineString:
+		return distanceLineGeom(a, g2)
+	case Polygon:
+		return distancePolygonGeom(a, g2)
+	}
+	return math.Inf(1)
+}
+
+func distancePointGeom(p Point, g Geometry) float64 {
+	switch b := g.(type) {
+	case Point:
+		return Euclidean(p, b)
+	case MultiPoint:
+		best := math.Inf(1)
+		for _, q := range b.pts {
+			best = math.Min(best, Euclidean(p, q))
+		}
+		return best
+	case LineString:
+		best := math.Inf(1)
+		for i := 1; i < len(b.pts); i++ {
+			best = math.Min(best, DistancePointSegment(p, b.pts[i-1], b.pts[i]))
+		}
+		return best
+	case Polygon:
+		if PolygonContainsPoint(b, p) >= 0 {
+			return 0
+		}
+		return distancePointRings(p, b)
+	}
+	return math.Inf(1)
+}
+
+func distancePointRings(p Point, poly Polygon) float64 {
+	best := math.Inf(1)
+	rings := append([]Ring{poly.shell}, poly.holes...)
+	for _, r := range rings {
+		for i := 1; i < len(r.pts); i++ {
+			best = math.Min(best, DistancePointSegment(p, r.pts[i-1], r.pts[i]))
+		}
+	}
+	return best
+}
+
+func distanceLineGeom(l LineString, g Geometry) float64 {
+	switch b := g.(type) {
+	case Point:
+		return distancePointGeom(b, l)
+	case MultiPoint:
+		best := math.Inf(1)
+		for _, q := range b.pts {
+			best = math.Min(best, distancePointGeom(q, l))
+		}
+		return best
+	case LineString:
+		best := math.Inf(1)
+		for i := 1; i < len(l.pts); i++ {
+			for j := 1; j < len(b.pts); j++ {
+				best = math.Min(best, DistanceSegmentSegment(l.pts[i-1], l.pts[i], b.pts[j-1], b.pts[j]))
+			}
+		}
+		return best
+	case Polygon:
+		// Intersection was ruled out by the caller, so the line lies
+		// fully inside or fully outside; inside → distance 0 was
+		// already handled by Intersects. Outside → ring distance.
+		best := math.Inf(1)
+		rings := append([]Ring{b.shell}, b.holes...)
+		for _, r := range rings {
+			for i := 1; i < len(l.pts); i++ {
+				for j := 1; j < len(r.pts); j++ {
+					best = math.Min(best, DistanceSegmentSegment(l.pts[i-1], l.pts[i], r.pts[j-1], r.pts[j]))
+				}
+			}
+		}
+		return best
+	}
+	return math.Inf(1)
+}
+
+func distancePolygonGeom(poly Polygon, g Geometry) float64 {
+	switch b := g.(type) {
+	case Point:
+		return distancePointGeom(b, poly)
+	case MultiPoint:
+		best := math.Inf(1)
+		for _, q := range b.pts {
+			best = math.Min(best, distancePointGeom(q, poly))
+		}
+		return best
+	case LineString:
+		return distanceLineGeom(b, poly)
+	case Polygon:
+		best := math.Inf(1)
+		rings1 := append([]Ring{poly.shell}, poly.holes...)
+		rings2 := append([]Ring{b.shell}, b.holes...)
+		for _, r1 := range rings1 {
+			for _, r2 := range rings2 {
+				for i := 1; i < len(r1.pts); i++ {
+					for j := 1; j < len(r2.pts); j++ {
+						best = math.Min(best, DistanceSegmentSegment(r1.pts[i-1], r1.pts[i], r2.pts[j-1], r2.pts[j]))
+					}
+				}
+			}
+		}
+		return best
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,364 @@
+package geom
+
+// This file implements the topological predicates STARK exposes on
+// spatial components: Intersects, Contains, Covers, Within, Disjoint.
+// The semantics follow the simplified JTS behaviour the paper relies
+// on:
+//
+//   - Intersects: the geometries share at least one point (boundary
+//     contact counts).
+//   - Contains: every point of the argument lies in the receiver and
+//     at least one point lies in the receiver's interior. For the
+//     point/line/polygon combinations STARK uses, the practical rule
+//     "b ⊆ a, boundary contact allowed unless b is entirely on a's
+//     boundary" is implemented.
+//   - Covers: every point of the argument lies in the receiver
+//     (boundary contact allowed everywhere).
+
+// Intersects reports whether g1 and g2 share at least one point.
+func Intersects(g1, g2 Geometry) bool {
+	if g1 == nil || g2 == nil || g1.IsEmpty() || g2.IsEmpty() {
+		return false
+	}
+	if !g1.Envelope().Intersects(g2.Envelope()) {
+		return false
+	}
+	switch a := g1.(type) {
+	case Point:
+		return intersectsPoint(a, g2)
+	case MultiPoint:
+		for _, p := range a.pts {
+			if intersectsPoint(p, g2) {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		return intersectsLine(a, g2)
+	case Polygon:
+		return intersectsPolygon(a, g2)
+	}
+	return false
+}
+
+func intersectsPoint(p Point, g Geometry) bool {
+	switch b := g.(type) {
+	case Point:
+		return p.Equal(b)
+	case MultiPoint:
+		for _, q := range b.pts {
+			if p.Equal(q) {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		for i := 1; i < len(b.pts); i++ {
+			if pointOnSegment(b.pts[i-1], b.pts[i], p) {
+				return true
+			}
+		}
+		return false
+	case Polygon:
+		return PolygonContainsPoint(b, p) >= 0
+	}
+	return false
+}
+
+func intersectsLine(l LineString, g Geometry) bool {
+	switch b := g.(type) {
+	case Point:
+		return intersectsPoint(b, l)
+	case MultiPoint:
+		for _, q := range b.pts {
+			if intersectsPoint(q, l) {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		for i := 1; i < len(l.pts); i++ {
+			for j := 1; j < len(b.pts); j++ {
+				if SegmentsIntersect(l.pts[i-1], l.pts[i], b.pts[j-1], b.pts[j]) {
+					return true
+				}
+			}
+		}
+		return false
+	case Polygon:
+		// Any vertex inside, or any edge crossing the boundary.
+		for _, p := range l.pts {
+			if PolygonContainsPoint(b, p) >= 0 {
+				return true
+			}
+		}
+		if lineEdgesIntersectRing(l, b.shell) {
+			return true
+		}
+		for _, h := range b.holes {
+			if lineEdgesIntersectRing(l, h) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func intersectsPolygon(poly Polygon, g Geometry) bool {
+	switch b := g.(type) {
+	case Point:
+		return intersectsPoint(b, poly)
+	case MultiPoint:
+		for _, q := range b.pts {
+			if intersectsPoint(q, poly) {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		return intersectsLine(b, poly)
+	case Polygon:
+		// Shell edge crossing.
+		if ringEdgesIntersect(poly.shell, b.shell) {
+			return true
+		}
+		// One contains a vertex of the other (covers containment when
+		// one polygon is nested inside the other without edge contact).
+		if PolygonContainsPoint(poly, b.shell.pts[0]) >= 0 {
+			return true
+		}
+		if PolygonContainsPoint(b, poly.shell.pts[0]) >= 0 {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Covers reports whether every point of g2 lies within g1 (interior
+// or boundary).
+func Covers(g1, g2 Geometry) bool {
+	if g1 == nil || g2 == nil || g1.IsEmpty() || g2.IsEmpty() {
+		return false
+	}
+	if !g1.Envelope().ContainsEnvelope(g2.Envelope()) {
+		return false
+	}
+	switch a := g1.(type) {
+	case Point:
+		switch b := g2.(type) {
+		case Point:
+			return a.Equal(b)
+		case MultiPoint:
+			for _, q := range b.pts {
+				if !a.Equal(q) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case MultiPoint:
+		covered := func(q Point) bool {
+			for _, p := range a.pts {
+				if p.Equal(q) {
+					return true
+				}
+			}
+			return false
+		}
+		switch b := g2.(type) {
+		case Point:
+			return covered(b)
+		case MultiPoint:
+			for _, q := range b.pts {
+				if !covered(q) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case LineString:
+		switch b := g2.(type) {
+		case Point:
+			return intersectsPoint(b, a)
+		case MultiPoint:
+			for _, q := range b.pts {
+				if !intersectsPoint(q, a) {
+					return false
+				}
+			}
+			return true
+		case LineString:
+			// Every vertex and midpoint of b must lie on a. Vertex
+			// containment on a polyline is sufficient for the simple
+			// (non-overlapping-collinear) inputs STARK processes.
+			for _, q := range b.pts {
+				if !intersectsPoint(q, a) {
+					return false
+				}
+			}
+			for i := 1; i < len(b.pts); i++ {
+				mid := Point{X: (b.pts[i-1].X + b.pts[i].X) / 2, Y: (b.pts[i-1].Y + b.pts[i].Y) / 2}
+				if !intersectsPoint(mid, a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case Polygon:
+		return polygonCovers(a, g2, true)
+	}
+	return false
+}
+
+// Contains is Covers with the extra JTS condition that at least one
+// point of g2 lies in the interior of g1; a polygon does not Contain a
+// geometry that only touches its boundary.
+func Contains(g1, g2 Geometry) bool {
+	if !Covers(g1, g2) {
+		return false
+	}
+	poly, ok := g1.(Polygon)
+	if !ok {
+		return true // point/line containment has no boundary subtlety here
+	}
+	switch b := g2.(type) {
+	case Point:
+		return PolygonContainsPoint(poly, b) == 1
+	case MultiPoint:
+		for _, q := range b.pts {
+			if PolygonContainsPoint(poly, q) == 1 {
+				return true
+			}
+		}
+		return false
+	case LineString:
+		for _, q := range b.pts {
+			if PolygonContainsPoint(poly, q) == 1 {
+				return true
+			}
+		}
+		// All vertices on the boundary: check a midpoint.
+		for i := 1; i < len(b.pts); i++ {
+			mid := Point{X: (b.pts[i-1].X + b.pts[i].X) / 2, Y: (b.pts[i-1].Y + b.pts[i].Y) / 2}
+			if PolygonContainsPoint(poly, mid) == 1 {
+				return true
+			}
+		}
+		return false
+	case Polygon:
+		return PolygonContainsPoint(poly, b.Centroid()) == 1 ||
+			PolygonContainsPoint(poly, b.shell.pts[0]) == 1
+	}
+	return false
+}
+
+// polygonCovers reports whether the polygon covers g. When
+// allowBoundary is true, points of g on the polygon boundary count as
+// covered.
+func polygonCovers(poly Polygon, g Geometry, allowBoundary bool) bool {
+	inOK := func(p Point) bool {
+		c := PolygonContainsPoint(poly, p)
+		if allowBoundary {
+			return c >= 0
+		}
+		return c == 1
+	}
+	switch b := g.(type) {
+	case Point:
+		return inOK(b)
+	case MultiPoint:
+		for _, q := range b.pts {
+			if !inOK(q) {
+				return false
+			}
+		}
+		return true
+	case LineString:
+		for _, q := range b.pts {
+			if !inOK(q) {
+				return false
+			}
+		}
+		// No segment may cross a hole or exit through the shell:
+		// since all endpoints are inside, a crossing requires a proper
+		// edge intersection with some ring.
+		for i := 1; i < len(b.pts); i++ {
+			if segmentCrossesRings(poly, b.pts[i-1], b.pts[i]) {
+				return false
+			}
+		}
+		return true
+	case Polygon:
+		for _, q := range b.shell.pts {
+			if !inOK(q) {
+				return false
+			}
+		}
+		for i := 1; i < len(b.shell.pts); i++ {
+			if segmentCrossesRings(poly, b.shell.pts[i-1], b.shell.pts[i]) {
+				return false
+			}
+		}
+		// A hole of poly lying strictly inside b would break coverage.
+		for _, h := range poly.holes {
+			if PolygonContainsPoint(b, h.pts[0]) == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// segmentCrossesRings reports whether the open segment ab properly
+// crosses any ring of poly (touching is tolerated; we test the
+// segment midpoint when an edge intersection is found).
+func segmentCrossesRings(poly Polygon, a, b Point) bool {
+	rings := append([]Ring{poly.shell}, poly.holes...)
+	for _, r := range rings {
+		for j := 1; j < len(r.pts); j++ {
+			if SegmentsIntersect(a, b, r.pts[j-1], r.pts[j]) {
+				mid := Point{X: (a.X + b.X) / 2, Y: (a.Y + b.Y) / 2}
+				if PolygonContainsPoint(poly, mid) == -1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Within reports whether g1 lies within g2 (the converse of Contains).
+func Within(g1, g2 Geometry) bool { return Contains(g2, g1) }
+
+// CoveredBy reports whether g1 is covered by g2 (the converse of
+// Covers).
+func CoveredBy(g1, g2 Geometry) bool { return Covers(g2, g1) }
+
+// Disjoint reports whether the two geometries share no point.
+func Disjoint(g1, g2 Geometry) bool { return !Intersects(g1, g2) }
+
+// WithinDistance reports whether the minimum distance between the two
+// geometries under df is at most maxDist. For non-point geometries the
+// planar Distance is used when df is nil; a custom df is applied to
+// point pairs (point geometries or centroids otherwise), matching
+// STARK's pluggable distance behaviour.
+func WithinDistance(g1, g2 Geometry, maxDist float64, df DistanceFunc) bool {
+	if g1 == nil || g2 == nil || g1.IsEmpty() || g2.IsEmpty() {
+		return false
+	}
+	if df == nil {
+		return Distance(g1, g2) <= maxDist
+	}
+	p1, ok1 := g1.(Point)
+	p2, ok2 := g2.(Point)
+	if ok1 && ok2 {
+		return df(p1, p2) <= maxDist
+	}
+	return df(g1.Centroid(), g2.Centroid()) <= maxDist
+}

@@ -1,0 +1,140 @@
+package index
+
+import (
+	"math"
+
+	"stark/internal/geom"
+)
+
+// GridIndex is a fixed-grid spatial hash over entry envelopes — the
+// lightweight alternative to the STR R-tree for partition-local
+// indexing. Entries are registered in every cell their envelope
+// overlaps; queries collect the candidate entries of the cells the
+// query envelope overlaps and deduplicate. Grid indexes build faster
+// than R-trees (no sorting) but degrade on skewed data and on large
+// objects spanning many cells, which is why STARK defaults to the
+// R-tree; the indexing ablation can quantify the trade-off.
+type GridIndex struct {
+	env          geom.Envelope
+	n            int // cells per dimension
+	cellW, cellH float64
+	cells        [][]Entry
+	size         int
+	stamp        []int32 // per-entry visit stamps for dedup
+	stampGen     int32
+}
+
+// NewGridIndex builds a grid index over the entries with n cells per
+// dimension; n < 1 derives ⌈√(len(entries))⌉ capped at 256. The
+// entries slice is not retained.
+func NewGridIndex(n int, entries []Entry) *GridIndex {
+	env := geom.EmptyEnvelope()
+	maxID := int32(-1)
+	for _, e := range entries {
+		env = env.ExpandToInclude(e.Env)
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+	}
+	if n < 1 {
+		n = int(math.Ceil(math.Sqrt(float64(len(entries)))))
+		if n < 1 {
+			n = 1
+		}
+		if n > 256 {
+			n = 256
+		}
+	}
+	g := &GridIndex{
+		env:   env,
+		n:     n,
+		cells: make([][]Entry, n*n),
+		size:  len(entries),
+		stamp: make([]int32, maxID+1),
+	}
+	if !env.IsEmpty() {
+		g.cellW = env.Width() / float64(n)
+		g.cellH = env.Height() / float64(n)
+	}
+	for _, e := range entries {
+		c0, r0, c1, r1 := g.cellRange(e.Env)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				g.cells[r*n+c] = append(g.cells[r*n+c], e)
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of indexed entries.
+func (g *GridIndex) Len() int { return g.size }
+
+// cellRange returns the inclusive cell rectangle an envelope
+// overlaps, clamped to the grid.
+func (g *GridIndex) cellRange(env geom.Envelope) (c0, r0, c1, r1 int) {
+	clampCol := func(x float64) int {
+		if g.cellW <= 0 {
+			return 0
+		}
+		c := int((x - g.env.MinX) / g.cellW)
+		if c < 0 {
+			return 0
+		}
+		if c >= g.n {
+			return g.n - 1
+		}
+		return c
+	}
+	clampRow := func(y float64) int {
+		if g.cellH <= 0 {
+			return 0
+		}
+		r := int((y - g.env.MinY) / g.cellH)
+		if r < 0 {
+			return 0
+		}
+		if r >= g.n {
+			return g.n - 1
+		}
+		return r
+	}
+	return clampCol(env.MinX), clampRow(env.MinY), clampCol(env.MaxX), clampRow(env.MaxY)
+}
+
+// Query appends to dst the IDs of entries whose envelope intersects
+// q, deduplicated, and returns the extended slice. Not safe for
+// concurrent use (the visit stamps are shared); build one GridIndex
+// per worker.
+func (g *GridIndex) Query(q geom.Envelope, dst []int32) []int32 {
+	if g.size == 0 || q.IsEmpty() || !g.env.Intersects(q) {
+		return dst
+	}
+	g.stampGen++
+	gen := g.stampGen
+	c0, r0, c1, r1 := g.cellRange(q)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			for _, e := range g.cells[r*g.n+c] {
+				if g.stamp[e.ID] == gen {
+					continue
+				}
+				g.stamp[e.ID] = gen
+				if e.Env.Intersects(q) {
+					dst = append(dst, e.ID)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// BuildGridFromEnvelopes mirrors BuildFromEnvelopes for grid indexes:
+// slice position becomes the entry ID.
+func BuildGridFromEnvelopes(n int, envs []geom.Envelope) *GridIndex {
+	entries := make([]Entry, len(envs))
+	for i, e := range envs {
+		entries[i] = Entry{Env: e, ID: int32(i)}
+	}
+	return NewGridIndex(n, entries)
+}

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stark/internal/geom"
+)
+
+func TestGridIndexEmpty(t *testing.T) {
+	g := NewGridIndex(4, nil)
+	if g.Len() != 0 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if got := g.Query(geom.NewEnvelope(0, 0, 1, 1), nil); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestGridIndexSingle(t *testing.T) {
+	g := BuildGridFromEnvelopes(4, []geom.Envelope{geom.NewEnvelope(1, 1, 2, 2)})
+	got := g.Query(geom.NewEnvelope(0, 0, 3, 3), nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := g.Query(geom.NewEnvelope(5, 5, 6, 6), nil); len(got) != 0 {
+		t.Errorf("miss: %v", got)
+	}
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	envs := randomEnvs(rng, 1500)
+	g := BuildGridFromEnvelopes(0, envs) // derived n
+	for trial := 0; trial < 50; trial++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		q := geom.NewEnvelope(x, y, x+rng.Float64()*80, y+rng.Float64()*80)
+		got := g.Query(q, nil)
+		want := bruteQuery(envs, q)
+		sortIDs(got)
+		sortIDs(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestGridIndexDeduplicatesSpanningEntries(t *testing.T) {
+	// A big envelope registered in many cells must be reported once.
+	envs := []geom.Envelope{geom.NewEnvelope(0, 0, 100, 100)}
+	g := BuildGridFromEnvelopes(8, envs)
+	got := g.Query(geom.NewEnvelope(10, 10, 90, 90), nil)
+	if len(got) != 1 {
+		t.Errorf("got %d results, want 1 (deduplicated)", len(got))
+	}
+	// Across repeated queries too (stamp generation).
+	for i := 0; i < 5; i++ {
+		if got := g.Query(geom.NewEnvelope(0, 0, 100, 100), nil); len(got) != 1 {
+			t.Fatalf("query %d: %d results", i, len(got))
+		}
+	}
+}
+
+func TestGridIndexAgreesWithRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	envs := randomEnvs(rng, 800)
+	g := BuildGridFromEnvelopes(16, envs)
+	r := BuildFromEnvelopes(8, envs)
+	for trial := 0; trial < 30; trial++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		q := geom.NewEnvelope(x, y, x+50, y+50)
+		a := g.Query(q, nil)
+		b := r.Query(q, nil)
+		sortIDs(a)
+		sortIDs(b)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: grid %d vs rtree %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("grid and rtree disagree")
+			}
+		}
+	}
+}
+
+func TestPropGridIndexCompleteness(t *testing.T) {
+	f := func(seed int64, nRaw uint16, cellsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%300) + 1
+		cells := int(cellsRaw%20) + 1
+		envs := randomEnvs(rng, n)
+		g := BuildGridFromEnvelopes(cells, envs)
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		q := geom.NewEnvelope(x, y, x+rng.Float64()*300, y+rng.Float64()*300)
+		got := g.Query(q, nil)
+		want := bruteQuery(envs, q)
+		if len(got) != len(want) {
+			return false
+		}
+		sortIDs(got)
+		sortIDs(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

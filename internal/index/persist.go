@@ -1,0 +1,133 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stark/internal/dfs"
+	"stark/internal/geom"
+)
+
+// This file implements persistent indexing: STARK's index() mode
+// serialises the per-partition R-trees to HDFS so subsequent programs
+// can reuse them without rebuilding. The format is a compact custom
+// binary layout (magic, order, entry table); the tree structure is
+// reconstructed by re-packing on load, which is deterministic for STR
+// and avoids persisting pointers.
+
+const (
+	persistMagic   = uint32(0x5354524B) // "STRK"
+	persistVersion = uint16(1)
+)
+
+// Marshal serialises the tree (built or not) to a byte slice.
+func (t *RTree) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v interface{}) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(persistMagic)
+	w(persistVersion)
+	w(uint16(t.order))
+	w(uint32(len(t.entries)))
+	for _, e := range t.entries {
+		w(e.ID)
+		w(e.Env.MinX)
+		w(e.Env.MinY)
+		w(e.Env.MaxX)
+		w(e.Env.MaxY)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a tree from Marshal output and builds it.
+func Unmarshal(data []byte) (*RTree, error) {
+	r := bytes.NewReader(data)
+	var (
+		magic   uint32
+		version uint16
+		order   uint16
+		count   uint32
+	)
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("index: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("index: reading version: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &order); err != nil {
+		return nil, fmt.Errorf("index: reading order: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("index: reading count: %w", err)
+	}
+	t := New(int(order))
+	t.entries = make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var (
+			id                     int32
+			minX, minY, maxX, maxY float64
+		)
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("index: reading entry %d: %w", i, err)
+		}
+		for _, dst := range []*float64{&minX, &minY, &maxX, &maxY} {
+			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+				return nil, fmt.Errorf("index: reading entry %d: %w", i, err)
+			}
+		}
+		if math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
+			return nil, fmt.Errorf("index: entry %d has NaN bounds", i)
+		}
+		t.entries = append(t.entries, Entry{
+			ID:  id,
+			Env: geom.Envelope{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY},
+		})
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("index: trailing bytes after %d entries", count)
+	}
+	t.Build()
+	return t, nil
+}
+
+// Save writes the tree to path on the file system, replacing any
+// previous index at that path.
+func (t *RTree) Save(fs *dfs.FileSystem, path string) error {
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return fs.Overwrite(path, data)
+}
+
+// Load reads a tree persisted by Save.
+func Load(fs *dfs.FileSystem, path string) (*RTree, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// BuildFromEnvelopes bulk-loads a tree over envs, using the slice
+// index as entry ID — the "live indexing" constructor: a partition's
+// contents are put into an R-tree before evaluating a predicate.
+func BuildFromEnvelopes(order int, envs []geom.Envelope) *RTree {
+	t := New(order)
+	for i, e := range envs {
+		t.Insert(e, int32(i))
+	}
+	t.Build()
+	return t
+}

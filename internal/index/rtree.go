@@ -1,0 +1,342 @@
+// Package index implements the Sort-Tile-Recursive (STR) packed
+// R-tree STARK uses for partition-local indexing — the from-scratch
+// replacement for the JTS STRtree.
+//
+// The tree is bulk-loaded: items are collected with Insert and packed
+// into a height-balanced tree by Build. Queries return candidate item
+// IDs whose minimum bounding rectangles match; exact geometry
+// refinement is the caller's job (the "candidate pruning step" the
+// paper describes for live indexing). A branch-and-bound k nearest
+// neighbour search is provided, and trees serialise to a compact
+// binary format for persistent indexing.
+package index
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stark/internal/geom"
+)
+
+// DefaultOrder is the default tree order (node capacity); the paper's
+// examples use small orders such as 5.
+const DefaultOrder = 10
+
+// Entry is one indexed item: an envelope plus the caller's item ID.
+type Entry struct {
+	Env geom.Envelope
+	ID  int32
+}
+
+// RTree is an STR bulk-loaded R-tree over Entry values.
+type RTree struct {
+	order   int
+	entries []Entry
+	root    *node
+	built   bool
+}
+
+type node struct {
+	env      geom.Envelope
+	children []*node // nil for leaves
+	entries  []Entry // nil for internal nodes
+}
+
+// New returns an empty tree with the given order (node capacity);
+// order < 2 selects DefaultOrder.
+func New(order int) *RTree {
+	if order < 2 {
+		order = DefaultOrder
+	}
+	return &RTree{order: order}
+}
+
+// Order returns the node capacity.
+func (t *RTree) Order() int { return t.order }
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return len(t.entries) }
+
+// Built reports whether Build has run.
+func (t *RTree) Built() bool { return t.built }
+
+// Insert adds an entry. It panics when called after Build, matching
+// the build-once STRtree contract.
+func (t *RTree) Insert(env geom.Envelope, id int32) {
+	if t.built {
+		panic("index: Insert after Build")
+	}
+	t.entries = append(t.entries, Entry{Env: env, ID: id})
+}
+
+// Build packs the inserted entries into the tree using the STR
+// algorithm: sort by x-center, cut into ⌈√(n/order)⌉ vertical slices,
+// sort each slice by y-center, pack runs of `order` entries into
+// leaves, then recursively pack the leaves the same way.
+func (t *RTree) Build() {
+	if t.built {
+		return
+	}
+	t.built = true
+	if len(t.entries) == 0 {
+		t.root = &node{env: geom.EmptyEnvelope()}
+		return
+	}
+	leaves := packLeaves(t.entries, t.order)
+	t.root = packUpwards(leaves, t.order)
+}
+
+func packLeaves(entries []Entry, order int) []*node {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Env.Center().X < sorted[j].Env.Center().X
+	})
+	n := len(sorted)
+	leafCount := (n + order - 1) / order
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * order
+
+	var leaves []*node
+	for s := 0; s < n; s += sliceSize {
+		end := s + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := sorted[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Env.Center().Y < slice[j].Env.Center().Y
+		})
+		for o := 0; o < len(slice); o += order {
+			oe := o + order
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			leaf := &node{env: geom.EmptyEnvelope()}
+			leaf.entries = append(leaf.entries, slice[o:oe]...)
+			for _, e := range leaf.entries {
+				leaf.env = leaf.env.ExpandToInclude(e.Env)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packUpwards(nodes []*node, order int) *node {
+	for len(nodes) > 1 {
+		sort.Slice(nodes, func(i, j int) bool {
+			return nodes[i].env.Center().X < nodes[j].env.Center().X
+		})
+		n := len(nodes)
+		parentCount := (n + order - 1) / order
+		sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+		sliceSize := sliceCount * order
+
+		var parents []*node
+		for s := 0; s < n; s += sliceSize {
+			end := s + sliceSize
+			if end > n {
+				end = n
+			}
+			slice := nodes[s:end]
+			sort.Slice(slice, func(i, j int) bool {
+				return slice[i].env.Center().Y < slice[j].env.Center().Y
+			})
+			for o := 0; o < len(slice); o += order {
+				oe := o + order
+				if oe > len(slice) {
+					oe = len(slice)
+				}
+				parent := &node{env: geom.EmptyEnvelope()}
+				parent.children = append(parent.children, slice[o:oe]...)
+				for _, c := range parent.children {
+					parent.env = parent.env.ExpandToInclude(c.env)
+				}
+				parents = append(parents, parent)
+			}
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// Query appends to dst the IDs of all entries whose envelope
+// intersects q and returns the extended slice. The result is a
+// candidate set: callers must refine with the exact predicate.
+func (t *RTree) Query(q geom.Envelope, dst []int32) []int32 {
+	if !t.built {
+		panic("index: Query before Build")
+	}
+	if t.root == nil || q.IsEmpty() {
+		return dst
+	}
+	return queryNode(t.root, q, dst)
+}
+
+func queryNode(n *node, q geom.Envelope, dst []int32) []int32 {
+	if !n.env.Intersects(q) {
+		return dst
+	}
+	if n.children == nil {
+		for _, e := range n.entries {
+			if e.Env.Intersects(q) {
+				dst = append(dst, e.ID)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = queryNode(c, q, dst)
+	}
+	return dst
+}
+
+// QueryAll returns the IDs of every entry (in no particular order).
+func (t *RTree) QueryAll() []int32 {
+	ids := make([]int32, len(t.entries))
+	for i, e := range t.entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Neighbor is one kNN result: an entry ID and its distance.
+type Neighbor struct {
+	ID       int32
+	Distance float64
+}
+
+// KNN returns the k entries nearest to (x, y) ordered by ascending
+// distance, using best-first branch-and-bound over envelope minimum
+// distances. exact, when non-nil, refines an entry's distance (for
+// non-point geometries whose envelope distance underestimates);
+// when nil the envelope distance is used directly, which is exact for
+// point data.
+func (t *RTree) KNN(x, y float64, k int, exact func(id int32) float64) []Neighbor {
+	if !t.built {
+		panic("index: KNN before Build")
+	}
+	if k <= 0 || t.root == nil || len(t.entries) == 0 {
+		return nil
+	}
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnCandidate{dist: t.root.env.DistanceToPoint(x, y), n: t.root})
+
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		c := heap.Pop(pq).(knnCandidate)
+		switch {
+		case c.n != nil && c.n.children != nil:
+			for _, ch := range c.n.children {
+				heap.Push(pq, knnCandidate{dist: ch.env.DistanceToPoint(x, y), n: ch})
+			}
+		case c.n != nil:
+			for _, e := range c.n.entries {
+				d := e.Env.DistanceToPoint(x, y)
+				if exact != nil {
+					// Enqueue with the envelope lower bound first, refine
+					// lazily when the entry is popped.
+					heap.Push(pq, knnCandidate{dist: d, entry: &e, needRefine: true})
+				} else {
+					heap.Push(pq, knnCandidate{dist: d, entry: &e})
+				}
+			}
+		case c.needRefine:
+			refined := exact(c.entry.ID)
+			heap.Push(pq, knnCandidate{dist: refined, entry: c.entry})
+		default:
+			out = append(out, Neighbor{ID: c.entry.ID, Distance: c.dist})
+		}
+	}
+	return out
+}
+
+type knnCandidate struct {
+	dist       float64
+	n          *node
+	entry      *Entry
+	needRefine bool
+}
+
+type knnQueue []knnCandidate
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnCandidate)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Height returns the tree height (0 for an empty tree).
+func (t *RTree) Height() int {
+	if !t.built || t.root == nil {
+		return 0
+	}
+	h := 0
+	for n := t.root; n != nil && n.children != nil; n = n.children[0] {
+		h++
+	}
+	return h + 1
+}
+
+// validate checks structural invariants; used by tests.
+func (t *RTree) validate() error {
+	if !t.built {
+		return errors.New("not built")
+	}
+	if len(t.entries) == 0 {
+		return nil
+	}
+	count := 0
+	var walk func(n *node, depth int) (int, error)
+	leafDepth := -1
+	walk = func(n *node, depth int) (int, error) {
+		if n.children == nil {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return 0, fmt.Errorf("unbalanced: leaf at depth %d and %d", leafDepth, depth)
+			}
+			for _, e := range n.entries {
+				if !n.env.ContainsEnvelope(e.Env) && !(e.Env.IsEmpty()) {
+					return 0, fmt.Errorf("leaf env %v does not contain entry %v", n.env, e.Env)
+				}
+			}
+			return len(n.entries), nil
+		}
+		if len(n.children) > t.order {
+			return 0, fmt.Errorf("node fanout %d exceeds order %d", len(n.children), t.order)
+		}
+		sum := 0
+		for _, c := range n.children {
+			if !n.env.ContainsEnvelope(c.env) {
+				return 0, fmt.Errorf("node env %v does not contain child %v", n.env, c.env)
+			}
+			s, err := walk(c, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			sum += s
+		}
+		return sum, nil
+	}
+	var err error
+	count, err = walk(t.root, 0)
+	if err != nil {
+		return err
+	}
+	if count != len(t.entries) {
+		return fmt.Errorf("tree holds %d entries, inserted %d", count, len(t.entries))
+	}
+	return nil
+}

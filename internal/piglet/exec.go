@@ -1,0 +1,531 @@
+package piglet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stark/internal/cluster"
+	"stark/internal/core"
+	"stark/internal/dfs"
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/partition"
+	"stark/internal/stobject"
+	"stark/internal/temporal"
+	"stark/internal/workload"
+)
+
+// Row is a piglet tuple: the source event plus fields produced by
+// operators downstream (cluster label, kNN distance, group counts).
+type Row struct {
+	Event    workload.Event
+	Cluster  int     // cluster.Noise-1 when not clustered yet
+	Distance float64 // kNN distance; 0 unless produced by KNN
+	Group    string  // GROUPCOUNT key
+	Count    int64   // GROUPCOUNT value
+}
+
+// NotClustered marks rows that never passed a CLUSTER operator.
+const NotClustered = cluster.Noise - 1
+
+// Relation is a named intermediate result: the rows plus the
+// spatially partitioned dataset when a PARTITION operator produced
+// it.
+type Relation struct {
+	rows []core.Tuple[Row]
+	sds  *core.SpatialDataset[Row]
+	idx  *core.IndexedDataset[Row] // non-nil after INDEX
+}
+
+// Rows returns the relation's tuples.
+func (r *Relation) Rows() []core.Tuple[Row] { return r.rows }
+
+// Env is the execution environment of a script.
+type Env struct {
+	Ctx *engine.Context
+	FS  *dfs.FileSystem
+	// DefaultParallelism is the partition count for freshly loaded
+	// relations; 0 selects Ctx.Parallelism().
+	DefaultParallelism int
+}
+
+// Output collects the effects of a script run.
+type Output struct {
+	// Relations maps every assigned name to its final value.
+	Relations map[string]*Relation
+	// Dumped holds the lines produced by DUMP statements, in order.
+	Dumped []string
+	// Stored lists the paths written by STORE statements.
+	Stored []string
+}
+
+// Run parses and executes a script.
+func Run(src string, env *Env) (*Output, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(stmts, env)
+}
+
+// Execute runs parsed statements.
+func Execute(stmts []Statement, env *Env) (*Output, error) {
+	if env == nil || env.Ctx == nil || env.FS == nil {
+		return nil, fmt.Errorf("piglet: Env needs Ctx and FS")
+	}
+	ex := &executor{
+		env:  env,
+		rels: make(map[string]*Relation),
+		out:  &Output{Relations: make(map[string]*Relation)},
+	}
+	for _, s := range stmts {
+		if err := ex.exec(s); err != nil {
+			return nil, err
+		}
+	}
+	ex.out.Relations = ex.rels
+	return ex.out, nil
+}
+
+type executor struct {
+	env  *Env
+	rels map[string]*Relation
+	out  *Output
+}
+
+func (ex *executor) parallelism() int {
+	if ex.env.DefaultParallelism > 0 {
+		return ex.env.DefaultParallelism
+	}
+	return ex.env.Ctx.Parallelism()
+}
+
+func (ex *executor) relation(name string, line int) (*Relation, error) {
+	r, ok := ex.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("piglet: line %d: unknown relation %q", line, name)
+	}
+	return r, nil
+}
+
+// fresh wraps rows into a Relation with a SpatialDataset.
+func (ex *executor) fresh(rows []core.Tuple[Row]) *Relation {
+	ds := engine.Parallelize(ex.env.Ctx, rows, ex.parallelism())
+	return &Relation{rows: rows, sds: core.Wrap(ds)}
+}
+
+func (ex *executor) exec(s Statement) error {
+	switch st := s.(type) {
+	case Assign:
+		rel, err := ex.evalOp(st)
+		if err != nil {
+			return err
+		}
+		ex.rels[st.Target] = rel
+		return nil
+	case Dump:
+		rel, err := ex.relation(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		for _, kv := range rel.rows {
+			ex.out.Dumped = append(ex.out.Dumped, formatRow(st.Name, kv))
+		}
+		return nil
+	case Describe:
+		rel, err := ex.relation(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		timed, clustered := 0, 0
+		env := geom.EmptyEnvelope()
+		for _, kv := range rel.rows {
+			if kv.Key.HasTime() {
+				timed++
+			}
+			if kv.Value.Cluster > NotClustered {
+				clustered++
+			}
+			env = env.ExpandToInclude(kv.Key.Envelope())
+		}
+		parts := "unpartitioned"
+		if rel.sds != nil && rel.sds.Partitioner() != nil {
+			parts = fmt.Sprintf("%d spatial partitions", rel.sds.NumPartitions())
+		}
+		ex.out.Dumped = append(ex.out.Dumped, fmt.Sprintf(
+			"%s: %d rows, %d timed, %d clustered, extent %s, %s",
+			st.Name, len(rel.rows), timed, clustered, env, parts))
+		return nil
+	case Store:
+		rel, err := ex.relation(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		lines := make([]string, 0, len(rel.rows)+1)
+		lines = append(lines, workload.EventsCSVHeader)
+		for _, kv := range rel.rows {
+			e := kv.Value.Event
+			lines = append(lines, fmt.Sprintf("%d,%s,%d,%s", e.ID, e.Category, e.Time, e.WKT))
+		}
+		if err := ex.env.FS.Overwrite(st.Path, []byte(strings.Join(lines, "\n")+"\n")); err != nil {
+			return fmt.Errorf("piglet: line %d: storing %q: %w", st.Line, st.Path, err)
+		}
+		ex.out.Stored = append(ex.out.Stored, st.Path)
+		return nil
+	default:
+		return fmt.Errorf("piglet: unsupported statement %T", s)
+	}
+}
+
+func formatRow(rel string, kv core.Tuple[Row]) string {
+	r := kv.Value
+	if r.Group != "" {
+		return fmt.Sprintf("%s: (%s, %d)", rel, r.Group, r.Count)
+	}
+	base := fmt.Sprintf("%s: (%d, %s, %d, %s)", rel, r.Event.ID, r.Event.Category, r.Event.Time, r.Event.WKT)
+	if r.Cluster > NotClustered {
+		base += fmt.Sprintf(" cluster=%d", r.Cluster)
+	}
+	if r.Distance > 0 {
+		base += fmt.Sprintf(" dist=%.3f", r.Distance)
+	}
+	return base
+}
+
+func (ex *executor) evalOp(st Assign) (*Relation, error) {
+	switch op := st.Op.(type) {
+	case Load:
+		events, err := workload.ReadEventsCSV(ex.env.FS, op.Path)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rows := make([]core.Tuple[Row], 0, len(events))
+		for _, e := range events {
+			obj, err := e.ToSTObject()
+			if err != nil {
+				return nil, fmt.Errorf("piglet: line %d: event %d: %w", st.Line, e.ID, err)
+			}
+			rows = append(rows, engine.NewPair(obj, Row{Event: e, Cluster: NotClustered}))
+		}
+		return ex.fresh(rows), nil
+
+	case Filter:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		q, pred, expand, err := compilePredicate(op.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		var rows []core.Tuple[Row]
+		if rel.idx != nil {
+			rows, err = filterIndexed(rel.idx, q, op.Pred, expand)
+		} else {
+			rows, err = rel.sds.Filter(q, q.Envelope().ExpandBy(expand), pred)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		out := ex.fresh(rows)
+		return out, nil
+
+	case PartitionOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		objs := make([]stobject.STObject, len(rel.rows))
+		for i, kv := range rel.rows {
+			objs[i] = kv.Key
+		}
+		var sp partition.SpatialPartitioner
+		switch op.Kind {
+		case "grid":
+			sp, err = partition.NewGrid(op.Param, objs)
+		case "bsp":
+			sp, err = partition.NewBSP(partition.BSPConfig{MaxCost: op.Param}, objs)
+		default:
+			err = fmt.Errorf("unknown partitioner %q", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		parted, err := rel.sds.PartitionBy(sp)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		return &Relation{rows: rel.rows, sds: parted}, nil
+
+	case IndexOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := rel.sds.LiveIndex(op.Order, nil)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		return &Relation{rows: rel.rows, sds: rel.sds, idx: idx}, nil
+
+	case KNNOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		q, err := stobject.FromWKT(op.WKT)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		nbrs, err := rel.sds.KNN(q, op.K, nil)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rows := make([]core.Tuple[Row], len(nbrs))
+		for i, nb := range nbrs {
+			row := nb.Value
+			row.Distance = nb.Distance
+			rows[i] = engine.NewPair(nb.Key, row)
+		}
+		return ex.fresh(rows), nil
+
+	case ClusterOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		recs, _, err := rel.sds.Cluster(core.ClusterOptions{Eps: op.Eps, MinPts: op.MinPts})
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rows := make([]core.Tuple[Row], len(recs))
+		for i, rec := range recs {
+			row := rec.Value
+			row.Cluster = rec.Cluster
+			rows[i] = engine.NewPair(rec.Key, row)
+		}
+		return ex.fresh(rows), nil
+
+	case JoinOp:
+		left, err := ex.relation(op.Left, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.relation(op.Right, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		pred, expand, err := compileJoinPredicate(op.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		joined, err := core.Join(left.sds, right.sds, core.JoinOptions{
+			Predicate:      pred,
+			IndexOrder:     -1,
+			ProbeExpansion: expand,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		// The joined relation keeps the left row; the right event ID
+		// is recorded in the group field for inspection.
+		rows := make([]core.Tuple[Row], len(joined))
+		for i, jp := range joined {
+			row := jp.LeftVal
+			row.Group = fmt.Sprintf("%d/%d", jp.LeftVal.Event.ID, jp.RightVal.Event.ID)
+			rows[i] = engine.NewPair(jp.LeftKey, row)
+		}
+		return ex.fresh(rows), nil
+
+	case Limit:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		n := op.N
+		if n > len(rel.rows) {
+			n = len(rel.rows)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return ex.fresh(rel.rows[:n]), nil
+
+	case SampleOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		if op.Fraction < 0 || op.Fraction > 1 {
+			return nil, fmt.Errorf("piglet: line %d: sample fraction %v outside [0, 1]", st.Line, op.Fraction)
+		}
+		sampled, err := rel.sds.Dataset().Sample(op.Fraction, op.Seed).Collect()
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		return ex.fresh(sampled), nil
+
+	case DistinctOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[int]bool, len(rel.rows))
+		var rows []core.Tuple[Row]
+		for _, kv := range rel.rows {
+			if !seen[kv.Value.Event.ID] {
+				seen[kv.Value.Event.ID] = true
+				rows = append(rows, kv)
+			}
+		}
+		return ex.fresh(rows), nil
+
+	case UnionOp:
+		left, err := ex.relation(op.Left, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.relation(op.Right, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]core.Tuple[Row], 0, len(left.rows)+len(right.rows))
+		rows = append(rows, left.rows...)
+		rows = append(rows, right.rows...)
+		return ex.fresh(rows), nil
+
+	case BufferOp:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		if op.Radius <= 0 {
+			return nil, fmt.Errorf("piglet: line %d: buffer radius must be > 0, got %v", st.Line, op.Radius)
+		}
+		rows := make([]core.Tuple[Row], 0, len(rel.rows))
+		for _, kv := range rel.rows {
+			disc, ok := geom.BufferPoint(kv.Key.Centroid(), op.Radius, 32)
+			if !ok {
+				return nil, fmt.Errorf("piglet: line %d: buffering failed", st.Line)
+			}
+			key := stobject.New(geom.Geometry(disc))
+			if iv, has := kv.Key.Time(); has {
+				key = stobject.NewWithInterval(disc, iv)
+			}
+			rows = append(rows, engine.NewPair(key, kv.Value))
+		}
+		return ex.fresh(rows), nil
+
+	case GroupCount:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		keyOf := func(r Row) string { return r.Event.Category }
+		if op.Field == "cluster" {
+			keyOf = func(r Row) string { return fmt.Sprintf("cluster-%d", r.Cluster) }
+		}
+		pairs := engine.Map(rel.sds.Dataset(), func(kv core.Tuple[Row]) engine.Pair[string, int64] {
+			return engine.NewPair(keyOf(kv.Value), int64(1))
+		})
+		counts, err := engine.CountByKey(pairs)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([]core.Tuple[Row], 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, engine.NewPair(stobject.STObject{},
+				Row{Group: k, Count: counts[k], Cluster: NotClustered}))
+		}
+		return ex.fresh(rows), nil
+
+	default:
+		return nil, fmt.Errorf("piglet: line %d: unsupported operator %T", st.Line, st.Op)
+	}
+}
+
+// compilePredicate turns a filter predicate literal into a query
+// object, a core predicate and a pruning expansion.
+func compilePredicate(p Predicate) (stobject.STObject, stobject.Predicate, float64, error) {
+	g, err := geom.ParseWKT(p.WKT)
+	if err != nil {
+		return stobject.STObject{}, nil, 0, err
+	}
+	var q stobject.STObject
+	if p.HasTime {
+		iv, err := temporal.NewInterval(temporal.Instant(p.Begin), temporal.Instant(p.End))
+		if err != nil {
+			return stobject.STObject{}, nil, 0, err
+		}
+		q = stobject.NewWithInterval(g, iv)
+	} else {
+		q = stobject.New(g)
+	}
+	switch p.Kind {
+	case "intersects":
+		return q, stobject.Intersects, 0, nil
+	case "contains":
+		return q, stobject.Contains, 0, nil
+	case "containedby":
+		return q, stobject.ContainedBy, 0, nil
+	case "coveredby":
+		return q, stobject.CoveredBy, 0, nil
+	case "withindistance":
+		return q, stobject.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
+	default:
+		return stobject.STObject{}, nil, 0, fmt.Errorf("unknown predicate %q", p.Kind)
+	}
+}
+
+func compileJoinPredicate(p Predicate) (stobject.Predicate, float64, error) {
+	switch p.Kind {
+	case "intersects":
+		return stobject.Intersects, 0, nil
+	case "contains":
+		return stobject.Contains, 0, nil
+	case "containedby":
+		return stobject.ContainedBy, 0, nil
+	case "coveredby":
+		return stobject.CoveredBy, 0, nil
+	case "withindistance":
+		return stobject.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown join predicate %q", p.Kind)
+	}
+}
+
+// filterIndexed dispatches an indexed filter by predicate kind.
+func filterIndexed(idx *core.IndexedDataset[Row], q stobject.STObject, p Predicate, expand float64) ([]core.Tuple[Row], error) {
+	switch p.Kind {
+	case "intersects":
+		return idx.Intersects(q)
+	case "contains":
+		return idx.Contains(q)
+	case "containedby":
+		return idx.ContainedBy(q)
+	case "coveredby":
+		// CoveredBy shares ContainedBy's candidate set; refine
+		// exactly.
+		all, err := idx.Intersects(q)
+		if err != nil {
+			return nil, err
+		}
+		var out []core.Tuple[Row]
+		for _, kv := range all {
+			if kv.Key.CoveredBy(q) {
+				out = append(out, kv)
+			}
+		}
+		return out, nil
+	case "withindistance":
+		return idx.WithinDistance(q, p.Distance, nil)
+	default:
+		return nil, fmt.Errorf("unknown predicate %q", p.Kind)
+	}
+}

@@ -1,0 +1,151 @@
+// Package piglet implements the Pig Latin derivative the paper's demo
+// uses for scripting spatio-temporal pipelines without writing Scala
+// (here: Go). The language extends a Pig-like core (LOAD, FILTER,
+// JOIN, GROUP, FOREACH, LIMIT, DUMP, STORE) with the spatio-temporal
+// operators STARK adds: spatial predicates, PARTITION BY GRID/BSP,
+// INDEX, KNN and CLUSTER.
+//
+// Example script:
+//
+//	events  = LOAD 'data/events.csv';
+//	parted  = PARTITION events BY BSP 500;
+//	inside  = FILTER parted BY CONTAINEDBY('POLYGON ((0 0, 50 0, 50 50, 0 50, 0 0))', 100, 900);
+//	near    = FILTER events BY WITHINDISTANCE('POINT (10 20)', 5.0);
+//	nearest = KNN events QUERY 'POINT (10 20)' K 5;
+//	groups  = CLUSTER events EPS 2.0 MINPTS 4;
+//	DUMP nearest;
+//	STORE inside INTO 'out/inside.csv';
+package piglet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // '...' literal
+	tokNumber
+	tokEquals
+	tokComma
+	tokSemicolon
+	tokLParen
+	tokRParen
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokEquals:
+		return "'='"
+	case tokComma:
+		return "','"
+	case tokSemicolon:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex tokenises a script. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokEquals, "=", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemicolon, ";", line})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				if src[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("piglet: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], line})
+			i = j + 1
+		case isDigit(c) || (c == '-' && i+1 < len(src) && isDigit(src[i+1])):
+			j := i + 1
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || src[j] == '-' || src[j] == '+') {
+				// A minus only continues a number right after e/E.
+				if (src[j] == '-' || src[j] == '+') && !(src[j-1] == 'e' || src[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("piglet: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// keywordIs reports whether tok is the given keyword,
+// case-insensitively.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

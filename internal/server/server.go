@@ -1,0 +1,389 @@
+// Package server implements the web front end of the demonstration:
+// an HTTP service that executes spatio-temporal queries over a loaded
+// event dataset and returns GeoJSON, plus an embedded single-page UI
+// mirroring the paper's query interface (spatial window, time window,
+// predicate selection, kNN and clustering).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"stark/internal/core"
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/stobject"
+	"stark/internal/temporal"
+	"stark/internal/workload"
+)
+
+// Server serves queries over one event dataset.
+type Server struct {
+	ctx *engine.Context
+	ds  *core.SpatialDataset[workload.Event]
+	mux *http.ServeMux
+}
+
+// New builds a server over the given events.
+func New(ctx *engine.Context, events []workload.Event) (*Server, error) {
+	tuples, dropped := workload.EventTuples(events)
+	if dropped > 0 {
+		return nil, fmt.Errorf("server: %d events with invalid WKT", dropped)
+	}
+	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
+	ds.Cache()
+	s := &Server{ctx: ctx, ds: ds, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/knn", s.handleKNN)
+	s.mux.HandleFunc("/api/cluster", s.handleCluster)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- request/response types ----
+
+// QueryRequest selects events matching a predicate against a query
+// window.
+type QueryRequest struct {
+	// Predicate is one of intersects, contains, containedby,
+	// coveredby, withindistance.
+	Predicate string `json:"predicate"`
+	// WKT is the query geometry.
+	WKT string `json:"wkt"`
+	// Begin/End give the optional temporal window; both zero means
+	// spatial-only.
+	Begin int64 `json:"begin"`
+	End   int64 `json:"end"`
+	// HasTime marks the temporal window as present (so Begin=End=0 is
+	// expressible).
+	HasTime bool `json:"hasTime"`
+	// Distance parameterises withindistance.
+	Distance float64 `json:"distance"`
+}
+
+// KNNRequest finds the K events nearest to a point.
+type KNNRequest struct {
+	WKT string `json:"wkt"`
+	K   int    `json:"k"`
+}
+
+// ClusterRequest runs DBSCAN over the dataset.
+type ClusterRequest struct {
+	Eps    float64 `json:"eps"`
+	MinPts int     `json:"minPts"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+func (s *Server) queryObject(req QueryRequest) (stobject.STObject, error) {
+	g, err := geom.ParseWKT(req.WKT)
+	if err != nil {
+		return stobject.STObject{}, err
+	}
+	if !req.HasTime {
+		return stobject.New(g), nil
+	}
+	iv, err := temporal.NewInterval(temporal.Instant(req.Begin), temporal.Instant(req.End))
+	if err != nil {
+		return stobject.STObject{}, err
+	}
+	return stobject.NewWithInterval(g, iv), nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	q, err := s.queryObject(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	var hits []core.Tuple[workload.Event]
+	switch strings.ToLower(req.Predicate) {
+	case "intersects", "":
+		hits, err = s.ds.Intersects(q)
+	case "contains":
+		hits, err = s.ds.Contains(q)
+	case "containedby":
+		hits, err = s.ds.ContainedBy(q)
+	case "coveredby":
+		hits, err = s.ds.CoveredBy(q)
+	case "withindistance":
+		if req.Distance <= 0 {
+			httpError(w, http.StatusBadRequest, "withindistance needs distance > 0")
+			return
+		}
+		hits, err = s.ds.WithinDistance(q, req.Distance, nil)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown predicate %q", req.Predicate)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	writeJSON(w, featureCollection(hits, nil, nil))
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req KNNRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	q, err := stobject.FromWKT(req.WKT)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be >= 1")
+		return
+	}
+	nbrs, err := s.ds.KNN(q, req.K, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "knn failed: %v", err)
+		return
+	}
+	hits := make([]core.Tuple[workload.Event], len(nbrs))
+	dists := make([]float64, len(nbrs))
+	for i, nb := range nbrs {
+		hits[i] = engine.NewPair(nb.Key, nb.Value)
+		dists[i] = nb.Distance
+	}
+	writeJSON(w, featureCollection(hits, dists, nil))
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ClusterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	recs, n, err := s.ds.Cluster(core.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "cluster failed: %v", err)
+		return
+	}
+	hits := make([]core.Tuple[workload.Event], len(recs))
+	labels := make([]int, len(recs))
+	for i, rec := range recs {
+		hits[i] = engine.NewPair(rec.Key, rec.Value)
+		labels[i] = rec.Cluster
+	}
+	fc := featureCollection(hits, nil, labels)
+	fc["numClusters"] = n
+	writeJSON(w, fc)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	n, err := s.ds.Count()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "count failed: %v", err)
+		return
+	}
+	snap := s.ctx.Metrics().Snapshot()
+	writeJSON(w, map[string]interface{}{
+		"events":          n,
+		"partitions":      s.ds.NumPartitions(),
+		"parallelism":     s.ctx.Parallelism(),
+		"tasksLaunched":   snap.TasksLaunched,
+		"tasksSkipped":    snap.TasksSkipped,
+		"elementsScanned": snap.ElementsScanned,
+	})
+}
+
+// featureCollection renders events as GeoJSON. dists and labels are
+// optional parallel slices adding distance / cluster properties.
+func featureCollection(hits []core.Tuple[workload.Event], dists []float64, labels []int) map[string]interface{} {
+	features := make([]map[string]interface{}, 0, len(hits))
+	for i, kv := range hits {
+		props := map[string]interface{}{
+			"id":       kv.Value.ID,
+			"category": kv.Value.Category,
+			"time":     kv.Value.Time,
+		}
+		if dists != nil {
+			props["distance"] = dists[i]
+		}
+		if labels != nil {
+			props["cluster"] = labels[i]
+		}
+		features = append(features, map[string]interface{}{
+			"type":       "Feature",
+			"geometry":   geometryJSON(kv.Key.Geo()),
+			"properties": props,
+		})
+	}
+	return map[string]interface{}{
+		"type":     "FeatureCollection",
+		"features": features,
+		"count":    len(hits),
+	}
+}
+
+// geometryJSON converts a geometry to its GeoJSON representation.
+func geometryJSON(g geom.Geometry) map[string]interface{} {
+	switch t := g.(type) {
+	case geom.Point:
+		return map[string]interface{}{"type": "Point", "coordinates": []float64{t.X, t.Y}}
+	case geom.MultiPoint:
+		coords := make([][]float64, t.NumPoints())
+		for i := 0; i < t.NumPoints(); i++ {
+			p := t.PointAt(i)
+			coords[i] = []float64{p.X, p.Y}
+		}
+		return map[string]interface{}{"type": "MultiPoint", "coordinates": coords}
+	case geom.LineString:
+		coords := make([][]float64, t.NumPoints())
+		for i := 0; i < t.NumPoints(); i++ {
+			p := t.PointAt(i)
+			coords[i] = []float64{p.X, p.Y}
+		}
+		return map[string]interface{}{"type": "LineString", "coordinates": coords}
+	case geom.Polygon:
+		rings := make([][][]float64, 0, 1+t.NumHoles())
+		shell := t.Shell()
+		ring := make([][]float64, shell.NumPoints())
+		for i := 0; i < shell.NumPoints(); i++ {
+			p := shell.PointAt(i)
+			ring[i] = []float64{p.X, p.Y}
+		}
+		rings = append(rings, ring)
+		for h := 0; h < t.NumHoles(); h++ {
+			hr := t.HoleAt(h)
+			ring := make([][]float64, hr.NumPoints())
+			for i := 0; i < hr.NumPoints(); i++ {
+				p := hr.PointAt(i)
+				ring[i] = []float64{p.X, p.Y}
+			}
+			rings = append(rings, ring)
+		}
+		return map[string]interface{}{"type": "Polygon", "coordinates": rings}
+	default:
+		return map[string]interface{}{"type": "GeometryCollection", "geometries": []interface{}{}}
+	}
+}
+
+// indexHTML is the embedded demonstration UI: predicate form, time
+// window pickers and a result pane, in the spirit of the paper's
+// Figure 3 front end (map widgets replaced by WKT input, stdlib-only).
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>STARK demo</title>
+<style>
+body { font-family: sans-serif; margin: 2rem; max-width: 60rem; }
+fieldset { margin-bottom: 1rem; }
+textarea, input, select { font-family: monospace; }
+pre { background: #f4f4f4; padding: 1rem; overflow: auto; max-height: 24rem; }
+</style>
+</head>
+<body>
+<h1>STARK spatio-temporal query demo</h1>
+<fieldset>
+<legend>Filter</legend>
+<label>Predicate
+<select id="predicate">
+<option>intersects</option><option>contains</option>
+<option>containedby</option><option>coveredby</option>
+<option>withindistance</option>
+</select></label>
+<label>Distance <input id="distance" value="10" size="6"></label><br>
+<label>Query WKT<br>
+<textarea id="wkt" rows="3" cols="70">POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))</textarea></label><br>
+<label><input type="checkbox" id="hasTime"> Time window</label>
+<label>begin <input id="begin" value="0" size="10"></label>
+<label>end <input id="end" value="1000000" size="10"></label><br>
+<button onclick="query()">Run filter</button>
+</fieldset>
+<fieldset>
+<legend>kNN</legend>
+<label>Point WKT <input id="knnwkt" value="POINT (50 50)" size="30"></label>
+<label>k <input id="k" value="5" size="4"></label>
+<button onclick="knn()">Run kNN</button>
+</fieldset>
+<fieldset>
+<legend>Clustering</legend>
+<label>eps <input id="eps" value="5" size="6"></label>
+<label>minPts <input id="minpts" value="4" size="4"></label>
+<button onclick="clusterRun()">Run DBSCAN</button>
+</fieldset>
+<button onclick="stats()">Stats</button>
+<h2>Result</h2>
+<pre id="out">–</pre>
+<script>
+async function post(url, body) {
+  const r = await fetch(url, {method: 'POST', body: JSON.stringify(body)});
+  document.getElementById('out').textContent = JSON.stringify(await r.json(), null, 2);
+}
+function query() {
+  post('/api/query', {
+    predicate: document.getElementById('predicate').value,
+    wkt: document.getElementById('wkt').value,
+    hasTime: document.getElementById('hasTime').checked,
+    begin: parseInt(document.getElementById('begin').value),
+    end: parseInt(document.getElementById('end').value),
+    distance: parseFloat(document.getElementById('distance').value),
+  });
+}
+function knn() {
+  post('/api/knn', {
+    wkt: document.getElementById('knnwkt').value,
+    k: parseInt(document.getElementById('k').value),
+  });
+}
+function clusterRun() {
+  post('/api/cluster', {
+    eps: parseFloat(document.getElementById('eps').value),
+    minPts: parseInt(document.getElementById('minpts').value),
+  });
+}
+async function stats() {
+  const r = await fetch('/api/stats');
+  document.getElementById('out').textContent = JSON.stringify(await r.json(), null, 2);
+}
+</script>
+</body>
+</html>
+`

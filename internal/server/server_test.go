@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/workload"
+)
+
+func testServer(t *testing.T, n int) *Server {
+	t.Helper()
+	events := workload.Events(workload.Config{N: n, Seed: 11, Width: 100, Height: 100, TimeRange: 1000})
+	s, err := New(engine.NewContext(4), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, s *Server, path string, body interface{}) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: bad JSON response %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, out
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer(t, 10)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "STARK") {
+		t.Error("index page missing title")
+	}
+	// Unknown paths 404.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpointSpatioTemporal(t *testing.T) {
+	s := testServer(t, 300)
+	rec, out := postJSON(t, s, "/api/query", QueryRequest{
+		Predicate: "containedby",
+		WKT:       "POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))",
+		HasTime:   true,
+		Begin:     0,
+		End:       500,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	count := int(out["count"].(float64))
+	if count == 0 || count == 300 {
+		t.Errorf("count = %d, want a proper temporal subset", count)
+	}
+	feats := out["features"].([]interface{})
+	for _, f := range feats {
+		props := f.(map[string]interface{})["properties"].(map[string]interface{})
+		if props["time"].(float64) > 500 {
+			t.Fatal("temporal window violated")
+		}
+	}
+}
+
+func TestQueryEndpointWithinDistance(t *testing.T) {
+	s := testServer(t, 200)
+	rec, out := postJSON(t, s, "/api/query", QueryRequest{
+		Predicate: "withindistance",
+		WKT:       "POINT (50 50)",
+		HasTime:   true,
+		Begin:     0, End: 1000,
+		Distance: 30,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if int(out["count"].(float64)) == 0 {
+		t.Error("no results within 30 of center")
+	}
+	// Missing distance errors.
+	rec, _ = postJSON(t, s, "/api/query", QueryRequest{
+		Predicate: "withindistance", WKT: "POINT (0 0)",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing distance status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s := testServer(t, 10)
+	rec, _ := postJSON(t, s, "/api/query", QueryRequest{Predicate: "nope", WKT: "POINT (0 0)"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad predicate status = %d", rec.Code)
+	}
+	rec, _ = postJSON(t, s, "/api/query", QueryRequest{WKT: "BAD"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad wkt status = %d", rec.Code)
+	}
+	rec, _ = postJSON(t, s, "/api/query", QueryRequest{WKT: "POINT (0 0)", HasTime: true, Begin: 9, End: 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("inverted interval status = %d", rec.Code)
+	}
+	// GET not allowed.
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/query", nil))
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec2.Code)
+	}
+	// Malformed JSON.
+	rec3 := httptest.NewRecorder()
+	s.ServeHTTP(rec3, httptest.NewRequest(http.MethodPost, "/api/query", strings.NewReader("{")))
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", rec3.Code)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	s := testServer(t, 200)
+	rec, out := postJSON(t, s, "/api/knn", KNNRequest{WKT: "POINT (50 50)", K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	feats := out["features"].([]interface{})
+	if len(feats) != 5 {
+		t.Fatalf("features = %d", len(feats))
+	}
+	// Distances present and ascending.
+	prev := -1.0
+	for _, f := range feats {
+		d := f.(map[string]interface{})["properties"].(map[string]interface{})["distance"].(float64)
+		if d < prev {
+			t.Fatal("distances not ascending")
+		}
+		prev = d
+	}
+	rec, _ = postJSON(t, s, "/api/knn", KNNRequest{WKT: "POINT (0 0)", K: 0})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("k=0 status = %d", rec.Code)
+	}
+	rec, _ = postJSON(t, s, "/api/knn", KNNRequest{WKT: "JUNK", K: 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad wkt status = %d", rec.Code)
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	s := testServer(t, 300)
+	rec, out := postJSON(t, s, "/api/cluster", ClusterRequest{Eps: 5, MinPts: 4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	if _, ok := out["numClusters"]; !ok {
+		t.Error("missing numClusters")
+	}
+	feats := out["features"].([]interface{})
+	if len(feats) != 300 {
+		t.Errorf("features = %d", len(feats))
+	}
+	props := feats[0].(map[string]interface{})["properties"].(map[string]interface{})
+	if _, ok := props["cluster"]; !ok {
+		t.Error("missing cluster label")
+	}
+	rec, _ = postJSON(t, s, "/api/cluster", ClusterRequest{Eps: -1, MinPts: 4})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad eps status = %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t, 50)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if int(out["events"].(float64)) != 50 {
+		t.Errorf("events = %v", out["events"])
+	}
+}
+
+func TestNewRejectsBadWKT(t *testing.T) {
+	events := []workload.Event{{ID: 1, WKT: "NOT WKT"}}
+	if _, err := New(engine.NewContext(2), events); err == nil {
+		t.Error("bad events must fail")
+	}
+}
+
+func TestGeometryJSONShapes(t *testing.T) {
+	pt := geometryJSON(geom.NewPoint(1, 2))
+	if pt["type"] != "Point" {
+		t.Errorf("point type = %v", pt["type"])
+	}
+	ls := geometryJSON(geom.MustLineString(geom.NewPoint(0, 0), geom.NewPoint(1, 1)))
+	if ls["type"] != "LineString" {
+		t.Errorf("ls type = %v", ls["type"])
+	}
+	poly := geometryJSON(geom.MustPolygon(
+		geom.NewPoint(0, 0), geom.NewPoint(1, 0), geom.NewPoint(1, 1)))
+	if poly["type"] != "Polygon" {
+		t.Errorf("poly type = %v", poly["type"])
+	}
+	rings := poly["coordinates"].([][][]float64)
+	if len(rings) != 1 || len(rings[0]) != 4 {
+		t.Errorf("rings = %v", rings)
+	}
+	mp := geometryJSON(geom.NewMultiPoint([]geom.Point{{X: 0, Y: 0}}))
+	if mp["type"] != "MultiPoint" {
+		t.Errorf("mp type = %v", mp["type"])
+	}
+}

@@ -1,0 +1,158 @@
+package temporal
+
+// This file implements Allen's interval algebra: the thirteen
+// exhaustive, pairwise-disjoint relations between two intervals.
+// STARK's temporal predicates (Intersects, Contains) are unions of
+// Allen relations; exposing the full algebra lets users express
+// precise temporal conditions (e.g. "events that started during the
+// storm but outlasted it" = OverlappedBy).
+//
+// The definitions follow Allen (1983) on closed intervals. For
+// degenerate (instant) intervals some relations collapse; the
+// classification remains exhaustive and disjoint because it is
+// decided purely by the ordering of the four endpoints.
+
+// Relation is one of Allen's thirteen interval relations.
+type Relation int
+
+const (
+	// RelBefore: a ends strictly before b starts (a.End < b.Start).
+	RelBefore Relation = iota
+	// RelMeets: a ends exactly where b starts (a.End == b.Start),
+	// and neither interval is contained in the other.
+	RelMeets
+	// RelOverlaps: a starts first, they overlap, b ends last.
+	RelOverlaps
+	// RelStarts: same start, a ends first.
+	RelStarts
+	// RelDuring: a lies strictly inside b.
+	RelDuring
+	// RelFinishes: same end, a starts last.
+	RelFinishes
+	// RelEqual: identical intervals.
+	RelEqual
+	// RelFinishedBy: same end, a starts first (inverse of Finishes).
+	RelFinishedBy
+	// RelContains: b lies strictly inside a (inverse of During).
+	RelContains
+	// RelStartedBy: same start, b ends first (inverse of Starts).
+	RelStartedBy
+	// RelOverlappedBy: b starts first, they overlap, a ends last.
+	RelOverlappedBy
+	// RelMetBy: b ends exactly where a starts (inverse of Meets).
+	RelMetBy
+	// RelAfter: a starts strictly after b ends.
+	RelAfter
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case RelBefore:
+		return "before"
+	case RelMeets:
+		return "meets"
+	case RelOverlaps:
+		return "overlaps"
+	case RelStarts:
+		return "starts"
+	case RelDuring:
+		return "during"
+	case RelFinishes:
+		return "finishes"
+	case RelEqual:
+		return "equal"
+	case RelFinishedBy:
+		return "finishedBy"
+	case RelContains:
+		return "contains"
+	case RelStartedBy:
+		return "startedBy"
+	case RelOverlappedBy:
+		return "overlappedBy"
+	case RelMetBy:
+		return "metBy"
+	case RelAfter:
+		return "after"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the Allen relation of a with respect to b.
+func Classify(a, b Interval) Relation {
+	switch {
+	case a.Start == b.Start && a.End == b.End:
+		return RelEqual
+	case a.End < b.Start:
+		return RelBefore
+	case b.End < a.Start:
+		return RelAfter
+	case a.Start == b.Start:
+		if a.End < b.End {
+			return RelStarts
+		}
+		return RelStartedBy
+	case a.End == b.End:
+		if a.Start > b.Start {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case a.End == b.Start:
+		return RelMeets
+	case b.End == a.Start:
+		return RelMetBy
+	case a.Start > b.Start && a.End < b.End:
+		return RelDuring
+	case b.Start > a.Start && b.End < a.End:
+		return RelContains
+	case a.Start < b.Start:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}
+
+// Inverse returns the relation of b with respect to a given the
+// relation of a with respect to b.
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	default:
+		return RelEqual
+	}
+}
+
+// RelationPredicate returns a Predicate that holds when Classify(a, b)
+// is any of the given relations — the bridge from Allen relations to
+// STARK's predicate-parameterised operators.
+func RelationPredicate(rels ...Relation) Predicate {
+	set := make(map[Relation]bool, len(rels))
+	for _, r := range rels {
+		set[r] = true
+	}
+	return func(a, b Interval) bool { return set[Classify(a, b)] }
+}

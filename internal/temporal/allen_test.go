@@ -1,0 +1,116 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyCanonicalCases(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want Relation
+	}{
+		{MustInterval(0, 2), MustInterval(5, 9), RelBefore},
+		{MustInterval(5, 9), MustInterval(0, 2), RelAfter},
+		{MustInterval(0, 5), MustInterval(5, 9), RelMeets},
+		{MustInterval(5, 9), MustInterval(0, 5), RelMetBy},
+		{MustInterval(0, 6), MustInterval(4, 9), RelOverlaps},
+		{MustInterval(4, 9), MustInterval(0, 6), RelOverlappedBy},
+		{MustInterval(0, 4), MustInterval(0, 9), RelStarts},
+		{MustInterval(0, 9), MustInterval(0, 4), RelStartedBy},
+		{MustInterval(3, 6), MustInterval(0, 9), RelDuring},
+		{MustInterval(0, 9), MustInterval(3, 6), RelContains},
+		{MustInterval(5, 9), MustInterval(0, 9), RelFinishes},
+		{MustInterval(0, 9), MustInterval(5, 9), RelFinishedBy},
+		{MustInterval(2, 7), MustInterval(2, 7), RelEqual},
+	}
+	for _, c := range cases {
+		if got := Classify(c.a, c.b); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	names := map[Relation]string{
+		RelBefore: "before", RelMeets: "meets", RelOverlaps: "overlaps",
+		RelStarts: "starts", RelDuring: "during", RelFinishes: "finishes",
+		RelEqual: "equal", RelFinishedBy: "finishedBy", RelContains: "contains",
+		RelStartedBy: "startedBy", RelOverlappedBy: "overlappedBy",
+		RelMetBy: "metBy", RelAfter: "after",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if Relation(99).String() != "unknown" {
+		t.Error("unknown relation name")
+	}
+}
+
+func TestPropClassifyInverse(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		return Classify(a, b).Inverse() == Classify(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectsIsUnionOfAllenRelations(t *testing.T) {
+	// Intersects ⇔ not (before or after).
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		r := Classify(a, b)
+		return a.Intersects(b) == (r != RelBefore && r != RelAfter)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContainsIsUnionOfAllenRelations(t *testing.T) {
+	// a.Contains(b) ⇔ relation(b, a) ∈ {during, starts, finishes,
+	// equal} ⇔ relation(a, b) ∈ {contains, startedBy, finishedBy,
+	// equal}.
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		r := Classify(a, b)
+		want := r == RelContains || r == RelStartedBy || r == RelFinishedBy || r == RelEqual
+		return a.Contains(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropExactlyOneRelationHolds(t *testing.T) {
+	// Classification is deterministic and single-valued; check that
+	// RelationPredicate over the full algebra always holds.
+	all := RelationPredicate(
+		RelBefore, RelMeets, RelOverlaps, RelStarts, RelDuring,
+		RelFinishes, RelEqual, RelFinishedBy, RelContains,
+		RelStartedBy, RelOverlappedBy, RelMetBy, RelAfter)
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		return all(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationPredicate(t *testing.T) {
+	overlapping := RelationPredicate(RelOverlaps, RelOverlappedBy)
+	if !overlapping(MustInterval(0, 6), MustInterval(4, 9)) {
+		t.Error("overlapping pair rejected")
+	}
+	if overlapping(MustInterval(0, 2), MustInterval(4, 9)) {
+		t.Error("disjoint pair accepted")
+	}
+	if overlapping(MustInterval(2, 4), MustInterval(0, 9)) {
+		t.Error("during pair accepted by overlaps-only predicate")
+	}
+}

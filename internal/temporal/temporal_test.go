@@ -1,0 +1,190 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInterval(t *testing.T) {
+	if _, err := NewInterval(5, 3); err == nil {
+		t.Error("expected error for inverted interval")
+	}
+	iv, err := NewInterval(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Length() != 2 {
+		t.Errorf("length = %d", iv.Length())
+	}
+}
+
+func TestInstantInterval(t *testing.T) {
+	iv := At(7)
+	if !iv.IsInstant() {
+		t.Error("At must be degenerate")
+	}
+	if iv.Length() != 0 {
+		t.Errorf("instant length = %d", iv.Length())
+	}
+	if !iv.ContainsInstant(7) || iv.ContainsInstant(8) {
+		t.Error("instant containment wrong")
+	}
+	if iv.String() != "@7" {
+		t.Errorf("String = %q", iv.String())
+	}
+	if MustInterval(1, 2).String() != "[1, 2]" {
+		t.Errorf("String = %q", MustInterval(1, 2).String())
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{MustInterval(0, 10), MustInterval(5, 15), true},
+		{MustInterval(0, 10), MustInterval(10, 20), true}, // closed endpoint contact
+		{MustInterval(0, 10), MustInterval(11, 20), false},
+		{At(5), MustInterval(0, 10), true},
+		{At(5), At(5), true},
+		{At(5), At(6), false},
+		{MustInterval(0, 100), MustInterval(40, 60), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: %v ∩ %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("case %d swapped: got %v", i, got)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := MustInterval(0, 100)
+	if !outer.Contains(MustInterval(10, 20)) {
+		t.Error("nested containment failed")
+	}
+	if !outer.Contains(outer) {
+		t.Error("self containment failed")
+	}
+	if outer.Contains(MustInterval(50, 150)) {
+		t.Error("overhang must not be contained")
+	}
+	if !outer.Contains(At(0)) || !outer.Contains(At(100)) {
+		t.Error("endpoints must be contained (closed interval)")
+	}
+	if !ContainedBy(At(5), outer) {
+		t.Error("ContainedBy failed")
+	}
+}
+
+func TestBeforeAfterMeets(t *testing.T) {
+	a := MustInterval(0, 5)
+	b := MustInterval(6, 10)
+	c := MustInterval(5, 10)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before wrong")
+	}
+	if !b.After(a) {
+		t.Error("After wrong")
+	}
+	if !a.Meets(c) {
+		t.Error("Meets wrong")
+	}
+	if a.Before(c) {
+		t.Error("meeting intervals are not Before (closed ends touch)")
+	}
+}
+
+func TestUnionIntersection(t *testing.T) {
+	a := MustInterval(0, 10)
+	b := MustInterval(5, 20)
+	u := a.Union(b)
+	if u.Start != 0 || u.End != 20 {
+		t.Errorf("union = %v", u)
+	}
+	inter, ok := a.Intersection(b)
+	if !ok || inter.Start != 5 || inter.End != 10 {
+		t.Errorf("intersection = %v ok=%v", inter, ok)
+	}
+	if _, ok := a.Intersection(MustInterval(50, 60)); ok {
+		t.Error("disjoint intersection must be empty")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := MustInterval(0, 5)
+	if d := a.Distance(MustInterval(8, 10)); d != 3 {
+		t.Errorf("gap = %d, want 3", d)
+	}
+	if d := MustInterval(8, 10).Distance(a); d != 3 {
+		t.Errorf("gap reversed = %d, want 3", d)
+	}
+	if d := a.Distance(MustInterval(3, 10)); d != 0 {
+		t.Errorf("overlap gap = %d", d)
+	}
+}
+
+func normPair(x, y int32) Interval {
+	a, b := int64(x), int64(y)
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Start: Instant(a), End: Instant(b)}
+}
+
+func TestPropIntersectsSymmetric(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContainsImpliesIntersects(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		return !a.Contains(b) || a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionCoversBoth(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectionWithinBoth(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		inter, ok := a.Intersection(b)
+		if !ok {
+			return !a.Intersects(b)
+		}
+		return a.Contains(inter) && b.Contains(inter)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistanceZeroIffIntersects(t *testing.T) {
+	f := func(x1, y1, x2, y2 int32) bool {
+		a, b := normPair(x1, y1), normPair(x2, y2)
+		return (a.Distance(b) == 0) == a.Intersects(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
