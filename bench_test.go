@@ -3,18 +3,20 @@
 //
 //	go test -bench=. -benchmem
 //
-// The sizes here are scaled down so the suite completes quickly; the
-// published numbers in EXPERIMENTS.md come from cmd/stark-bench at
-// the paper's N = 1,000,000.
+// The query-level benchmarks drive the public stark DSL — the surface
+// users run — while the substrate micro-benchmarks at the bottom
+// exercise internals directly. The sizes here are scaled down so the
+// suite completes quickly; the published numbers in EXPERIMENTS.md
+// come from cmd/stark-bench at the paper's N = 1,000,000.
 package stark_test
 
 import (
 	"testing"
 
+	"stark"
 	"stark/internal/baselines"
 	"stark/internal/bench"
 	"stark/internal/cluster"
-	"stark/internal/core"
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/index"
@@ -29,7 +31,7 @@ func benchCfg() bench.Config {
 	return bench.Config{N: benchN, Seed: 42, Dist: workload.Skewed}
 }
 
-func benchTuples(b *testing.B, n int) []baselines.Tuple {
+func benchTuples(b *testing.B, n int) []stark.Tuple[int] {
 	b.Helper()
 	return workload.SpatialTuples(workload.Config{
 		N: n, Seed: 42, Dist: workload.Skewed, Clusters: 5, Spread: 6,
@@ -41,35 +43,25 @@ func benchTuples(b *testing.B, n int) []baselines.Tuple {
 // bar of the figure. ----
 
 func BenchmarkFigure4STARKNoPartitioning(b *testing.B) {
-	ctx := engine.NewContext(0)
-	tuples := benchTuples(b, benchN)
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
+	ctx := stark.NewContext(0)
+	ds := stark.Parallelize(ctx, benchTuples(b, benchN))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
+		if _, err := stark.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFigure4STARKBSP(b *testing.B) {
-	ctx := engine.NewContext(0)
-	tuples := benchTuples(b, benchN)
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: benchN / 32}, objs)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ds, err := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism())).PartitionBy(bsp)
-	if err != nil {
+	ctx := stark.NewContext(0)
+	ds := stark.Parallelize(ctx, benchTuples(b, benchN)).PartitionBy(stark.BSP(benchN / 32))
+	if err := ds.Run(); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
+		if _, err := stark.SelfJoinWithinDistanceCount(ds, 0.25, -1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,17 +153,17 @@ func BenchmarkPartitionersVoronoiSkewed(b *testing.B) {
 	}
 }
 
-// ---- E2: indexing modes (range filter) ----
+// ---- E2: indexing modes (range filter) — the unified Index(mode)
+// surface, one sub-benchmark per mode. ----
 
-func indexModeFixture(b *testing.B) (*core.SpatialDataset[int], stobject.STObject) {
+func indexModeFixture(b *testing.B) (*stark.Dataset[int], stark.STObject) {
 	b.Helper()
-	ctx := engine.NewContext(0)
-	tuples := benchTuples(b, benchN)
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
+	ctx := stark.NewContext(0)
+	ds := stark.Parallelize(ctx, benchTuples(b, benchN), 4*ctx.Parallelism()).Cache()
 	if _, err := ds.Count(); err != nil {
 		b.Fatal(err)
 	}
-	q := stobject.New(geom.NewEnvelope(450, 450, 550, 550).ToPolygon())
+	q := stark.NewSTObject(stark.NewEnvelope(450, 450, 550, 550).ToPolygon())
 	return ds, q
 }
 
@@ -179,7 +171,7 @@ func BenchmarkIndexModeNone(b *testing.B) {
 	ds, q := indexModeFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.Intersects(q); err != nil {
+		if _, err := ds.Intersects(q).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -189,11 +181,7 @@ func BenchmarkIndexModeLive(b *testing.B) {
 	ds, q := indexModeFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		idx, err := ds.LiveIndex(16, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := idx.Intersects(q); err != nil {
+		if _, err := ds.Index(stark.Live(16)).Intersects(q).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,13 +189,13 @@ func BenchmarkIndexModeLive(b *testing.B) {
 
 func BenchmarkIndexModePersistent(b *testing.B) {
 	ds, q := indexModeFixture(b)
-	idx, err := ds.Index(16, nil)
-	if err != nil {
+	idx := ds.Index(stark.Persistent(16))
+	if err := idx.Run(); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := idx.Intersects(q); err != nil {
+		if _, err := idx.Intersects(q).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,29 +207,29 @@ func BenchmarkSTFilterSpatialOnly(b *testing.B) {
 	ds, q := indexModeFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.ContainedBy(q); err != nil {
+		if _, err := ds.ContainedBy(q).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkSTFilterSpatioTemporal(b *testing.B) {
-	ctx := engine.NewContext(0)
+	ctx := stark.NewContext(0)
 	tuples := workload.Tuples(workload.Config{
 		N: benchN, Seed: 42, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
 	})
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
+	ds := stark.Parallelize(ctx, tuples, 4*ctx.Parallelism()).Cache()
 	if _, err := ds.Count(); err != nil {
 		b.Fatal(err)
 	}
-	q, err := stobject.FromWKTWithInterval(
+	q, err := stark.FromWKTWithInterval(
 		"POLYGON ((450 450, 550 450, 550 550, 450 550, 450 450))", 0, 250_000)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.ContainedBy(q); err != nil {
+		if _, err := ds.ContainedBy(q).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,38 +237,25 @@ func BenchmarkSTFilterSpatioTemporal(b *testing.B) {
 
 // ---- E4: kNN ----
 
-func knnFixture(b *testing.B) (*core.SpatialDataset[int], *core.IndexedDataset[int], stobject.STObject) {
+func knnFixture(b *testing.B) (*stark.Dataset[int], *stark.Dataset[int], stark.STObject) {
 	b.Helper()
-	ctx := engine.NewContext(0)
-	tuples := benchTuples(b, benchN)
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	grid, err := partition.NewGrid(8, objs)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism())).Cache()
+	ctx := stark.NewContext(0)
+	ds := stark.Parallelize(ctx, benchTuples(b, benchN)).Cache()
 	if _, err := ds.Count(); err != nil {
 		b.Fatal(err)
 	}
-	parted, err := ds.PartitionBy(grid)
-	if err != nil {
+	idx := ds.PartitionBy(stark.Grid(8)).Index(stark.Persistent(16))
+	if err := idx.Run(); err != nil {
 		b.Fatal(err)
 	}
-	idx, err := parted.Index(16, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return ds, idx, stobject.New(geom.NewPoint(500, 500))
+	return ds, idx, stark.NewSTObject(stark.NewPoint(500, 500))
 }
 
 func BenchmarkKNNScan(b *testing.B) {
 	ds, _, q := knnFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.KNN(q, 10, nil); err != nil {
+		if _, err := ds.KNN(q, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -290,7 +265,7 @@ func BenchmarkKNNPartitionedIndexed(b *testing.B) {
 	_, idx, q := knnFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := idx.KNN(q, 10, nil); err != nil {
+		if _, err := idx.KNN(q, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,17 +313,17 @@ func BenchmarkDBSCANDistributed(b *testing.B) {
 
 // ---- E6: join predicates ----
 
-func joinFixture(b *testing.B) (*core.SpatialDataset[int], *core.SpatialDataset[int]) {
+func joinFixture(b *testing.B) (*stark.Dataset[int], *stark.Dataset[int]) {
 	b.Helper()
-	ctx := engine.NewContext(0)
+	ctx := stark.NewContext(0)
 	pointsT := benchTuples(b, benchN)
 	regions := workload.Regions(workload.Config{Seed: 42, Width: 1000, Height: 1000}, 200)
-	regionT := make([]core.Tuple[int], len(regions))
+	regionT := make([]stark.Tuple[int], len(regions))
 	for i, r := range regions {
-		regionT[i] = engine.NewPair(r, i)
+		regionT[i] = stark.NewTuple(r, i)
 	}
-	left := core.Wrap(engine.Parallelize(ctx, regionT, ctx.Parallelism())).Cache()
-	right := core.Wrap(engine.Parallelize(ctx, pointsT, ctx.Parallelism())).Cache()
+	left := stark.Parallelize(ctx, regionT).Cache()
+	right := stark.Parallelize(ctx, pointsT).Cache()
 	if _, err := left.Count(); err != nil {
 		b.Fatal(err)
 	}
@@ -362,7 +337,7 @@ func BenchmarkJoinIntersects(b *testing.B) {
 	left, right := joinFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Join(left, right, core.JoinOptions{IndexOrder: -1}); err != nil {
+		if _, err := stark.Join(left, right, stark.JoinOptions{IndexOrder: -1}).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -372,8 +347,8 @@ func BenchmarkJoinContains(b *testing.B) {
 	left, right := joinFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opts := core.JoinOptions{Predicate: stobject.Contains, IndexOrder: -1}
-		if _, err := core.Join(left, right, opts); err != nil {
+		opts := stark.JoinOptions{Predicate: stark.Contains, IndexOrder: -1}
+		if _, err := stark.Join(left, right, opts).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -383,12 +358,12 @@ func BenchmarkJoinWithinDistance(b *testing.B) {
 	left, right := joinFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opts := core.JoinOptions{
-			Predicate:      stobject.WithinDistancePredicate(1, nil),
+		opts := stark.JoinOptions{
+			Predicate:      stark.WithinDistancePredicate(1, nil),
 			IndexOrder:     -1,
 			ProbeExpansion: 1,
 		}
-		if _, err := core.Join(left, right, opts); err != nil {
+		if _, err := stark.Join(left, right, opts).Collect(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,8 +18,7 @@ import (
 	"io"
 	"os"
 
-	"stark/internal/dfs"
-	"stark/internal/engine"
+	"stark"
 	"stark/internal/piglet"
 	"stark/internal/workload"
 )
@@ -50,7 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fs := dfs.New(0, 0)
+	fs := stark.NewDFS(0, 0)
 	evs := workload.Events(workload.Config{
 		N: *events, Seed: *seed, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
 	})
@@ -59,7 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	env := &piglet.Env{Ctx: engine.NewContext(*parallelism), FS: fs}
+	env := &piglet.Env{Ctx: stark.NewContext(*parallelism), FS: fs}
 	out, err := piglet.Run(string(src), env)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "piglet: %v\n", err)

@@ -20,7 +20,7 @@ import (
 	"log"
 	"net/http"
 
-	"stark/internal/engine"
+	"stark"
 	"stark/internal/server"
 	"stark/internal/workload"
 )
@@ -37,7 +37,7 @@ func main() {
 	evs := workload.Events(workload.Config{
 		N: *events, Seed: *seed, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
 	})
-	srv, err := server.New(engine.NewContext(*parallelism), evs)
+	srv, err := server.New(stark.NewContext(*parallelism), evs)
 	if err != nil {
 		log.Fatalf("starkd: %v", err)
 	}

@@ -1,0 +1,522 @@
+package stark
+
+// This file implements the fluent query builder of the public DSL:
+// Dataset[V], the Go equivalent of STARK's implicit conversion from
+// RDD[(STObject, V)] to the spatial operator surface.
+//
+// Every transformation returns a new *Dataset[V] immediately and
+// defers its work (and its errors) into a resolve thunk; nothing runs
+// until a terminal action (Collect, Count, KNN, Run, ...). The first
+// step that fails is the error the action reports, annotated with the
+// step name — so chains read exactly like the Scala DSL without
+// per-step error plumbing:
+//
+//	hits, err := stark.Parallelize(ctx, pairs).
+//		PartitionBy(stark.BSP(1024)).
+//		Index(stark.Live(5)).
+//		Intersects(q).
+//		Collect()
+//
+// Resolution is memoised: a Dataset resolves at most once, so a
+// shared upstream (a partitioned, indexed base serving many queries)
+// pays its shuffle and index build a single time.
+
+import (
+	"fmt"
+	"sync"
+
+	"stark/internal/core"
+	"stark/internal/engine"
+	"stark/internal/geom"
+)
+
+// state is the resolved form of a Dataset: the engine-level spatial
+// dataset, the optional partition indexes, the configured index mode,
+// and the pruning envelopes accumulated by lazy filters.
+type state[V any] struct {
+	sds  *core.SpatialDataset[V]   // always set on success
+	idx  *core.IndexedDataset[V]   // set when mode is live/persistent
+	mode IndexMode
+	// pruneEnvs are the envelopes of pending scan filters; a
+	// partition whose extent misses any of them cannot contribute to
+	// the result, so actions skip it (the paper's partition pruning).
+	pruneEnvs []geom.Envelope
+}
+
+// Dataset is a lazily evaluated spatio-temporal query over records of
+// (STObject, V). Build one with Parallelize, derive new ones with the
+// transformation methods, and execute with an action.
+//
+// A Dataset carries any error produced while building the chain and
+// surfaces it at the action; transformations on a failed Dataset are
+// no-ops that preserve the first error.
+type Dataset[V any] struct {
+	ctx     *Context
+	resolve func() (state[V], error)
+}
+
+// newDataset wraps a resolve step with memoisation.
+func newDataset[V any](ctx *Context, step func() (state[V], error)) *Dataset[V] {
+	var (
+		once sync.Once
+		st   state[V]
+		err  error
+	)
+	return &Dataset[V]{ctx: ctx, resolve: func() (state[V], error) {
+		once.Do(func() { st, err = step() })
+		return st, err
+	}}
+}
+
+// chain derives a Dataset whose resolution applies step to the
+// receiver's resolved state. Errors from upstream pass through
+// untouched (they already carry their own step annotation); errors
+// from this step are annotated with name.
+func (d *Dataset[V]) chain(name string, step func(st state[V]) (state[V], error)) *Dataset[V] {
+	parent := d.resolve
+	return newDataset(d.ctx, func() (state[V], error) {
+		st, err := parent()
+		if err != nil {
+			return state[V]{}, err
+		}
+		out, err := step(st)
+		if err != nil {
+			return state[V]{}, fmt.Errorf("stark: %s: %w", name, err)
+		}
+		return out, nil
+	})
+}
+
+// Parallelize lifts in-memory records into a Dataset — the DSL's
+// entry point, standing in for the Scala implicit conversion. The
+// optional numPartitions overrides the context parallelism. The slice
+// is not copied; do not mutate it while queries run.
+func Parallelize[V any](ctx *Context, records []Tuple[V], numPartitions ...int) *Dataset[V] {
+	n := 0
+	if len(numPartitions) > 0 {
+		n = numPartitions[0]
+	}
+	return newDataset(ctx, func() (state[V], error) {
+		return state[V]{sds: core.Wrap(engine.Parallelize(ctx, records, n))}, nil
+	})
+}
+
+// Context returns the execution context of the dataset.
+func (d *Dataset[V]) Context() *Context { return d.ctx }
+
+// ---- Transformations ----
+
+// PartitionBy shuffles the dataset with a spatial partitioner built
+// by the given constructor (Grid, BSP, Voronoi, or WithPartitioner
+// for a pre-built one). The configured index mode, if any, is
+// re-applied after the shuffle so PartitionBy and Index compose in
+// either order.
+func (d *Dataset[V]) PartitionBy(p Partitioner) *Dataset[V] {
+	return d.chain("partitionBy", func(st state[V]) (state[V], error) {
+		// Data-driven recipes (Grid, BSP, Voronoi) need the keys; in
+		// that case materialise the upstream once — honouring pending
+		// partition pruning — and shuffle the materialised rows, so
+		// the lineage is not computed a second time by the shuffle.
+		var rows []Tuple[V]
+		collected := false
+		sp, err := p.build(func() ([]STObject, error) {
+			var err error
+			if visit, ok := st.prunedVisit(d.ctx); ok {
+				rows, err = st.sds.Dataset().CollectPartitions(visit)
+			} else {
+				rows, err = st.sds.Collect()
+			}
+			if err != nil {
+				return nil, err
+			}
+			collected = true
+			keys := make([]STObject, len(rows))
+			for i, kv := range rows {
+				keys[i] = kv.Key
+			}
+			return keys, nil
+		})
+		if err != nil {
+			return state[V]{}, err
+		}
+		base := st.sds
+		if collected {
+			base = core.Wrap(engine.Parallelize(d.ctx, rows, st.sds.NumPartitions()))
+		}
+		parted, err := base.PartitionBy(sp)
+		if err != nil {
+			return state[V]{}, err
+		}
+		return applyMode(d.ctx, state[V]{sds: parted, mode: st.mode})
+	})
+}
+
+// Index configures the dataset's indexing mode — the paper's three
+// modes behind one call: NoIndexing scans, Live(order) builds
+// per-partition R-trees on every query, Persistent(order)
+// materialises them once and reuses them across queries. Subsequent
+// filter and kNN operators use whatever mode is configured.
+func (d *Dataset[V]) Index(m IndexMode) *Dataset[V] {
+	return d.chain("index", func(st state[V]) (state[V], error) {
+		if err := m.validate(); err != nil {
+			return state[V]{}, err
+		}
+		st.mode = m
+		return applyMode(d.ctx, st)
+	})
+}
+
+// applyMode (re)builds the partition indexes demanded by st.mode.
+func applyMode[V any](ctx *Context, st state[V]) (state[V], error) {
+	switch st.mode.kind {
+	case modeNone:
+		st.idx = nil
+	case modeLive:
+		idx, err := st.sds.LiveIndex(st.mode.order, nil)
+		if err != nil {
+			return state[V]{}, err
+		}
+		st.idx = idx
+	case modePersistent:
+		idx, err := st.sds.Index(st.mode.order, nil)
+		if err != nil {
+			return state[V]{}, err
+		}
+		st.idx = idx
+	}
+	return st, nil
+}
+
+// Cache marks the underlying data for in-memory materialisation, so
+// repeated actions on the same chain compute each partition once.
+func (d *Dataset[V]) Cache() *Dataset[V] {
+	return d.chain("cache", func(st state[V]) (state[V], error) {
+		st.sds.Cache()
+		return st, nil
+	})
+}
+
+// Where keeps the records whose key satisfies pred against q. With an
+// index configured, the partition trees are probed with q's envelope
+// (expanded by pruneExpand) and candidates refined exactly; without
+// one the filter is folded into the scan lineage and q's envelope is
+// remembered for partition pruning at the action. pruneExpand must
+// cover how far a matching record's envelope can lie outside q's
+// (pass the distance for distance predicates, 0 otherwise).
+func (d *Dataset[V]) Where(q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
+	return d.where("where", q, pred, pruneExpand)
+}
+
+func (d *Dataset[V]) where(name string, q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
+	return d.chain(name, func(st state[V]) (state[V], error) {
+		if q.IsEmpty() {
+			return state[V]{}, fmt.Errorf("empty query object")
+		}
+		if pred == nil {
+			return state[V]{}, fmt.Errorf("nil predicate")
+		}
+		pruneEnv := q.Envelope().ExpandBy(pruneExpand)
+		if st.idx != nil {
+			// Indexed probe + exact refinement. The result is a plain
+			// in-memory dataset: like the Scala DSL, an indexed
+			// operator yields an unindexed RDD.
+			rows, err := st.idx.Filter(q, pruneEnv, pred)
+			if err != nil {
+				return state[V]{}, err
+			}
+			return state[V]{sds: core.Wrap(engine.Parallelize(d.ctx, rows, 0))}, nil
+		}
+		st.sds = st.sds.Where(q, pred)
+		st.pruneEnvs = append(st.pruneEnvs[:len(st.pruneEnvs):len(st.pruneEnvs)], pruneEnv)
+		st.mode = NoIndexing
+		return st, nil
+	})
+}
+
+// Intersects keeps the records whose key intersects q in the combined
+// spatio-temporal semantics.
+func (d *Dataset[V]) Intersects(q STObject) *Dataset[V] {
+	return d.where("intersects", q, Intersects, 0)
+}
+
+// Contains keeps the records whose key completely contains q.
+func (d *Dataset[V]) Contains(q STObject) *Dataset[V] {
+	return d.where("contains", q, Contains, 0)
+}
+
+// ContainedBy keeps the records whose key is completely contained by
+// q — the paper's events.containedBy(qry).
+func (d *Dataset[V]) ContainedBy(q STObject) *Dataset[V] {
+	return d.where("containedBy", q, ContainedBy, 0)
+}
+
+// CoveredBy is ContainedBy with boundary tolerance.
+func (d *Dataset[V]) CoveredBy(q STObject) *Dataset[V] {
+	return d.where("coveredBy", q, CoveredBy, 0)
+}
+
+// WithinDistance keeps the records whose key lies within maxDist of q
+// under df (nil selects the exact planar distance).
+func (d *Dataset[V]) WithinDistance(q STObject, maxDist float64, df DistanceFunc) *Dataset[V] {
+	return d.where("withinDistance", q, WithinDistancePredicate(maxDist, df), maxDist)
+}
+
+// FilterValues keeps the records whose payload satisfies keep. The
+// spatial partitioner and any pending pruning survive: a payload
+// filter never moves a record between partitions.
+func (d *Dataset[V]) FilterValues(keep func(V) bool) *Dataset[V] {
+	return d.chain("filterValues", func(st state[V]) (state[V], error) {
+		if keep == nil {
+			return state[V]{}, fmt.Errorf("nil filter")
+		}
+		filtered := st.sds.Dataset().Filter(func(kv Tuple[V]) bool { return keep(kv.Value) })
+		wrapped, err := core.WrapPartitioned(filtered, st.sds.Partitioner())
+		if err != nil {
+			return state[V]{}, err
+		}
+		st.sds = wrapped
+		st.mode = NoIndexing
+		st.idx = nil
+		return st, nil
+	})
+}
+
+// Sample keeps each record with the given probability,
+// deterministically derived from seed. Partitioning and pending
+// pruning survive: sampling never moves a record.
+func (d *Dataset[V]) Sample(fraction float64, seed int64) *Dataset[V] {
+	return d.chain("sample", func(st state[V]) (state[V], error) {
+		if fraction < 0 || fraction > 1 {
+			return state[V]{}, fmt.Errorf("fraction %v outside [0, 1]", fraction)
+		}
+		sampled, err := core.WrapPartitioned(st.sds.Dataset().Sample(fraction, seed), st.sds.Partitioner())
+		if err != nil {
+			return state[V]{}, err
+		}
+		st.sds = sampled
+		st.mode = NoIndexing
+		st.idx = nil
+		return st, nil
+	})
+}
+
+// MapValues transforms the payloads, preserving keys, partitioning
+// and pending pruning.
+func MapValues[V, W any](d *Dataset[V], f func(V) W) *Dataset[W] {
+	parent := d.resolve
+	return newDataset(d.ctx, func() (state[W], error) {
+		st, err := parent()
+		if err != nil {
+			return state[W]{}, err
+		}
+		return state[W]{
+			sds:       core.MapDatasetValues(st.sds, f),
+			pruneEnvs: st.pruneEnvs,
+		}, nil
+	})
+}
+
+// ReKey replaces the spatio-temporal key of every record. The
+// partitioner, indexes and pending pruning are dropped: new keys need
+// not respect the old layout. Repartition afterwards if needed.
+func ReKey[V any](d *Dataset[V], f func(key STObject, v V) STObject) *Dataset[V] {
+	return d.chain("reKey", func(st state[V]) (state[V], error) {
+		return state[V]{sds: core.ReKey(st.sds, f)}, nil
+	})
+}
+
+// ---- Actions ----
+
+// force resolves the chain, reporting the first deferred error.
+func (d *Dataset[V]) force() (state[V], error) {
+	return d.resolve()
+}
+
+// Run executes the chain for its side effects (shuffles, index
+// builds, caching) and reports the first deferred error. Useful to
+// warm a shared base dataset or to surface chain errors eagerly.
+func (d *Dataset[V]) Run() error {
+	_, err := d.force()
+	return err
+}
+
+// enumerateViaIndex reports whether record-enumerating actions
+// (Collect, Count, Take, Foreach) should read through the index.
+// Only worthwhile for Persistent mode, where the materialised
+// partitions spare recomputing the base lineage; in Live mode the
+// index is rebuilt per job, so enumerating through it would pay a
+// full R-tree build for a plain scan result — sds holds the identical
+// records tree-free.
+func (st *state[V]) enumerateViaIndex() bool {
+	return st.idx != nil && st.mode.kind == modePersistent
+}
+
+// prunedVisit returns the partitions an action must visit once the
+// pending filter envelopes are applied, or ok=false when no pruning
+// applies.
+func (st *state[V]) prunedVisit(ctx *Context) (visit []int, ok bool) {
+	sp := st.sds.Partitioner()
+	if sp == nil || len(st.pruneEnvs) == 0 {
+		return nil, false
+	}
+	n := st.sds.NumPartitions()
+	for i := 0; i < n; i++ {
+		ext := sp.Extent(i)
+		hit := true
+		for _, env := range st.pruneEnvs {
+			if !ext.Intersects(env) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			visit = append(visit, i)
+		}
+	}
+	if pruned := n - len(visit); pruned > 0 {
+		ctx.Metrics().TasksSkipped.Add(int64(pruned))
+	}
+	return visit, true
+}
+
+// Collect materialises the query result.
+func (d *Dataset[V]) Collect() ([]Tuple[V], error) {
+	st, err := d.force()
+	if err != nil {
+		return nil, err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Collect()
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().CollectPartitions(visit)
+	}
+	return st.sds.Collect()
+}
+
+// Count returns the number of result records.
+func (d *Dataset[V]) Count() (int64, error) {
+	st, err := d.force()
+	if err != nil {
+		return 0, err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Count()
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().CountPartitions(visit)
+	}
+	return st.sds.Count()
+}
+
+// Take returns up to n result records, scanning partitions in order.
+func (d *Dataset[V]) Take(n int) ([]Tuple[V], error) {
+	st, err := d.force()
+	if err != nil {
+		return nil, err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().Take(n)
+	}
+	return st.sds.Dataset().Take(n)
+}
+
+// Foreach runs fn on every result record, partition-parallel.
+func (d *Dataset[V]) Foreach(fn func(Tuple[V])) error {
+	st, err := d.force()
+	if err != nil {
+		return err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().Foreach(fn)
+	}
+	return st.sds.Dataset().Foreach(fn)
+}
+
+// NumPartitions resolves the chain and returns the partition count.
+func (d *Dataset[V]) NumPartitions() (int, error) {
+	st, err := d.force()
+	if err != nil {
+		return 0, err
+	}
+	return st.sds.NumPartitions(), nil
+}
+
+// Partitioner resolves the chain and returns the spatial partitioner,
+// or nil when the data is not spatially partitioned.
+func (d *Dataset[V]) Partitioner() (SpatialPartitioner, error) {
+	st, err := d.force()
+	if err != nil {
+		return nil, err
+	}
+	return st.sds.Partitioner(), nil
+}
+
+// CountBy counts the result records per key derived by key —
+// partition-parallel, the DSL's GROUP ... COUNT.
+func CountBy[V any, K comparable](d *Dataset[V], key func(Tuple[V]) K) (map[K]int64, error) {
+	st, err := d.force()
+	if err != nil {
+		return nil, err
+	}
+	pairs := engine.Map(st.sds.Dataset(), func(kv Tuple[V]) engine.Pair[K, int64] {
+		return engine.NewPair(key(kv), int64(1))
+	})
+	counts, err := engine.CountByKey(pairs)
+	if err != nil {
+		return nil, fmt.Errorf("stark: countBy: %w", err)
+	}
+	return counts, nil
+}
+
+// Neighbor is one kNN result record with its distance to the query.
+type Neighbor[V any] = core.NeighborResult[V]
+
+// KNN returns the k records nearest to q, sorted by ascending
+// distance, under the optional df (omitted = exact planar distance).
+// With an index configured the partition trees answer the search;
+// either way partitions provably farther than the current k-th
+// neighbour are pruned.
+func (d *Dataset[V]) KNN(q STObject, k int, df ...DistanceFunc) ([]Neighbor[V], error) {
+	var dist DistanceFunc
+	if len(df) > 0 {
+		dist = df[0]
+	}
+	st, err := d.force()
+	if err != nil {
+		return nil, err
+	}
+	if st.idx != nil {
+		nbrs, err := st.idx.KNN(q, k, dist)
+		if err != nil {
+			return nil, fmt.Errorf("stark: kNN: %w", err)
+		}
+		return nbrs, nil
+	}
+	nbrs, err := st.sds.KNN(q, k, dist)
+	if err != nil {
+		return nil, fmt.Errorf("stark: kNN: %w", err)
+	}
+	return nbrs, nil
+}
+
+// ClusterOptions configures the Cluster action.
+type ClusterOptions = core.ClusterOptions
+
+// ClusteredRecord pairs an input record with its DBSCAN label
+// (ClusterNoise for noise points).
+type ClusteredRecord[V any] = core.ClusteredRecord[V]
+
+// Cluster runs distributed DBSCAN over the query result and returns
+// one labelled record per input record plus the number of clusters.
+func (d *Dataset[V]) Cluster(opts ClusterOptions) ([]ClusteredRecord[V], int, error) {
+	st, err := d.force()
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, n, err := st.sds.Cluster(opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stark: cluster: %w", err)
+	}
+	return recs, n, nil
+}

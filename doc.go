@@ -1,10 +1,36 @@
 // Package stark is a from-scratch Go reproduction of STARK, the
 // spatio-temporal data processing framework for Apache Spark
 // presented in "Efficient spatio-temporal event processing with
-// STARK" (Hagedorn & Räth, EDBT 2017).
+// STARK" (Hagedorn & Räth, EDBT 2017) — and, like the original, it
+// leads with a seamlessly integrated DSL.
 //
-// The repository contains the full stack the paper builds on or
-// evaluates against, re-implemented on the Go standard library:
+// Where the Scala original uses an implicit conversion to lift any
+// RDD[(STObject, V)] into the spatial operator surface, this package
+// lifts a slice of (STObject, V) tuples into a fluent, lazily
+// evaluated Dataset[V]. Transformations chain without error plumbing;
+// the first failed step is the error the terminal action reports:
+//
+//	events := stark.Parallelize(ctx, pairs)
+//	hits, err := events.
+//		PartitionBy(stark.BSP(1024)).     // cost-based spatial partitioning
+//		Index(stark.Live(5)).             // per-query partition R-trees
+//		Intersects(qry).                  // spatio-temporal filter
+//		Collect()                         // errors surface here
+//
+// The paper's three indexing modes are one configuration instead of
+// three call paths: Index(stark.NoIndexing) scans,
+// Index(stark.Live(order)) builds transient per-partition R-trees on
+// every query, Index(stark.Persistent(order)) materialises them once
+// for reuse — and SaveIndex/LoadIndex round-trip them through the
+// simulated HDFS, reproducing the Figure-2 workflow.
+//
+// The user-facing vocabulary — STObject, Envelope, Interval, the
+// named predicates, partitioner recipes (Grid, BSP, Voronoi), joins
+// and clustering — is exported here, so programs against the DSL
+// never import an stark/internal package.
+//
+// The implementation below the DSL lives in internal/ and is not part
+// of the API:
 //
 //   - internal/engine    — a Spark-core stand-in: partitioned, lazily
 //     evaluated datasets with a parallel task scheduler and shuffle;
@@ -18,8 +44,8 @@
 //     spatial partitioners with extent bookkeeping;
 //   - internal/index     — the STR-packed R-tree with kNN and
 //     persistence;
-//   - internal/core      — the STARK operator surface (filters, joins,
-//     kNN, the three indexing modes, DBSCAN entry point);
+//   - internal/core      — the eager operator layer the DSL drives
+//     (filters, joins, kNN, the indexing modes, DBSCAN entry point);
 //   - internal/cluster   — sequential and MR-DBSCAN-style distributed
 //     DBSCAN;
 //   - internal/baselines — GeoSpark- and SpatialSpark-style join
@@ -29,6 +55,6 @@
 //   - internal/bench     — the experiment harness regenerating the
 //     paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for the reproduced evaluation.
+// See README.md for the DSL tour and the Scala-vs-Go comparison, and
+// the examples/ directory for complete programs.
 package stark

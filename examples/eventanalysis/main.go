@@ -1,6 +1,6 @@
 // Event analysis: a spatio-temporal join + aggregation pipeline, the
 // kind of workload the paper's demonstration section runs over
-// Wikipedia event data.
+// Wikipedia event data — written against the public fluent DSL.
 //
 // The pipeline:
 //  1. load raw events from the simulated HDFS (CSV, paper schema),
@@ -15,17 +15,13 @@ import (
 	"log"
 	"sort"
 
-	"stark/internal/core"
-	"stark/internal/dfs"
-	"stark/internal/engine"
-	"stark/internal/partition"
-	"stark/internal/stobject"
+	"stark"
 	"stark/internal/workload"
 )
 
 func main() {
-	ctx := engine.NewContext(0)
-	fs := dfs.New(0, 0)
+	ctx := stark.NewContext(0)
+	fs := stark.NewDFS(0, 0)
 
 	// Stage the raw data in the DFS, as the paper's workflow does.
 	raw := workload.Events(workload.Config{
@@ -36,49 +32,39 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Load and key by STObject.
+	// Load, key by STObject, and spatially partition with BSP (the
+	// skew-robust partitioner) in one chain.
 	loaded, err := workload.ReadEventsCSV(fs, "/data/events.csv")
 	if err != nil {
 		log.Fatal(err)
 	}
 	tuples, _ := workload.EventTuples(loaded)
-	events := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
-
-	// Spatially partition with BSP (the skew-robust partitioner).
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: 2000}, objs)
+	parted := stark.Parallelize(ctx, tuples).PartitionBy(stark.BSP(2000))
+	nparts, err := parted.NumPartitions()
 	if err != nil {
 		log.Fatal(err)
 	}
-	parted, err := events.PartitionBy(bsp)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("partitioned %d events into %d BSP regions\n", len(tuples), bsp.NumPartitions())
+	fmt.Printf("partitioned %d events into %d BSP regions\n", len(tuples), nparts)
 
 	// Regions of interest (e.g. administrative areas).
 	regions := workload.Regions(workload.Config{Seed: 5, Width: 1000, Height: 1000}, 40)
-	regionTuples := make([]core.Tuple[int], len(regions))
+	regionTuples := make([]stark.Tuple[int], len(regions))
 	for i, r := range regions {
-		regionTuples[i] = engine.NewPair(r, i)
+		regionTuples[i] = stark.NewTuple(r, i)
 	}
-	regionDS := core.Wrap(engine.Parallelize(ctx, regionTuples, 4))
+	regionDS := stark.Parallelize(ctx, regionTuples, 4)
 
 	// Spatio-temporal join: events inside each region. The events
 	// carry time and the regions do not, so the events are re-keyed
 	// spatially for the join (the paper's semantics reject mixed
 	// timed/untimed pairs).
-	spatialEvents := core.Wrap(engine.Map(parted.Dataset(),
-		func(kv core.Tuple[workload.Event]) core.Tuple[workload.Event] {
-			return engine.NewPair(stobject.New(kv.Key.Geo()), kv.Value)
-		}))
-	joined, err := core.Join(regionDS, spatialEvents, core.JoinOptions{
-		Predicate:  stobject.Intersects,
-		IndexOrder: -1,
+	spatialEvents := stark.ReKey(parted, func(key stark.STObject, _ workload.Event) stark.STObject {
+		return stark.NewSTObject(key.Geo())
 	})
+	joined, err := stark.Join(regionDS, spatialEvents, stark.JoinOptions{
+		Predicate:  stark.Intersects,
+		IndexOrder: -1,
+	}).Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,9 +74,9 @@ func main() {
 	// matches.
 	perRegion := make(map[int]int)
 	perCategory := make(map[string]int)
-	for _, jp := range joined {
-		perRegion[jp.LeftVal]++
-		perCategory[jp.RightVal.Category]++
+	for _, kv := range joined {
+		perRegion[kv.Value.Left]++
+		perCategory[kv.Value.Right.Category]++
 	}
 
 	// Report the top regions.

@@ -1,56 +1,53 @@
 // Hotspots: density-based clustering of event data with DBSCAN and a
 // kNN drill-down — the data-mining workload the paper motivates
-// ("find groups of similar events").
+// ("find groups of similar events") — written against the public
+// fluent DSL.
 //
 // The pipeline clusters skewed event locations, reports the largest
 // hotspots with their centroids, and runs a k nearest neighbour query
-// around the biggest hotspot using the partitioned, indexed path.
+// around the biggest hotspot using the partitioned, persistently
+// indexed path.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"stark/internal/cluster"
-	"stark/internal/core"
-	"stark/internal/engine"
-	"stark/internal/geom"
-	"stark/internal/partition"
-	"stark/internal/stobject"
+	"stark"
 	"stark/internal/workload"
 )
 
 func main() {
-	ctx := engine.NewContext(0)
+	ctx := stark.NewContext(0)
 
 	tuples := workload.Tuples(workload.Config{
 		N: 30_000, Seed: 13, Dist: workload.Skewed, Clusters: 8, Spread: 10,
 		Width: 1000, Height: 1000, TimeRange: 1_000_000,
 	})
-	events := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
+	events := stark.Parallelize(ctx, tuples)
 
 	// DBSCAN over the event locations. The operator derives a BSP
 	// partitioning, replicates the ε halo, clusters each partition in
 	// parallel and merges across borders.
-	recs, n, err := events.Cluster(core.ClusterOptions{Eps: 8, MinPts: 10})
+	recs, n, err := events.Cluster(stark.ClusterOptions{Eps: 8, MinPts: 10})
 	if err != nil {
 		log.Fatal(err)
 	}
 	labels := make([]int, len(recs))
-	points := make([]geom.Point, len(recs))
+	points := make([]stark.Point, len(recs))
 	for i, r := range recs {
 		labels[i] = r.Cluster
 		points[i] = r.Key.Centroid()
 	}
-	res := cluster.Result{Labels: labels, NumClusters: n}
+	res := stark.ClusterResult{Labels: labels, NumClusters: n}
 	fmt.Printf("DBSCAN found %d hotspots (%d noise points of %d events)\n",
 		n, res.NoiseCount(), len(recs))
 
-	centroids := cluster.Centroids(points, res)
+	centroids := stark.ClusterCentroids(points, res)
 	sizes := res.ClusterSizes()
 	fmt.Println("largest hotspots:")
-	var biggest geom.Point
-	for i, id := range cluster.SortBySize(res) {
+	var biggest stark.Point
+	for i, id := range stark.SortClustersBySize(res) {
 		if i == 0 {
 			biggest = centroids[id]
 		}
@@ -62,25 +59,13 @@ func main() {
 	}
 
 	// Drill down: the 10 events nearest to the biggest hotspot's
-	// centroid, via grid partitioning + persistent indexing.
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	grid, err := partition.NewGrid(6, objs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	parted, err := events.PartitionBy(grid)
-	if err != nil {
-		log.Fatal(err)
-	}
-	idx, err := parted.Index(10, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	q := stobject.New(biggest)
-	nbrs, err := idx.KNN(q, 10, nil)
+	// centroid, via grid partitioning + persistent indexing — one
+	// fluent chain from raw tuples to neighbours.
+	q := stark.NewSTObject(biggest)
+	nbrs, err := events.
+		PartitionBy(stark.Grid(6)).
+		Index(stark.Persistent(10)).
+		KNN(q, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"stark/internal/dfs"
-	"stark/internal/engine"
+	"stark"
 	"stark/internal/piglet"
 	"stark/internal/workload"
 )
@@ -42,7 +41,7 @@ STORE window INTO 'out/window.csv';
 `
 
 func main() {
-	fs := dfs.New(0, 0)
+	fs := stark.NewDFS(0, 0)
 	events := workload.Events(workload.Config{
 		N: 20_000, Seed: 99, Dist: workload.Skewed,
 		Width: 1000, Height: 1000, TimeRange: 1_000_000,
@@ -51,7 +50,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	out, err := piglet.Run(script, &piglet.Env{Ctx: engine.NewContext(0), FS: fs})
+	out, err := piglet.Run(script, &piglet.Env{Ctx: stark.NewContext(0), FS: fs})
 	if err != nil {
 		log.Fatal(err)
 	}

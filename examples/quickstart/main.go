@@ -1,8 +1,9 @@
-// Quickstart: the paper's running example in Go.
+// Quickstart: the paper's running example in Go, written against the
+// public fluent DSL.
 //
 // Raw input with schema (id: Int, category: String, time: Long,
-// wkt: String) is mapped to (STObject, payload) pairs, wrapped into a
-// SpatialDataset, and queried with spatio-temporal predicates —
+// wkt: String) is mapped to (STObject, payload) pairs, lifted into a
+// stark.Dataset, and queried with spatio-temporal predicates —
 // including live indexing, exactly like the Scala snippet in
 // Section 2.3 of the paper:
 //
@@ -16,15 +17,12 @@ import (
 	"fmt"
 	"log"
 
-	"stark/internal/core"
-	"stark/internal/engine"
-	"stark/internal/stobject"
-	"stark/internal/temporal"
+	"stark"
 	"stark/internal/workload"
 )
 
 func main() {
-	ctx := engine.NewContext(0)
+	ctx := stark.NewContext(0)
 
 	// Raw input: (id, category, time, wkt) rows.
 	raw := workload.Events(workload.Config{
@@ -33,34 +31,30 @@ func main() {
 	})
 
 	// Pre-processing map step: build the STObject key from the WKT
-	// string and the time of occurrence.
+	// string and the time of occurrence, then lift into the DSL.
 	tuples, dropped := workload.EventTuples(raw)
 	if dropped > 0 {
 		log.Fatalf("%d rows had invalid WKT", dropped)
 	}
-	events := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
+	events := stark.Parallelize(ctx, tuples)
 
 	// Query object: a spatial polygon plus a temporal window.
-	qry, err := stobject.FromWKTWithInterval(
+	qry, err := stark.FromWKTWithInterval(
 		"POLYGON ((200 200, 600 200, 600 600, 200 600, 200 200))",
-		temporal.Instant(0), temporal.Instant(500_000))
+		0, 500_000)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// events.containedBy(qry)
-	contain, err := events.ContainedBy(qry)
+	// events.containedBy(qry) — errors surface at Collect.
+	contain, err := events.ContainedBy(qry).Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("containedBy: %d of %d events in the window\n", len(contain), len(tuples))
 
-	// events.liveIndex(order = 5).intersect(qry)
-	indexed, err := events.LiveIndex(5, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	intersect, err := indexed.Intersects(qry)
+	// events.liveIndex(order = 5).intersect(qry), one chain.
+	intersect, err := events.Index(stark.Live(5)).Intersects(qry).Collect()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,6 @@
 // Trajectories: moving-object analysis — the "location aware devices
 // that periodically report their position" scenario from the paper's
-// introduction.
+// introduction — written against the public fluent DSL.
 //
 // The pipeline generates correlated random walks, then answers three
 // questions with STARK operators:
@@ -17,29 +17,25 @@ import (
 	"log"
 	"sort"
 
-	"stark/internal/core"
-	"stark/internal/engine"
-	"stark/internal/geom"
-	"stark/internal/stobject"
-	"stark/internal/temporal"
+	"stark"
 	"stark/internal/workload"
 )
 
 func main() {
-	ctx := engine.NewContext(0)
+	ctx := stark.NewContext(0)
 
 	reports := workload.Trajectories(workload.TrajectoryConfig{
 		Objects: 200, Ticks: 120, Seed: 31,
 	})
-	ds := core.Wrap(engine.Parallelize(ctx, reports, ctx.Parallelism())).Cache()
+	ds := stark.Parallelize(ctx, reports).Cache()
 	fmt.Printf("generated %d position reports from 200 objects\n", len(reports))
 
 	// 1. Restricted zone during a window: reports inside the zone
 	// while it was active.
-	zone := stobject.NewWithInterval(
-		geom.NewEnvelope(400, 400, 600, 600).ToPolygon(),
-		temporal.MustInterval(30*60, 80*60)) // ticks 30..80
-	inZone, err := ds.ContainedBy(zone)
+	zone := stark.NewSTObjectWithInterval(
+		stark.NewEnvelope(400, 400, 600, 600).ToPolygon(),
+		stark.MustInterval(30*60, 80*60)) // ticks 30..80
+	inZone, err := ds.ContainedBy(zone).Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,17 +49,17 @@ func main() {
 	// 2. Co-location: pairs of distinct objects within distance 5 at
 	// the same report instant. The combined semantics make the
 	// temporal intersection part of the predicate.
-	pairs, err := core.SelfJoin(ds, core.JoinOptions{
-		Predicate:      stobject.WithinDistancePredicate(5, nil),
+	pairs, err := stark.SelfJoin(ds, stark.JoinOptions{
+		Predicate:      stark.WithinDistancePredicate(5, nil),
 		IndexOrder:     -1,
 		ProbeExpansion: 5,
-	})
+	}).Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
 	contacts := make(map[[2]int]int)
-	for _, jp := range pairs {
-		a, b := jp.LeftVal.ObjectID, jp.RightVal.ObjectID
+	for _, kv := range pairs {
+		a, b := kv.Value.Left.ObjectID, kv.Value.Right.ObjectID
 		if a >= b {
 			continue // keep unordered distinct-object pairs
 		}
@@ -90,7 +86,7 @@ func main() {
 	lines := workload.TrajectoryLines(reports)
 	before, after := 0, 0
 	for _, ls := range lines {
-		s := geom.Simplify(ls, 8)
+		s := stark.Simplify(ls, 8)
 		before += ls.NumPoints()
 		after += s.NumPoints()
 	}

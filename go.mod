@@ -1,0 +1,3 @@
+module stark
+
+go 1.24

@@ -1,0 +1,106 @@
+package stark
+
+// This file unifies the paper's three indexing modes — none, live,
+// persistent — behind one IndexMode configuration consumed by
+// Dataset.Index, plus the DFS round trip for persisted indexes.
+
+import (
+	"fmt"
+
+	"stark/internal/core"
+	"stark/internal/index"
+)
+
+const (
+	modeNone = iota
+	modeLive
+	modePersistent
+)
+
+// IndexMode selects how filter and kNN operators execute: by scanning
+// (NoIndexing), by building per-partition R-trees on every query
+// (Live), or by materialising the trees once and reusing them across
+// queries (Persistent). Construct values with those three names.
+type IndexMode struct {
+	kind  int
+	order int
+}
+
+// NoIndexing disables indexing: operators scan every record of every
+// relevant partition. The zero IndexMode.
+var NoIndexing = IndexMode{}
+
+// Live returns the live indexing mode: each query builds a transient
+// R-tree of the given order per partition, probes it, and discards it
+// — index build time traded per query for zero memory retention.
+// order <= 0 selects the default R-tree order.
+func Live(order int) IndexMode { return IndexMode{kind: modeLive, order: normOrder(order)} }
+
+// Persistent returns the persistent indexing mode: per-partition
+// R-trees of the given order are built once, kept in memory, and
+// reused by every subsequent query; SaveIndex can write them to a DFS
+// for reuse by later programs. order <= 0 selects the default order.
+func Persistent(order int) IndexMode { return IndexMode{kind: modePersistent, order: normOrder(order)} }
+
+func normOrder(order int) int {
+	if order <= 0 {
+		return index.DefaultOrder
+	}
+	return order
+}
+
+// String names the mode for diagnostics.
+func (m IndexMode) String() string {
+	switch m.kind {
+	case modeLive:
+		return fmt.Sprintf("live(%d)", m.order)
+	case modePersistent:
+		return fmt.Sprintf("persistent(%d)", m.order)
+	default:
+		return "none"
+	}
+}
+
+func (m IndexMode) validate() error {
+	if m.kind != modeNone && m.order < 2 {
+		return fmt.Errorf("index order must be >= 2, got %d", m.order)
+	}
+	return nil
+}
+
+// SaveIndex writes the materialised partition trees to the DFS under
+// pathPrefix ("<prefix>/part-<i>.idx") — the persistent half of the
+// paper's Figure-2 workflow. The dataset must have an index
+// configured (Live or Persistent); the data itself is not written,
+// only the trees, so re-attaching via LoadIndex requires the same
+// data partitioned the same way.
+func (d *Dataset[V]) SaveIndex(fs *DFS, pathPrefix string) error {
+	st, err := d.force()
+	if err != nil {
+		return err
+	}
+	if st.idx == nil {
+		return fmt.Errorf("stark: saveIndex: no index configured; call Index(Live(n)) or Index(Persistent(n)) first")
+	}
+	if err := st.idx.Persist(fs, pathPrefix); err != nil {
+		return fmt.Errorf("stark: saveIndex: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex re-attaches trees written by SaveIndex to a dataset with
+// the same partition layout, skipping the index build. The returned
+// dataset behaves as if Index(Persistent(order)) had run, with the
+// persisted order. Like every transformation the load is deferred:
+// errors (missing files, partition mismatch) surface at the action.
+func LoadIndex[V any](d *Dataset[V], fs *DFS, pathPrefix string) *Dataset[V] {
+	return d.chain("loadIndex", func(st state[V]) (state[V], error) {
+		idx, err := core.LoadIndex(st.sds, fs, pathPrefix)
+		if err != nil {
+			return state[V]{}, err
+		}
+		st.idx = idx
+		st.mode = Persistent(idx.Order())
+		return st, nil
+	})
+}

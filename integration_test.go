@@ -1,8 +1,8 @@
 // Integration tests exercising the full stack across module
 // boundaries: the paper's Figure-2 workflow (load raw data →
-// spatially partition → index → persist → query), the Piglet
-// scripting path, the web front end, and cross-strategy result
-// agreement on the Figure-4 workload.
+// spatially partition → index → persist → query) driven through the
+// public fluent DSL, the Piglet scripting path, the web front end,
+// and cross-strategy result agreement on the Figure-4 workload.
 package stark_test
 
 import (
@@ -13,26 +13,20 @@ import (
 	"sort"
 	"testing"
 
+	"stark"
 	"stark/internal/baselines"
-	"stark/internal/core"
-	"stark/internal/dfs"
-	"stark/internal/engine"
-	"stark/internal/geom"
-	"stark/internal/partition"
 	"stark/internal/piglet"
 	"stark/internal/server"
-	"stark/internal/stobject"
-	"stark/internal/temporal"
 	"stark/internal/workload"
 )
 
 // TestFigure2Workflow walks the paper's internal workflow end to end:
 // raw data on (simulated) HDFS → load → spatial partitioning →
 // persistent indexing → store index to HDFS → reuse in a "second
-// program" → query with partition pruning.
+// program" → query with partition pruning — all through the DSL.
 func TestFigure2Workflow(t *testing.T) {
-	ctx := engine.NewContext(4)
-	fs := dfs.New(0, 0)
+	ctx := stark.NewContext(4)
+	fs := stark.NewDFS(0, 0)
 
 	// Raw data lands on the DFS.
 	raw := workload.Events(workload.Config{
@@ -51,50 +45,31 @@ func TestFigure2Workflow(t *testing.T) {
 	if dropped != 0 {
 		t.Fatalf("%d events dropped", dropped)
 	}
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: 500}, objs)
-	if err != nil {
+	parted := stark.Parallelize(ctx, tuples, 4).PartitionBy(stark.BSP(500))
+	idx := parted.Index(stark.Persistent(8))
+	if err := idx.SaveIndex(fs, "/indexes/events"); err != nil {
 		t.Fatal(err)
 	}
-	parted, err := ds.PartitionBy(bsp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	idx, err := parted.Index(8, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := idx.Persist(fs, "/indexes/events"); err != nil {
-		t.Fatal(err)
-	}
-	q := stobject.NewWithInterval(
-		geom.NewEnvelope(200, 200, 600, 600).ToPolygon(),
-		temporal.MustInterval(0, 400))
-	hits1, err := idx.ContainedBy(q)
+	q := stark.NewSTObjectWithInterval(
+		stark.NewEnvelope(200, 200, 600, 600).ToPolygon(),
+		stark.MustInterval(0, 400))
+	hits1, err := idx.ContainedBy(q).Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Program 2: same data and partitioning, index loaded from DFS.
-	loadedIdx, err := core.LoadIndex(parted, fs, "/indexes/events")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hits2, err := loadedIdx.ContainedBy(q)
+	hits2, err := stark.LoadIndex(parted, fs, "/indexes/events").ContainedBy(q).Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Reference: unindexed scan.
-	hits3, err := parted.ContainedBy(q)
+	hits3, err := parted.ContainedBy(q).Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids := func(ts []core.Tuple[workload.Event]) []int {
+	ids := func(ts []stark.Tuple[workload.Event]) []int {
 		out := make([]int, len(ts))
 		for i, kv := range ts {
 			out[i] = kv.Value.ID
@@ -106,20 +81,20 @@ func TestFigure2Workflow(t *testing.T) {
 	if len(a) == 0 {
 		t.Fatal("query matched nothing — bad test setup")
 	}
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("result sizes: %d/%d/%d", len(a), len(b), len(c))
+	}
 	for i := range a {
 		if a[i] != b[i] || a[i] != c[i] {
 			t.Fatalf("strategies disagree at %d", i)
 		}
-	}
-	if len(a) != len(b) || len(a) != len(c) {
-		t.Fatalf("result sizes: %d/%d/%d", len(a), len(b), len(c))
 	}
 }
 
 // TestFigure4ResultAgreement checks that every join strategy in the
 // benchmark returns the identical pair count at integration scale.
 func TestFigure4ResultAgreement(t *testing.T) {
-	ctx := engine.NewContext(4)
+	ctx := stark.NewContext(4)
 	tuples := workload.SpatialTuples(workload.Config{
 		N: 4_000, Seed: 4, Dist: workload.Skewed, Clusters: 5, Spread: 6,
 		Width: 1000, Height: 1000,
@@ -148,30 +123,18 @@ func TestFigure4ResultAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
-	stark, err := core.SelfJoinWithinDistanceCount(ds, eps, -1)
+	ds := stark.Parallelize(ctx, tuples, 4)
+	starkCount, err := stark.SelfJoinWithinDistanceCount(ds, eps, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	objs := make([]stobject.STObject, len(tuples))
-	for i, kv := range tuples {
-		objs[i] = kv.Key
-	}
-	bsp, err := partition.NewBSP(partition.BSPConfig{MaxCost: 500}, objs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	parted, err := ds.PartitionBy(bsp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	starkBSP, err := core.SelfJoinWithinDistanceCount(parted, eps, -1)
+	starkBSP, err := stark.SelfJoinWithinDistanceCount(ds.PartitionBy(stark.BSP(500)), eps, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, got := range map[string]int64{
 		"geospark-voronoi": geo, "spatialspark-none": ssNone,
-		"spatialspark-tile": ssTile, "stark-none": stark, "stark-bsp": starkBSP,
+		"spatialspark-tile": ssTile, "stark-none": starkCount, "stark-bsp": starkBSP,
 	} {
 		if got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)
@@ -180,16 +143,16 @@ func TestFigure4ResultAgreement(t *testing.T) {
 }
 
 // TestPigletPipelineAgainstAPI cross-checks a Piglet filter against
-// the same query through the Go API.
+// the same query through the public DSL.
 func TestPigletPipelineAgainstAPI(t *testing.T) {
-	fs := dfs.New(0, 0)
+	fs := stark.NewDFS(0, 0)
 	events := workload.Events(workload.Config{
 		N: 2_000, Seed: 8, Width: 1000, Height: 1000, TimeRange: 1000,
 	})
 	if err := workload.WriteEventsCSV(fs, "data/events.csv", events); err != nil {
 		t.Fatal(err)
 	}
-	ctx := engine.NewContext(4)
+	ctx := stark.NewContext(4)
 	out, err := piglet.Run(`
 e = LOAD 'data/events.csv';
 w = FILTER e BY CONTAINEDBY('POLYGON ((100 100, 500 100, 500 500, 100 500, 100 100))', 200, 800);
@@ -197,13 +160,12 @@ w = FILTER e BY CONTAINEDBY('POLYGON ((100 100, 500 100, 500 500, 100 500, 100 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Same query through the API.
+	// Same query through the DSL.
 	tuples, _ := workload.EventTuples(events)
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
-	q := stobject.NewWithInterval(
-		geom.NewEnvelope(100, 100, 500, 500).ToPolygon(),
-		temporal.MustInterval(200, 800))
-	hits, err := ds.ContainedBy(q)
+	q := stark.NewSTObjectWithInterval(
+		stark.NewEnvelope(100, 100, 500, 500).ToPolygon(),
+		stark.MustInterval(200, 800))
+	hits, err := stark.Parallelize(ctx, tuples, 4).ContainedBy(q).Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,9 +178,9 @@ w = FILTER e BY CONTAINEDBY('POLYGON ((100 100, 500 100, 500 500, 100 500, 100 1
 }
 
 // TestServerAgainstAPI round-trips a query through the HTTP layer and
-// compares with the direct API result.
+// compares with the direct DSL result.
 func TestServerAgainstAPI(t *testing.T) {
-	ctx := engine.NewContext(4)
+	ctx := stark.NewContext(4)
 	events := workload.Events(workload.Config{
 		N: 1_000, Seed: 9, Width: 1000, Height: 1000, TimeRange: 1000,
 	})
@@ -244,11 +206,10 @@ func TestServerAgainstAPI(t *testing.T) {
 	}
 
 	tuples, _ := workload.EventTuples(events)
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4))
-	q := stobject.NewWithInterval(
-		geom.NewEnvelope(0, 0, 500, 500).ToPolygon(),
-		temporal.MustInterval(0, 1000))
-	hits, err := ds.Intersects(q)
+	q := stark.NewSTObjectWithInterval(
+		stark.NewEnvelope(0, 0, 500, 500).ToPolygon(),
+		stark.MustInterval(0, 1000))
+	hits, err := stark.Parallelize(ctx, tuples, 4).Intersects(q).Collect()
 	if err != nil {
 		t.Fatal(err)
 	}

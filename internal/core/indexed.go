@@ -153,6 +153,14 @@ func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Env
 	return results.CollectPartitions(s.relevantPartitions(qEnv))
 }
 
+// Filter probes the index with pruneEnv (or q's envelope when empty)
+// and refines the candidates with an arbitrary spatio-temporal
+// predicate — the generic entry point the named operators below
+// specialise, exported so higher layers can dispatch uniformly.
+func (s *IndexedDataset[V]) Filter(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate) ([]Tuple[V], error) {
+	return s.filterIndexed(q, pruneEnv, pred)
+}
+
 // Intersects returns the records intersecting q (index-accelerated).
 func (s *IndexedDataset[V]) Intersects(q stobject.STObject) ([]Tuple[V], error) {
 	return s.filterIndexed(q, geom.EmptyEnvelope(), stobject.Intersects)
@@ -176,10 +184,16 @@ func (s *IndexedDataset[V]) WithinDistance(q stobject.STObject, maxDist float64,
 		stobject.WithinDistancePredicate(maxDist, df))
 }
 
+// Flat returns the records as a lazily flattened engine dataset,
+// preserving the partition structure — for actions that stream or
+// stop early instead of materialising everything.
+func (s *IndexedDataset[V]) Flat() *engine.Dataset[Tuple[V]] {
+	return engine.FlatMap(s.parts, func(ip IndexedPartition[V]) []Tuple[V] { return ip.Items })
+}
+
 // Collect returns all records of the indexed dataset.
 func (s *IndexedDataset[V]) Collect() ([]Tuple[V], error) {
-	flat := engine.FlatMap(s.parts, func(ip IndexedPartition[V]) []Tuple[V] { return ip.Items })
-	return flat.Collect()
+	return s.Flat().Collect()
 }
 
 // Count returns the number of records.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Dataset is an immutable, lazily evaluated, partitioned collection —
@@ -22,8 +23,11 @@ type Dataset[T any] struct {
 	numPart int
 	compute func(p int) ([]T, error)
 
+	// cacheOn may be read by ComputePartition without holding
+	// cacheMu (the hot path of every task), so it is atomic; the
+	// cached/cachedOK slices are only touched under cacheMu.
 	cacheMu  sync.Mutex
-	cacheOn  bool
+	cacheOn  atomic.Bool
 	cached   [][]T
 	cachedOK []bool
 }
@@ -33,9 +37,9 @@ func newDataset[T any](ctx *Context, name string, numPart int, compute func(p in
 	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, compute: compute}
 }
 
-// Parallelize distributes data across numPartitions partitions in
-// round-robin element order (Spark's default slicing is contiguous
-// ranges; we use ranges too so partition locality is preserved).
+// Parallelize distributes data across numPartitions partitions as
+// contiguous index ranges — Spark's default slicing — so element
+// order and locality are preserved within each partition.
 func Parallelize[T any](ctx *Context, data []T, numPartitions int) *Dataset[T] {
 	if numPartitions <= 0 {
 		numPartitions = ctx.parallelism
@@ -70,10 +74,15 @@ func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 	if p < 0 || p >= d.numPart {
 		return nil, fmt.Errorf("engine: partition %d out of range [0, %d)", p, d.numPart)
 	}
-	if !d.cacheOn {
+	if !d.cacheOn.Load() {
 		return d.compute(p)
 	}
 	d.cacheMu.Lock()
+	if d.cachedOK == nil {
+		// Unpersist raced with the flag read; behave as uncached.
+		d.cacheMu.Unlock()
+		return d.compute(p)
+	}
 	if d.cachedOK[p] {
 		out := d.cached[p]
 		d.cacheMu.Unlock()
@@ -85,8 +94,10 @@ func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 		return nil, err
 	}
 	d.cacheMu.Lock()
-	d.cached[p] = out
-	d.cachedOK[p] = true
+	if d.cachedOK != nil {
+		d.cached[p] = out
+		d.cachedOK[p] = true
+	}
 	d.cacheMu.Unlock()
 	return out, nil
 }
@@ -97,10 +108,10 @@ func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 func (d *Dataset[T]) Cache() *Dataset[T] {
 	d.cacheMu.Lock()
 	defer d.cacheMu.Unlock()
-	if !d.cacheOn {
-		d.cacheOn = true
+	if !d.cacheOn.Load() {
 		d.cached = make([][]T, d.numPart)
 		d.cachedOK = make([]bool, d.numPart)
+		d.cacheOn.Store(true)
 	}
 	return d
 }
@@ -109,7 +120,7 @@ func (d *Dataset[T]) Cache() *Dataset[T] {
 func (d *Dataset[T]) Unpersist() {
 	d.cacheMu.Lock()
 	defer d.cacheMu.Unlock()
-	d.cacheOn = false
+	d.cacheOn.Store(false)
 	d.cached = nil
 	d.cachedOK = nil
 }
@@ -262,9 +273,16 @@ func (d *Dataset[T]) CollectPartitions(parts []int) ([]T, error) {
 
 // Count returns the number of elements.
 func (d *Dataset[T]) Count() (int64, error) {
+	return d.CountPartitions(allPartitions(d.numPart))
+}
+
+// CountPartitions counts the elements of only the listed partitions —
+// the counting counterpart of CollectPartitions, used by
+// partition-pruned queries.
+func (d *Dataset[T]) CountPartitions(parts []int) (int64, error) {
 	var total int64
 	var mu sync.Mutex
-	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
+	err := d.ctx.runJob(parts, func(p int) error {
 		out, err := d.ComputePartition(p)
 		if err != nil {
 			return err

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheToggleConcurrentCompute exercises the cacheOn flag from
+// concurrent readers (ComputePartition, as every task does) while
+// Cache/Unpersist toggle it — the access pattern that used to race.
+// Run with -race to verify the synchronisation.
+func TestCacheToggleConcurrentCompute(t *testing.T) {
+	ctx := NewContext(4)
+	data := make([]int, 1024)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(ctx, data, 8)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for p := 0; p < d.NumPartitions(); p++ {
+					out, err := d.ComputePartition(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(out) != 128 {
+						t.Errorf("partition %d: %d elements, want 128", p, len(out))
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		d.Cache()
+		if _, err := d.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		d.Unpersist()
+	}
+	close(stop)
+	wg.Wait()
+}

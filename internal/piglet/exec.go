@@ -5,46 +5,45 @@ import (
 	"sort"
 	"strings"
 
-	"stark/internal/cluster"
-	"stark/internal/core"
-	"stark/internal/dfs"
-	"stark/internal/engine"
+	"stark"
 	"stark/internal/geom"
-	"stark/internal/partition"
-	"stark/internal/stobject"
-	"stark/internal/temporal"
 	"stark/internal/workload"
 )
+
+// The executor compiles piglet statements onto the public stark DSL:
+// every relation carries a fluent Dataset, so PARTITION/INDEX/FILTER
+// compose exactly like a hand-written chain — including the unified
+// index modes — and each statement surfaces its deferred chain error
+// with its line number.
 
 // Row is a piglet tuple: the source event plus fields produced by
 // operators downstream (cluster label, kNN distance, group counts).
 type Row struct {
 	Event    workload.Event
-	Cluster  int     // cluster.Noise-1 when not clustered yet
+	Cluster  int     // NotClustered when not clustered yet
 	Distance float64 // kNN distance; 0 unless produced by KNN
 	Group    string  // GROUPCOUNT key
 	Count    int64   // GROUPCOUNT value
 }
 
 // NotClustered marks rows that never passed a CLUSTER operator.
-const NotClustered = cluster.Noise - 1
+const NotClustered = stark.ClusterNoise - 1
 
-// Relation is a named intermediate result: the rows plus the
-// spatially partitioned dataset when a PARTITION operator produced
-// it.
+// Relation is a named intermediate result: the materialised rows plus
+// the Dataset the next operator chains from (spatially partitioned
+// and/or indexed when PARTITION/INDEX produced it).
 type Relation struct {
-	rows []core.Tuple[Row]
-	sds  *core.SpatialDataset[Row]
-	idx  *core.IndexedDataset[Row] // non-nil after INDEX
+	rows []stark.Tuple[Row]
+	ds   *stark.Dataset[Row]
 }
 
 // Rows returns the relation's tuples.
-func (r *Relation) Rows() []core.Tuple[Row] { return r.rows }
+func (r *Relation) Rows() []stark.Tuple[Row] { return r.rows }
 
 // Env is the execution environment of a script.
 type Env struct {
-	Ctx *engine.Context
-	FS  *dfs.FileSystem
+	Ctx *stark.Context
+	FS  *stark.DFS
 	// DefaultParallelism is the partition count for freshly loaded
 	// relations; 0 selects Ctx.Parallelism().
 	DefaultParallelism int
@@ -109,10 +108,9 @@ func (ex *executor) relation(name string, line int) (*Relation, error) {
 	return r, nil
 }
 
-// fresh wraps rows into a Relation with a SpatialDataset.
-func (ex *executor) fresh(rows []core.Tuple[Row]) *Relation {
-	ds := engine.Parallelize(ex.env.Ctx, rows, ex.parallelism())
-	return &Relation{rows: rows, sds: core.Wrap(ds)}
+// fresh wraps rows into a Relation with an unpartitioned Dataset.
+func (ex *executor) fresh(rows []stark.Tuple[Row]) *Relation {
+	return &Relation{rows: rows, ds: stark.Parallelize(ex.env.Ctx, rows, ex.parallelism())}
 }
 
 func (ex *executor) exec(s Statement) error {
@@ -150,8 +148,8 @@ func (ex *executor) exec(s Statement) error {
 			env = env.ExpandToInclude(kv.Key.Envelope())
 		}
 		parts := "unpartitioned"
-		if rel.sds != nil && rel.sds.Partitioner() != nil {
-			parts = fmt.Sprintf("%d spatial partitions", rel.sds.NumPartitions())
+		if sp, err := rel.ds.Partitioner(); err == nil && sp != nil {
+			parts = fmt.Sprintf("%d spatial partitions", sp.NumPartitions())
 		}
 		ex.out.Dumped = append(ex.out.Dumped, fmt.Sprintf(
 			"%s: %d rows, %d timed, %d clustered, extent %s, %s",
@@ -178,7 +176,7 @@ func (ex *executor) exec(s Statement) error {
 	}
 }
 
-func formatRow(rel string, kv core.Tuple[Row]) string {
+func formatRow(rel string, kv stark.Tuple[Row]) string {
 	r := kv.Value
 	if r.Group != "" {
 		return fmt.Sprintf("%s: (%s, %d)", rel, r.Group, r.Count)
@@ -200,13 +198,13 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		rows := make([]core.Tuple[Row], 0, len(events))
+		rows := make([]stark.Tuple[Row], 0, len(events))
 		for _, e := range events {
 			obj, err := e.ToSTObject()
 			if err != nil {
 				return nil, fmt.Errorf("piglet: line %d: event %d: %w", st.Line, e.ID, err)
 			}
-			rows = append(rows, engine.NewPair(obj, Row{Event: e, Cluster: NotClustered}))
+			rows = append(rows, stark.NewTuple(obj, Row{Event: e, Cluster: NotClustered}))
 		}
 		return ex.fresh(rows), nil
 
@@ -219,74 +217,63 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		var rows []core.Tuple[Row]
-		if rel.idx != nil {
-			rows, err = filterIndexed(rel.idx, q, op.Pred, expand)
-		} else {
-			rows, err = rel.sds.Filter(q, q.Envelope().ExpandBy(expand), pred)
-		}
+		// Where dispatches by the relation's index mode: scan, live
+		// probe or persistent probe — one call path for all three.
+		rows, err := rel.ds.Where(q, pred, expand).Collect()
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		out := ex.fresh(rows)
-		return out, nil
+		return ex.fresh(rows), nil
 
 	case PartitionOp:
 		rel, err := ex.relation(op.Input, st.Line)
 		if err != nil {
 			return nil, err
 		}
-		objs := make([]stobject.STObject, len(rel.rows))
-		for i, kv := range rel.rows {
-			objs[i] = kv.Key
-		}
-		var sp partition.SpatialPartitioner
+		var p stark.Partitioner
 		switch op.Kind {
 		case "grid":
-			sp, err = partition.NewGrid(op.Param, objs)
+			p = stark.Grid(op.Param)
 		case "bsp":
-			sp, err = partition.NewBSP(partition.BSPConfig{MaxCost: op.Param}, objs)
+			p = stark.BSP(op.Param)
 		default:
-			err = fmt.Errorf("unknown partitioner %q", op.Kind)
+			return nil, fmt.Errorf("piglet: line %d: unknown partitioner %q", st.Line, op.Kind)
 		}
-		if err != nil {
+		parted := rel.ds.PartitionBy(p)
+		if err := parted.Run(); err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		parted, err := rel.sds.PartitionBy(sp)
-		if err != nil {
-			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
-		}
-		return &Relation{rows: rel.rows, sds: parted}, nil
+		return &Relation{rows: rel.rows, ds: parted}, nil
 
 	case IndexOp:
 		rel, err := ex.relation(op.Input, st.Line)
 		if err != nil {
 			return nil, err
 		}
-		idx, err := rel.sds.LiveIndex(op.Order, nil)
-		if err != nil {
+		indexed := rel.ds.Index(stark.Live(op.Order))
+		if err := indexed.Run(); err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		return &Relation{rows: rel.rows, sds: rel.sds, idx: idx}, nil
+		return &Relation{rows: rel.rows, ds: indexed}, nil
 
 	case KNNOp:
 		rel, err := ex.relation(op.Input, st.Line)
 		if err != nil {
 			return nil, err
 		}
-		q, err := stobject.FromWKT(op.WKT)
+		q, err := stark.FromWKT(op.WKT)
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		nbrs, err := rel.sds.KNN(q, op.K, nil)
+		nbrs, err := rel.ds.KNN(q, op.K)
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		rows := make([]core.Tuple[Row], len(nbrs))
+		rows := make([]stark.Tuple[Row], len(nbrs))
 		for i, nb := range nbrs {
 			row := nb.Value
 			row.Distance = nb.Distance
-			rows[i] = engine.NewPair(nb.Key, row)
+			rows[i] = stark.NewTuple(nb.Key, row)
 		}
 		return ex.fresh(rows), nil
 
@@ -295,15 +282,15 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		recs, _, err := rel.sds.Cluster(core.ClusterOptions{Eps: op.Eps, MinPts: op.MinPts})
+		recs, _, err := rel.ds.Cluster(stark.ClusterOptions{Eps: op.Eps, MinPts: op.MinPts})
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		rows := make([]core.Tuple[Row], len(recs))
+		rows := make([]stark.Tuple[Row], len(recs))
 		for i, rec := range recs {
 			row := rec.Value
 			row.Cluster = rec.Cluster
-			rows[i] = engine.NewPair(rec.Key, row)
+			rows[i] = stark.NewTuple(rec.Key, row)
 		}
 		return ex.fresh(rows), nil
 
@@ -320,21 +307,21 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		joined, err := core.Join(left.sds, right.sds, core.JoinOptions{
+		joined, err := stark.Join(left.ds, right.ds, stark.JoinOptions{
 			Predicate:      pred,
 			IndexOrder:     -1,
 			ProbeExpansion: expand,
-		})
+		}).Collect()
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
 		// The joined relation keeps the left row; the right event ID
 		// is recorded in the group field for inspection.
-		rows := make([]core.Tuple[Row], len(joined))
-		for i, jp := range joined {
-			row := jp.LeftVal
-			row.Group = fmt.Sprintf("%d/%d", jp.LeftVal.Event.ID, jp.RightVal.Event.ID)
-			rows[i] = engine.NewPair(jp.LeftKey, row)
+		rows := make([]stark.Tuple[Row], len(joined))
+		for i, kv := range joined {
+			row := kv.Value.Left
+			row.Group = fmt.Sprintf("%d/%d", kv.Value.Left.Event.ID, kv.Value.Right.Event.ID)
+			rows[i] = stark.NewTuple(kv.Key, row)
 		}
 		return ex.fresh(rows), nil
 
@@ -357,10 +344,7 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		if op.Fraction < 0 || op.Fraction > 1 {
-			return nil, fmt.Errorf("piglet: line %d: sample fraction %v outside [0, 1]", st.Line, op.Fraction)
-		}
-		sampled, err := rel.sds.Dataset().Sample(op.Fraction, op.Seed).Collect()
+		sampled, err := rel.ds.Sample(op.Fraction, op.Seed).Collect()
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
@@ -372,7 +356,7 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			return nil, err
 		}
 		seen := make(map[int]bool, len(rel.rows))
-		var rows []core.Tuple[Row]
+		var rows []stark.Tuple[Row]
 		for _, kv := range rel.rows {
 			if !seen[kv.Value.Event.ID] {
 				seen[kv.Value.Event.ID] = true
@@ -390,7 +374,7 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := make([]core.Tuple[Row], 0, len(left.rows)+len(right.rows))
+		rows := make([]stark.Tuple[Row], 0, len(left.rows)+len(right.rows))
 		rows = append(rows, left.rows...)
 		rows = append(rows, right.rows...)
 		return ex.fresh(rows), nil
@@ -403,17 +387,17 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if op.Radius <= 0 {
 			return nil, fmt.Errorf("piglet: line %d: buffer radius must be > 0, got %v", st.Line, op.Radius)
 		}
-		rows := make([]core.Tuple[Row], 0, len(rel.rows))
+		rows := make([]stark.Tuple[Row], 0, len(rel.rows))
 		for _, kv := range rel.rows {
 			disc, ok := geom.BufferPoint(kv.Key.Centroid(), op.Radius, 32)
 			if !ok {
 				return nil, fmt.Errorf("piglet: line %d: buffering failed", st.Line)
 			}
-			key := stobject.New(geom.Geometry(disc))
+			key := stark.NewSTObject(stark.Geometry(disc))
 			if iv, has := kv.Key.Time(); has {
-				key = stobject.NewWithInterval(disc, iv)
+				key = stark.NewSTObjectWithInterval(disc, iv)
 			}
-			rows = append(rows, engine.NewPair(key, kv.Value))
+			rows = append(rows, stark.NewTuple(key, kv.Value))
 		}
 		return ex.fresh(rows), nil
 
@@ -422,14 +406,11 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		keyOf := func(r Row) string { return r.Event.Category }
+		keyOf := func(kv stark.Tuple[Row]) string { return kv.Value.Event.Category }
 		if op.Field == "cluster" {
-			keyOf = func(r Row) string { return fmt.Sprintf("cluster-%d", r.Cluster) }
+			keyOf = func(kv stark.Tuple[Row]) string { return fmt.Sprintf("cluster-%d", kv.Value.Cluster) }
 		}
-		pairs := engine.Map(rel.sds.Dataset(), func(kv core.Tuple[Row]) engine.Pair[string, int64] {
-			return engine.NewPair(keyOf(kv.Value), int64(1))
-		})
-		counts, err := engine.CountByKey(pairs)
+		counts, err := stark.CountBy(rel.ds, keyOf)
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
@@ -438,9 +419,9 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		rows := make([]core.Tuple[Row], 0, len(keys))
+		rows := make([]stark.Tuple[Row], 0, len(keys))
 		for _, k := range keys {
-			rows = append(rows, engine.NewPair(stobject.STObject{},
+			rows = append(rows, stark.NewTuple(stark.STObject{},
 				Row{Group: k, Count: counts[k], Cluster: NotClustered}))
 		}
 		return ex.fresh(rows), nil
@@ -451,81 +432,42 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 }
 
 // compilePredicate turns a filter predicate literal into a query
-// object, a core predicate and a pruning expansion.
-func compilePredicate(p Predicate) (stobject.STObject, stobject.Predicate, float64, error) {
-	g, err := geom.ParseWKT(p.WKT)
+// object, a predicate and a pruning expansion.
+func compilePredicate(p Predicate) (stark.STObject, stark.Predicate, float64, error) {
+	g, err := stark.ParseWKT(p.WKT)
 	if err != nil {
-		return stobject.STObject{}, nil, 0, err
+		return stark.STObject{}, nil, 0, err
 	}
-	var q stobject.STObject
+	var q stark.STObject
 	if p.HasTime {
-		iv, err := temporal.NewInterval(temporal.Instant(p.Begin), temporal.Instant(p.End))
+		iv, err := stark.NewInterval(stark.Instant(p.Begin), stark.Instant(p.End))
 		if err != nil {
-			return stobject.STObject{}, nil, 0, err
+			return stark.STObject{}, nil, 0, err
 		}
-		q = stobject.NewWithInterval(g, iv)
+		q = stark.NewSTObjectWithInterval(g, iv)
 	} else {
-		q = stobject.New(g)
+		q = stark.NewSTObject(g)
 	}
-	switch p.Kind {
-	case "intersects":
-		return q, stobject.Intersects, 0, nil
-	case "contains":
-		return q, stobject.Contains, 0, nil
-	case "containedby":
-		return q, stobject.ContainedBy, 0, nil
-	case "coveredby":
-		return q, stobject.CoveredBy, 0, nil
-	case "withindistance":
-		return q, stobject.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
-	default:
-		return stobject.STObject{}, nil, 0, fmt.Errorf("unknown predicate %q", p.Kind)
+	pred, expand, err := compileJoinPredicate(p)
+	if err != nil {
+		return stark.STObject{}, nil, 0, err
 	}
+	return q, pred, expand, nil
 }
 
-func compileJoinPredicate(p Predicate) (stobject.Predicate, float64, error) {
+func compileJoinPredicate(p Predicate) (stark.Predicate, float64, error) {
 	switch p.Kind {
 	case "intersects":
-		return stobject.Intersects, 0, nil
+		return stark.Intersects, 0, nil
 	case "contains":
-		return stobject.Contains, 0, nil
+		return stark.Contains, 0, nil
 	case "containedby":
-		return stobject.ContainedBy, 0, nil
+		return stark.ContainedBy, 0, nil
 	case "coveredby":
-		return stobject.CoveredBy, 0, nil
+		return stark.CoveredBy, 0, nil
 	case "withindistance":
-		return stobject.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
+		return stark.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
 	default:
-		return nil, 0, fmt.Errorf("unknown join predicate %q", p.Kind)
-	}
-}
-
-// filterIndexed dispatches an indexed filter by predicate kind.
-func filterIndexed(idx *core.IndexedDataset[Row], q stobject.STObject, p Predicate, expand float64) ([]core.Tuple[Row], error) {
-	switch p.Kind {
-	case "intersects":
-		return idx.Intersects(q)
-	case "contains":
-		return idx.Contains(q)
-	case "containedby":
-		return idx.ContainedBy(q)
-	case "coveredby":
-		// CoveredBy shares ContainedBy's candidate set; refine
-		// exactly.
-		all, err := idx.Intersects(q)
-		if err != nil {
-			return nil, err
-		}
-		var out []core.Tuple[Row]
-		for _, kv := range all {
-			if kv.Key.CoveredBy(q) {
-				out = append(out, kv)
-			}
-		}
-		return out, nil
-	case "withindistance":
-		return idx.WithinDistance(q, p.Distance, nil)
-	default:
-		return nil, fmt.Errorf("unknown predicate %q", p.Kind)
+		return nil, 0, fmt.Errorf("unknown predicate %q", p.Kind)
 	}
 }

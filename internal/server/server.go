@@ -11,29 +11,30 @@ import (
 	"net/http"
 	"strings"
 
-	"stark/internal/core"
-	"stark/internal/engine"
+	"stark"
 	"stark/internal/geom"
-	"stark/internal/stobject"
-	"stark/internal/temporal"
 	"stark/internal/workload"
 )
 
-// Server serves queries over one event dataset.
+// Server serves queries over one event dataset, driving the public
+// fluent DSL: handlers build a chain per request and surface the
+// deferred error at the terminal action.
 type Server struct {
-	ctx *engine.Context
-	ds  *core.SpatialDataset[workload.Event]
+	ctx *stark.Context
+	ds  *stark.Dataset[workload.Event]
 	mux *http.ServeMux
 }
 
 // New builds a server over the given events.
-func New(ctx *engine.Context, events []workload.Event) (*Server, error) {
+func New(ctx *stark.Context, events []workload.Event) (*Server, error) {
 	tuples, dropped := workload.EventTuples(events)
 	if dropped > 0 {
 		return nil, fmt.Errorf("server: %d events with invalid WKT", dropped)
 	}
-	ds := core.Wrap(engine.Parallelize(ctx, tuples, ctx.Parallelism()))
-	ds.Cache()
+	ds := stark.Parallelize(ctx, tuples).Cache()
+	if err := ds.Run(); err != nil {
+		return nil, fmt.Errorf("server: staging events: %w", err)
+	}
 	s := &Server{ctx: ctx, ds: ds, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
@@ -99,19 +100,19 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(indexHTML))
 }
 
-func (s *Server) queryObject(req QueryRequest) (stobject.STObject, error) {
-	g, err := geom.ParseWKT(req.WKT)
+func (s *Server) queryObject(req QueryRequest) (stark.STObject, error) {
+	g, err := stark.ParseWKT(req.WKT)
 	if err != nil {
-		return stobject.STObject{}, err
+		return stark.STObject{}, err
 	}
 	if !req.HasTime {
-		return stobject.New(g), nil
+		return stark.NewSTObject(g), nil
 	}
-	iv, err := temporal.NewInterval(temporal.Instant(req.Begin), temporal.Instant(req.End))
+	iv, err := stark.NewInterval(stark.Instant(req.Begin), stark.Instant(req.End))
 	if err != nil {
-		return stobject.STObject{}, err
+		return stark.STObject{}, err
 	}
-	return stobject.NewWithInterval(g, iv), nil
+	return stark.NewSTObjectWithInterval(g, iv), nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -129,26 +130,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad query: %v", err)
 		return
 	}
-	var hits []core.Tuple[workload.Event]
+	var filtered *stark.Dataset[workload.Event]
 	switch strings.ToLower(req.Predicate) {
 	case "intersects", "":
-		hits, err = s.ds.Intersects(q)
+		filtered = s.ds.Intersects(q)
 	case "contains":
-		hits, err = s.ds.Contains(q)
+		filtered = s.ds.Contains(q)
 	case "containedby":
-		hits, err = s.ds.ContainedBy(q)
+		filtered = s.ds.ContainedBy(q)
 	case "coveredby":
-		hits, err = s.ds.CoveredBy(q)
+		filtered = s.ds.CoveredBy(q)
 	case "withindistance":
 		if req.Distance <= 0 {
 			httpError(w, http.StatusBadRequest, "withindistance needs distance > 0")
 			return
 		}
-		hits, err = s.ds.WithinDistance(q, req.Distance, nil)
+		filtered = s.ds.WithinDistance(q, req.Distance, nil)
 	default:
 		httpError(w, http.StatusBadRequest, "unknown predicate %q", req.Predicate)
 		return
 	}
+	hits, err := filtered.Collect()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
@@ -166,7 +168,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	q, err := stobject.FromWKT(req.WKT)
+	q, err := stark.FromWKT(req.WKT)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad query: %v", err)
 		return
@@ -175,15 +177,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be >= 1")
 		return
 	}
-	nbrs, err := s.ds.KNN(q, req.K, nil)
+	nbrs, err := s.ds.KNN(q, req.K)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "knn failed: %v", err)
 		return
 	}
-	hits := make([]core.Tuple[workload.Event], len(nbrs))
+	hits := make([]stark.Tuple[workload.Event], len(nbrs))
 	dists := make([]float64, len(nbrs))
 	for i, nb := range nbrs {
-		hits[i] = engine.NewPair(nb.Key, nb.Value)
+		hits[i] = stark.NewTuple(nb.Key, nb.Value)
 		dists[i] = nb.Distance
 	}
 	writeJSON(w, featureCollection(hits, dists, nil))
@@ -199,15 +201,15 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	recs, n, err := s.ds.Cluster(core.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
+	recs, n, err := s.ds.Cluster(stark.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "cluster failed: %v", err)
 		return
 	}
-	hits := make([]core.Tuple[workload.Event], len(recs))
+	hits := make([]stark.Tuple[workload.Event], len(recs))
 	labels := make([]int, len(recs))
 	for i, rec := range recs {
-		hits[i] = engine.NewPair(rec.Key, rec.Value)
+		hits[i] = stark.NewTuple(rec.Key, rec.Value)
 		labels[i] = rec.Cluster
 	}
 	fc := featureCollection(hits, nil, labels)
@@ -221,10 +223,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "count failed: %v", err)
 		return
 	}
+	parts, err := s.ds.NumPartitions()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "stats failed: %v", err)
+		return
+	}
 	snap := s.ctx.Metrics().Snapshot()
 	writeJSON(w, map[string]interface{}{
 		"events":          n,
-		"partitions":      s.ds.NumPartitions(),
+		"partitions":      parts,
 		"parallelism":     s.ctx.Parallelism(),
 		"tasksLaunched":   snap.TasksLaunched,
 		"tasksSkipped":    snap.TasksSkipped,
@@ -234,7 +241,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // featureCollection renders events as GeoJSON. dists and labels are
 // optional parallel slices adding distance / cluster properties.
-func featureCollection(hits []core.Tuple[workload.Event], dists []float64, labels []int) map[string]interface{} {
+func featureCollection(hits []stark.Tuple[workload.Event], dists []float64, labels []int) map[string]interface{} {
 	features := make([]map[string]interface{}, 0, len(hits))
 	for i, kv := range hits {
 		props := map[string]interface{}{

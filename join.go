@@ -1,0 +1,106 @@
+package stark
+
+// This file provides the join operators of the DSL. Because Go
+// methods cannot introduce type parameters, joins are package
+// functions over two Datasets; the spatio-temporal join is itself
+// chainable (it returns a Dataset keyed by the left record), so
+// load → partition → filter → join → collect reads as one pipeline.
+
+import (
+	"fmt"
+
+	"stark/internal/core"
+	"stark/internal/engine"
+)
+
+// JoinOptions configures a spatial join: the predicate (nil selects
+// Intersects), the per-partition-pair R-tree order (0 = nested loop,
+// negative = default order), the probe expansion for distance
+// predicates, and a pruning kill switch for ablations.
+type JoinOptions = core.JoinOptions
+
+// JoinRow is one result row of Join: the right record folded into the
+// left record's payload. The row's key is the left key.
+type JoinRow[V, W any] struct {
+	Left     V
+	RightKey STObject
+	Right    W
+}
+
+// Join computes the spatio-temporal join of l and r: every pair of
+// records whose keys satisfy the predicate. When both sides are
+// spatially partitioned, partition pairs with disjoint extents are
+// pruned — the execution strategy of the paper's Figure 4. The result
+// is a Dataset keyed by the left record's STObject, so further
+// operators chain; errors from either input surface at the action
+// (the left input's error wins when both failed).
+func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[JoinRow[V, W]] {
+	lres, rres := l.resolve, r.resolve
+	return newDataset(l.ctx, func() (state[JoinRow[V, W]], error) {
+		ls, err := lres()
+		if err != nil {
+			return state[JoinRow[V, W]]{}, err
+		}
+		rs, err := rres()
+		if err != nil {
+			return state[JoinRow[V, W]]{}, err
+		}
+		pairs, err := core.Join(ls.sds, rs.sds, opts)
+		if err != nil {
+			return state[JoinRow[V, W]]{}, fmt.Errorf("stark: join: %w", err)
+		}
+		rows := make([]Tuple[JoinRow[V, W]], len(pairs))
+		for i, jp := range pairs {
+			rows[i] = NewTuple(jp.LeftKey, JoinRow[V, W]{
+				Left: jp.LeftVal, RightKey: jp.RightKey, Right: jp.RightVal,
+			})
+		}
+		return state[JoinRow[V, W]]{sds: core.Wrap(engine.Parallelize(l.ctx, rows, 0))}, nil
+	})
+}
+
+// SelfJoin joins the dataset with itself (identity pairs included,
+// matching rdd.join(rdd)).
+func SelfJoin[V any](d *Dataset[V], opts JoinOptions) *Dataset[JoinRow[V, V]] {
+	return Join(d, d, opts)
+}
+
+// SelfJoinWithinDistanceCount counts the unordered within-eps pairs
+// (self pairs included) of the dataset — the workload and result
+// convention of the paper's Figure 4 micro-benchmark, executed with
+// the symmetric, streaming strategy. order <= 0 selects the default
+// R-tree order.
+func SelfJoinWithinDistanceCount[V any](d *Dataset[V], eps float64, order int) (int64, error) {
+	st, err := d.force()
+	if err != nil {
+		return 0, err
+	}
+	n, err := core.SelfJoinWithinDistanceCount(st.sds, eps, order)
+	if err != nil {
+		return 0, fmt.Errorf("stark: selfJoinWithinDistanceCount: %w", err)
+	}
+	return n, nil
+}
+
+// KNNJoinRow is one kNN-join result row: a left payload, one of its k
+// nearest right payloads, and their distance.
+type KNNJoinRow[V, W any] = core.KNNJoinRow[V, W]
+
+// KNNJoin returns, for every left record, its k nearest right records
+// by planar distance — k consecutive rows per left record, ascending
+// by distance.
+func KNNJoin[V, W any](l *Dataset[V], r *Dataset[W], k int) ([]KNNJoinRow[V, W], error) {
+	ls, err := l.force()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := r.force()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := core.KNNJoin(ls.sds, rs.sds, k)
+	if err != nil {
+		return nil, fmt.Errorf("stark: kNNJoin: %w", err)
+	}
+	return rows, nil
+}

@@ -1,0 +1,86 @@
+package stark
+
+// This file provides the partitioner constructors of the DSL. A
+// Partitioner value is a recipe — Grid(4), BSP(1024), Voronoi(64, 7)
+// — that Dataset.PartitionBy turns into a concrete spatial
+// partitioner over the dataset's keys when the chain resolves, so
+// partitioning composes fluently without the caller collecting keys
+// or handling construction errors mid-chain.
+
+import (
+	"fmt"
+
+	"stark/internal/partition"
+)
+
+// Partitioner is a deferred spatial-partitioner recipe consumed by
+// Dataset.PartitionBy. Construct values with Grid, BSP, Voronoi or
+// WithPartitioner.
+type Partitioner struct {
+	name string
+	// build receives a lazy key loader so recipes that do not need
+	// the data (WithPartitioner) skip the collect.
+	build func(keys func() ([]STObject, error)) (partition.SpatialPartitioner, error)
+}
+
+// String names the recipe for diagnostics.
+func (p Partitioner) String() string { return p.name }
+
+func dataPartitioner(name string, mk func(objs []STObject) (partition.SpatialPartitioner, error)) Partitioner {
+	return Partitioner{name: name, build: func(keys func() ([]STObject, error)) (partition.SpatialPartitioner, error) {
+		objs, err := keys()
+		if err != nil {
+			return nil, err
+		}
+		return mk(objs)
+	}}
+}
+
+// Grid partitions the data space into ppd × ppd equal cells with
+// centroid assignment — fast to build, skew-sensitive.
+func Grid(ppd int) Partitioner {
+	return dataPartitioner(fmt.Sprintf("grid(%d)", ppd),
+		func(objs []STObject) (partition.SpatialPartitioner, error) {
+			return partition.NewGrid(ppd, objs)
+		})
+}
+
+// BSP builds the cost-based binary space partitioner: regions are
+// recursively split until they hold at most maxCost objects, so dense
+// areas are finely divided and sparse areas stay coarse — the paper's
+// skew-robust choice.
+func BSP(maxCost int) Partitioner {
+	return dataPartitioner(fmt.Sprintf("bsp(%d)", maxCost),
+		func(objs []STObject) (partition.SpatialPartitioner, error) {
+			return partition.NewBSP(partition.BSPConfig{MaxCost: maxCost}, objs)
+		})
+}
+
+// BSPWithMinSide is BSP with a granularity floor: regions whose sides
+// are both <= minSide are never split further.
+func BSPWithMinSide(maxCost int, minSide float64) Partitioner {
+	return dataPartitioner(fmt.Sprintf("bsp(%d,%g)", maxCost, minSide),
+		func(objs []STObject) (partition.SpatialPartitioner, error) {
+			return partition.NewBSP(partition.BSPConfig{MaxCost: maxCost, MinSide: minSide}, objs)
+		})
+}
+
+// Voronoi partitions by nearest of numSeeds sample seeds drawn with
+// the given random seed.
+func Voronoi(numSeeds int, seed int64) Partitioner {
+	return dataPartitioner(fmt.Sprintf("voronoi(%d)", numSeeds),
+		func(objs []STObject) (partition.SpatialPartitioner, error) {
+			return partition.NewVoronoi(numSeeds, seed, objs)
+		})
+}
+
+// WithPartitioner adapts an already-built spatial partitioner, for
+// callers that construct or tune one outside the chain.
+func WithPartitioner(sp SpatialPartitioner) Partitioner {
+	return Partitioner{name: "prebuilt", build: func(func() ([]STObject, error)) (partition.SpatialPartitioner, error) {
+		if sp == nil {
+			return nil, fmt.Errorf("nil partitioner")
+		}
+		return sp, nil
+	}}
+}

@@ -1,0 +1,250 @@
+// Tests for the public fluent DSL: the quickstart round trip
+// (load → partition → index → filter → join → collect), agreement of
+// the three indexing modes, and deferred-error propagation — the
+// first failed step is the error the terminal action reports, without
+// panicking.
+package stark_test
+
+import (
+	"strings"
+	"testing"
+
+	"stark"
+	"stark/internal/workload"
+)
+
+func apiTuples(t testing.TB, n int) []stark.Tuple[int] {
+	t.Helper()
+	return workload.Tuples(workload.Config{
+		N: n, Seed: 11, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1000,
+	})
+}
+
+// apiSpatialTuples returns tuples without a temporal component, for
+// spatial-only queries (the combined semantics reject timed/untimed
+// mixes).
+func apiSpatialTuples(t testing.TB, n int) []stark.Tuple[int] {
+	t.Helper()
+	return workload.SpatialTuples(workload.Config{
+		N: n, Seed: 11, Dist: workload.Skewed, Width: 1000, Height: 1000,
+	})
+}
+
+// TestFluentRoundTrip drives the full pipeline through the DSL and
+// cross-checks every stage against a brute-force reference.
+func TestFluentRoundTrip(t *testing.T) {
+	ctx := stark.NewContext(4)
+	tuples := apiTuples(t, 5_000)
+
+	q := stark.NewSTObjectWithInterval(
+		stark.NewEnvelope(200, 200, 600, 600).ToPolygon(),
+		stark.MustInterval(0, 400))
+
+	// Brute-force reference for the filter.
+	var want []stark.Tuple[int]
+	for _, kv := range tuples {
+		if kv.Key.ContainedBy(q) {
+			want = append(want, kv)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate query")
+	}
+
+	// load → partition → index → filter → collect, one chain.
+	events := stark.Parallelize(ctx, tuples, 8).
+		PartitionBy(stark.BSP(500)).
+		Index(stark.Live(8))
+	filtered := events.ContainedBy(q)
+	got, err := filtered.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("filter: got %d records, want %d", len(got), len(want))
+	}
+	n, err := filtered.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(want) {
+		t.Fatalf("count: got %d, want %d", n, len(want))
+	}
+
+	// join: regions of interest × filtered events. The regions carry
+	// no time, so the events are re-keyed spatially first (mixed
+	// timed/untimed pairs never match under the combined semantics).
+	regions := workload.Regions(workload.Config{Seed: 5, Width: 1000, Height: 1000}, 200)
+	regionTuples := make([]stark.Tuple[int], len(regions))
+	for i, r := range regions {
+		regionTuples[i] = stark.NewTuple(r, i)
+	}
+	regionDS := stark.Parallelize(ctx, regionTuples, 2)
+	spatial := stark.ReKey(filtered, func(key stark.STObject, _ int) stark.STObject {
+		return stark.NewSTObject(key.Geo())
+	})
+	joined, err := stark.Join(regionDS, spatial, stark.JoinOptions{IndexOrder: -1}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin := 0
+	for _, r := range regionTuples {
+		for _, kv := range want {
+			if r.Key.Intersects(stark.NewSTObject(kv.Key.Geo())) {
+				wantJoin++
+			}
+		}
+	}
+	if len(joined) != wantJoin {
+		t.Fatalf("join: got %d pairs, want %d", len(joined), wantJoin)
+	}
+	if wantJoin == 0 {
+		t.Fatal("degenerate join")
+	}
+
+	// The headline chain: filter then kNN off the same builder.
+	ref := stark.NewSTObject(stark.NewPoint(400, 400))
+	nbrs, err := events.Intersects(q).KNN(ref, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 5 {
+		t.Fatalf("kNN returned %d neighbours, want 5", len(nbrs))
+	}
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i].Distance < nbrs[i-1].Distance {
+			t.Fatal("kNN results not sorted by distance")
+		}
+	}
+}
+
+// TestIndexModesAgree runs one query under all three indexing modes
+// and demands identical results — the unified Index(mode) surface
+// must not change semantics.
+func TestIndexModesAgree(t *testing.T) {
+	ctx := stark.NewContext(4)
+	tuples := apiSpatialTuples(t, 4_000)
+	q := stark.NewSTObject(stark.NewEnvelope(300, 300, 700, 700).ToPolygon())
+
+	base := stark.Parallelize(ctx, tuples, 8).PartitionBy(stark.Grid(4)).Cache()
+	ids := func(mode stark.IndexMode) map[int]bool {
+		t.Helper()
+		rows, err := base.Index(mode).Intersects(q).Collect()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		out := make(map[int]bool, len(rows))
+		for _, kv := range rows {
+			out[kv.Value] = true
+		}
+		return out
+	}
+	none := ids(stark.NoIndexing)
+	live := ids(stark.Live(8))
+	persistent := ids(stark.Persistent(8))
+	if len(none) == 0 {
+		t.Fatal("degenerate query")
+	}
+	if len(live) != len(none) || len(persistent) != len(none) {
+		t.Fatalf("result sizes differ: none=%d live=%d persistent=%d",
+			len(none), len(live), len(persistent))
+	}
+	for id := range none {
+		if !live[id] || !persistent[id] {
+			t.Fatalf("record %d missing from an indexed mode", id)
+		}
+	}
+}
+
+// TestDeferredErrorPropagation checks that a mid-chain failure is
+// carried to the action — and that the FIRST failed step wins even
+// when later steps would also fail.
+func TestDeferredErrorPropagation(t *testing.T) {
+	ctx := stark.NewContext(2)
+	tuples := apiTuples(t, 100)
+	q := stark.NewSTObject(stark.NewEnvelope(0, 0, 10, 10).ToPolygon())
+
+	// Grid(0) is invalid; Live(1) would be invalid too — the grid
+	// error must be the one reported, from every action, sans panic.
+	chain := stark.Parallelize(ctx, tuples).
+		PartitionBy(stark.Grid(0)).
+		Index(stark.Live(1)).
+		Intersects(q)
+
+	if _, err := chain.Collect(); err == nil {
+		t.Fatal("Collect on failed chain returned nil error")
+	} else {
+		if !strings.Contains(err.Error(), "partitionBy") {
+			t.Errorf("error %q does not name the failing step", err)
+		}
+		if !strings.Contains(err.Error(), "ppd") {
+			t.Errorf("error %q lost the underlying cause", err)
+		}
+		if strings.Contains(err.Error(), "index order") {
+			t.Errorf("error %q reports a later failure, not the first", err)
+		}
+	}
+	if _, err := chain.Count(); err == nil {
+		t.Error("Count on failed chain returned nil error")
+	}
+	if _, err := chain.KNN(q, 3); err == nil {
+		t.Error("KNN on failed chain returned nil error")
+	}
+	if err := chain.Run(); err == nil {
+		t.Error("Run on failed chain returned nil error")
+	}
+
+	// A failed input poisons a join the same way.
+	if _, err := stark.Join(chain, stark.Parallelize(ctx, tuples), stark.JoinOptions{}).Count(); err == nil {
+		t.Error("Join with failed left input returned nil error")
+	}
+
+	// Errors born in the middle of an otherwise healthy chain.
+	if _, err := stark.Parallelize(ctx, tuples).Index(stark.Live(1)).Collect(); err == nil {
+		t.Error("invalid index order not reported")
+	}
+	if _, err := stark.Parallelize(ctx, tuples).Intersects(stark.STObject{}).Collect(); err == nil {
+		t.Error("empty query object not reported")
+	}
+
+	// A healthy chain still works after all that.
+	if _, err := stark.Parallelize(ctx, tuples).Intersects(q).Collect(); err != nil {
+		t.Fatalf("healthy chain failed: %v", err)
+	}
+}
+
+// TestPartitionPruningAtAction verifies that a lazily filtered,
+// spatially partitioned chain skips non-overlapping partitions at the
+// action — the paper's pruning, preserved through the DSL.
+func TestPartitionPruningAtAction(t *testing.T) {
+	ctx := stark.NewContext(4)
+	tuples := apiSpatialTuples(t, 4_000)
+	// A small window around one known record: data to find, but far
+	// from most of the skewed clusters, so pruning has partitions to
+	// skip.
+	c := tuples[0].Key.Centroid()
+	q := stark.NewSTObject(stark.NewEnvelope(c.X-40, c.Y-40, c.X+40, c.Y+40).ToPolygon())
+
+	parted := stark.Parallelize(ctx, tuples, 8).PartitionBy(stark.Grid(4))
+	if err := parted.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Metrics().Snapshot().TasksSkipped
+	got, err := parted.Intersects(q).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ctx.Metrics().Snapshot().TasksSkipped
+	if after <= before {
+		t.Errorf("no partitions pruned (skipped %d -> %d)", before, after)
+	}
+	var want int
+	for _, kv := range tuples {
+		if kv.Key.Intersects(q) {
+			want++
+		}
+	}
+	if len(got) != want || want == 0 {
+		t.Fatalf("pruned collect returned %d records, want %d", len(got), want)
+	}
+}
