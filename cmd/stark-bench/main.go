@@ -4,20 +4,73 @@
 //
 //	stark-bench -experiment figure4 -n 1000000
 //	stark-bench -experiment all -n 100000 -parallelism 8
+//	stark-bench -experiment indexing -n 10000 -json
 //
 // Experiments: figure4 (the paper's micro-benchmark), partitioning,
 // indexing, stfilter, knn, dbscan, joins, localindex, persist, all.
+//
+// With -json, every experiment additionally writes a machine-readable
+// BENCH_<experiment>.json (into -json-dir, default the working
+// directory) holding the result rows, wall time, allocation counters
+// and the summed engine metrics snapshot — the artefact CI archives
+// to track the performance trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"stark/internal/bench"
+	"stark/internal/engine"
 	"stark/internal/workload"
 )
+
+// jsonReport is the schema of a BENCH_<experiment>.json file.
+type jsonReport struct {
+	Experiment  string                 `json:"experiment"`
+	Config      bench.Config           `json:"config"`
+	Rows        interface{}            `json:"rows"`
+	WallNs      int64                  `json:"ns_per_op"`     // one op = one experiment run
+	Allocs      uint64                 `json:"allocs_per_op"` // heap allocations during the run
+	AllocBytes  uint64                 `json:"alloc_bytes_per_op"`
+	Metrics     engine.MetricsSnapshot `json:"metrics"` // summed over the run's contexts
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	GeneratedAt time.Time              `json:"generated_at"`
+}
+
+// writeReport writes the report for one experiment, returning the
+// file path.
+func writeReport(dir string, rep jsonReport) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Experiment))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sumSnapshots adds up the metrics of every context an experiment
+// created.
+func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
+	var total engine.MetricsSnapshot
+	for _, c := range ctxs {
+		s := c.Metrics().Snapshot()
+		total.TasksLaunched += s.TasksLaunched
+		total.TasksSkipped += s.TasksSkipped
+		total.ElementsScanned += s.ElementsScanned
+		total.ShuffledRecords += s.ShuffledRecords
+		total.IndexProbes += s.IndexProbes
+		total.CandidatesRefined += s.CandidatesRefined
+	}
+	return total
+}
 
 func main() {
 	var (
@@ -27,6 +80,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "data generation seed")
 		eps         = flag.Float64("eps", 0, "self-join distance (0 = derived from n)")
 		dist        = flag.String("dist", "skewed", "spatial distribution: uniform|skewed|diagonal")
+		jsonOut     = flag.Bool("json", false, "write BENCH_<experiment>.json with rows, timings, allocs and metrics")
+		jsonDir     = flag.String("json-dir", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -45,6 +100,16 @@ func main() {
 	cfg := bench.Config{N: *n, Parallelism: *parallelism, Seed: *seed, Eps: *eps, Dist: d}
 
 	run := func(name string) error {
+		var (
+			result interface{}
+			ctxs   []*engine.Context
+		)
+		if *jsonOut {
+			cfg.Observe = func(c *engine.Context) { ctxs = append(ctxs, c) }
+		}
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
 		switch name {
 		case "figure4":
 			fmt.Printf("== Figure 4: self join on %d points (eps derived/%g, %s data) ==\n", *n, *eps, d)
@@ -53,6 +118,7 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatFigure4(rows))
+			result = rows
 		case "partitioning":
 			fmt.Println("== E1: partitioner construction and balance ==")
 			rows, err := bench.Partitioners(cfg)
@@ -63,6 +129,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-10s %-10s %12.3f %12d %12.2f\n", r.Name, r.Dist, r.BuildSecs, r.Partitions, r.Imbalance)
 			}
+			result = rows
 		case "indexing":
 			fmt.Println("== E2: indexing modes (range filter) ==")
 			rows, err := bench.IndexModes(cfg)
@@ -73,6 +140,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-12s %12.4f %12.4f %12d\n", r.Mode, r.Selectivity, r.Seconds, r.Results)
 			}
+			result = rows
 		case "stfilter":
 			fmt.Println("== E3: spatial-only vs spatio-temporal filter ==")
 			rows, err := bench.STFilter(cfg)
@@ -83,6 +151,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-30s %12.4f %12d\n", r.Query, r.Seconds, r.Results)
 			}
+			result = rows
 		case "knn":
 			fmt.Println("== E4: kNN strategies ==")
 			rows, err := bench.KNN(cfg)
@@ -93,6 +162,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-22s %6d %12.5f\n", r.Strategy, r.K, r.Seconds)
 			}
+			result = rows
 		case "dbscan":
 			fmt.Println("== E5: DBSCAN sequential vs distributed ==")
 			rows, err := bench.DBSCAN(cfg)
@@ -103,6 +173,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-20s %12.3f %12d\n", r.Strategy, r.Seconds, r.Clusters)
 			}
+			result = rows
 		case "joins":
 			fmt.Println("== E6: join predicate sweep (regions × points) ==")
 			rows, err := bench.JoinPredicates(cfg)
@@ -113,6 +184,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-20s %12.3f %12d\n", r.Predicate, r.Seconds, r.Results)
 			}
+			result = rows
 		case "localindex":
 			fmt.Println("== E7: partition-local index structures ==")
 			rows, err := bench.LocalIndexes(cfg)
@@ -123,6 +195,7 @@ func main() {
 			for _, r := range rows {
 				fmt.Printf("%-8s %-10s %12.3f %14.6f %12d\n", r.Structure, r.Dist, r.BuildSecs, r.QuerySecs, r.Results)
 			}
+			result = rows
 		case "persist":
 			fmt.Println("== persistent index round trip ==")
 			build, reloadDur, err := bench.PersistIndexRoundTrip(cfg)
@@ -130,8 +203,33 @@ func main() {
 				return err
 			}
 			fmt.Printf("build+persist: %.3fs   reload+query: %.3fs\n", build.Seconds(), reloadDur.Seconds())
+			result = map[string]float64{
+				"buildPersistSecs": build.Seconds(),
+				"reloadQuerySecs":  reloadDur.Seconds(),
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
+		}
+		wall := time.Since(start)
+		if *jsonOut {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			path, err := writeReport(*jsonDir, jsonReport{
+				Experiment:  name,
+				Config:      cfg,
+				Rows:        result,
+				WallNs:      wall.Nanoseconds(),
+				Allocs:      m1.Mallocs - m0.Mallocs,
+				AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
+				Metrics:     sumSnapshots(ctxs),
+				GoVersion:   runtime.Version(),
+				GOMAXPROCS:  runtime.GOMAXPROCS(0),
+				GeneratedAt: time.Now().UTC(),
+			})
+			if err != nil {
+				return fmt.Errorf("writing json report: %w", err)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
 		fmt.Println()
 		return nil

@@ -410,6 +410,10 @@ func (d *Dataset[V]) Count() (int64, error) {
 }
 
 // Take returns up to n result records, scanning partitions in order.
+// The scan is fused and short-circuiting: partition pipelines stop
+// mid-stream once n records are gathered, partitions pruned by
+// pending filters are never touched, and later partitions are not
+// scheduled at all.
 func (d *Dataset[V]) Take(n int) ([]Tuple[V], error) {
 	st, err := d.force()
 	if err != nil {
@@ -418,11 +422,76 @@ func (d *Dataset[V]) Take(n int) ([]Tuple[V], error) {
 	if st.enumerateViaIndex() {
 		return st.idx.Flat().Take(n)
 	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().TakePartitions(visit, n)
+	}
 	return st.sds.Dataset().Take(n)
 }
 
-// Foreach runs fn on every result record, partition-parallel.
+// First returns the first result record in partition order, ok=false
+// when the result is empty. The pipeline stops at the very first
+// record produced.
+func (d *Dataset[V]) First() (Tuple[V], bool, error) {
+	out, err := d.Take(1)
+	if err != nil || len(out) == 0 {
+		var zero Tuple[V]
+		return zero, false, err
+	}
+	return out[0], true, nil
+}
+
+// Exists reports whether any result record satisfies pred. Partitions
+// are scanned in parallel and every task stops mid-stream as soon as
+// one finds a match; pruned partitions are never touched.
+func (d *Dataset[V]) Exists(pred func(Tuple[V]) bool) (bool, error) {
+	if pred == nil {
+		return false, fmt.Errorf("stark: exists: nil predicate")
+	}
+	st, err := d.force()
+	if err != nil {
+		return false, err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().Exists(pred)
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().ExistsPartitions(visit, pred)
+	}
+	return st.sds.Dataset().Exists(pred)
+}
+
+// Reduce combines all result records with f, streaming each partition
+// through a local accumulator; ok is false when the result is empty.
+// Pruned partitions are skipped. f must be associative and
+// commutative.
+func (d *Dataset[V]) Reduce(f func(a, b Tuple[V]) Tuple[V]) (Tuple[V], bool, error) {
+	var zero Tuple[V]
+	if f == nil {
+		return zero, false, fmt.Errorf("stark: reduce: nil reducer")
+	}
+	st, err := d.force()
+	if err != nil {
+		return zero, false, err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().Reduce(f)
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().ReducePartitions(visit, f)
+	}
+	return st.sds.Dataset().Reduce(f)
+}
+
+// Foreach runs fn on every result record, partition-parallel,
+// streaming straight off the fused pipeline. Pruned partitions are
+// skipped.
 func (d *Dataset[V]) Foreach(fn func(Tuple[V])) error {
+	if fn == nil {
+		return fmt.Errorf("stark: foreach: nil fn")
+	}
 	st, err := d.force()
 	if err != nil {
 		return err
@@ -430,7 +499,56 @@ func (d *Dataset[V]) Foreach(fn func(Tuple[V])) error {
 	if st.enumerateViaIndex() {
 		return st.idx.Flat().Foreach(fn)
 	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().ForeachPartitions(visit, fn)
+	}
 	return st.sds.Dataset().Foreach(fn)
+}
+
+// Stream drives every result record through fn sequentially, in
+// partition order, without materialising the result; fn returning
+// false stops the scan. Pruned partitions are skipped. This is the
+// action behind streaming consumers such as the GeoJSON HTTP
+// endpoint, which encodes rows onto the socket as they leave the
+// pipeline.
+func (d *Dataset[V]) Stream(fn func(Tuple[V]) bool) error {
+	if fn == nil {
+		return fmt.Errorf("stark: stream: nil consumer")
+	}
+	st, err := d.force()
+	if err != nil {
+		return err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().Stream(fn)
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().StreamPartitions(visit, fn)
+	}
+	return st.sds.Dataset().Stream(fn)
+}
+
+// StreamParallel is Stream with partition-parallel compute: rows
+// still reach fn sequentially in partition order, but the partition
+// pipelines run as parallel jobs in bounded windows, buffering at
+// most one window of partitions. Prefer it when the consumer is
+// cheap relative to the scan (the GeoJSON endpoint encodes rows onto
+// the socket this way); prefer Stream when nothing may be buffered.
+func (d *Dataset[V]) StreamParallel(fn func(Tuple[V]) bool) error {
+	if fn == nil {
+		return fmt.Errorf("stark: streamParallel: nil consumer")
+	}
+	st, err := d.force()
+	if err != nil {
+		return err
+	}
+	if st.enumerateViaIndex() {
+		return st.idx.Flat().StreamParallel(fn)
+	}
+	if visit, ok := st.prunedVisit(d.ctx); ok {
+		return st.sds.Dataset().StreamPartitionsParallel(visit, 0, fn)
+	}
+	return st.sds.Dataset().StreamParallel(fn)
 }
 
 // NumPartitions resolves the chain and returns the partition count.

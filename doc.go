@@ -29,6 +29,29 @@
 // and clustering — is exported here, so programs against the DSL
 // never import an stark/internal package.
 //
+// # Execution model: fused partition pipelines
+//
+// Like Spark executing a chain of narrow transformations as one
+// iterator per partition, the engine compiles a chain of filters and
+// maps into a single pull-based loop per partition — no intermediate
+// collection is materialised between steps. Fusion breaks only at
+// explicit materialisation points: Cache (partitions are computed
+// once and retained), shuffles (PartitionBy), and indexed partitions
+// (the R-trees need the records in memory). Everything else streams:
+//
+//   - Count, Reduce and Foreach consume the pipeline without building
+//     slices;
+//   - Take, First and Exists short-circuit — they stop the pipeline
+//     mid-partition as soon as the answer is known, so Take(10) on a
+//     hundred-million-row chain touches a few dozen records;
+//   - Stream drives rows sequentially, in partition order, into a
+//     consumer (the web front end encodes GeoJSON straight off it);
+//   - Collect materialises, but runs the whole fused chain into a
+//     single output slice per partition.
+//
+// Partition pruning composes with fusion: a pruned partition's
+// pipeline is never started at all.
+//
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:
 //

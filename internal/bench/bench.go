@@ -42,6 +42,10 @@ type Config struct {
 	// Dist is the spatial distribution (Figure 4 uses Skewed, the
 	// property that separates BSP from grid partitioning).
 	Dist workload.Distribution
+	// Observe, when non-nil, receives every engine context an
+	// experiment creates, so callers can harvest metrics snapshots
+	// after the run (the -json reporting path of cmd/stark-bench).
+	Observe func(*engine.Context) `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +105,9 @@ type Figure4Row struct {
 func Figure4(cfg Config) ([]Figure4Row, error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	tuples := cfg.tuples()
 	var rows []Figure4Row
 
@@ -296,6 +303,9 @@ type IndexModeRow struct {
 func IndexModes(cfg Config) ([]IndexModeRow, error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	// Uniform data: the selectivity sweep assumes the query box at
 	// the space centre matches sel·N records.
 	tuples := workload.SpatialTuples(workload.Config{
@@ -383,6 +393,9 @@ type STFilterRow struct {
 func STFilter(cfg Config) ([]STFilterRow, error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	tuples := workload.Tuples(workload.Config{
 		N: cfg.N, Seed: cfg.Seed, Dist: cfg.Dist, Width: 1000, Height: 1000, TimeRange: 1_000_000,
 	})
@@ -443,6 +456,9 @@ type KNNRow struct {
 func KNN(cfg Config) ([]KNNRow, error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	tuples := cfg.tuples()
 	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
 	if _, err := ds.Count(); err != nil {
@@ -549,6 +565,9 @@ func DBSCAN(cfg Config) ([]DBSCANRow, error) {
 	rows = append(rows, DBSCANRow{Strategy: "sequential", Seconds: dur.Seconds(), Clusters: seq.NumClusters})
 
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	objs := make([]stobject.STObject, len(pts))
 	for i, p := range pts {
 		objs[i] = stobject.New(p)
@@ -596,6 +615,9 @@ type JoinPredicateRow struct {
 func JoinPredicates(cfg Config) ([]JoinPredicateRow, error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	pointsT := cfg.tuples()
 	regions := workload.Regions(workload.Config{N: 0, Seed: cfg.Seed, Width: 1000, Height: 1000}, cfg.N/100+10)
 	regionT := make([]core.Tuple[int], len(regions))
@@ -750,6 +772,9 @@ func LocalIndexes(cfg Config) ([]LocalIndexRow, error) {
 func PersistIndexRoundTrip(cfg Config) (build, reload time.Duration, err error) {
 	cfg = cfg.withDefaults()
 	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
 	tuples := cfg.tuples()
 	ds := core.Wrap(engine.Parallelize(ctx, tuples, 4*ctx.Parallelism())).Cache()
 	if _, err := ds.Count(); err != nil {

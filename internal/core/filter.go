@@ -8,24 +8,37 @@ import (
 
 // This file implements the scan-based (non-indexed) filter operators:
 // every record of every relevant partition is checked against the
-// full spatio-temporal predicate. Partition pruning still applies
-// when the dataset is spatially partitioned.
+// full spatio-temporal predicate. The check is fused into the
+// partition pipeline — records stream through the predicate without
+// the partition ever being materialised — and partition pruning still
+// applies when the dataset is spatially partitioned.
+
+// scanFiltered builds the fused scanning-filter stage: a dataset that
+// streams the records of s satisfying pred against q, charging every
+// record that flows through the predicate to ElementsScanned (flushed
+// once per partition, so the hot loop stays atomic-free).
+func scanFiltered[V any](s *SpatialDataset[V], q stobject.STObject, pred stobject.Predicate) *engine.Dataset[Tuple[V]] {
+	metrics := s.Context().Metrics()
+	ds := s.ds
+	return engine.NewStream(s.Context(), ds.Name()+".stScan", ds.NumPartitions(),
+		func(p int, yield func(Tuple[V]) bool) error {
+			var scanned int64
+			err := ds.EachPartition(p, func(kv Tuple[V]) bool {
+				scanned++
+				if !pred(kv.Key, q) {
+					return true
+				}
+				return yield(kv)
+			})
+			metrics.ElementsScanned.Add(scanned)
+			return err
+		})
+}
 
 // filterScan runs pred(record.Key, q) over the partitions relevant
 // for the query envelope and collects the matches.
 func (s *SpatialDataset[V]) filterScan(q stobject.STObject, pred stobject.Predicate) ([]Tuple[V], error) {
-	metrics := s.Context().Metrics()
-	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
-		var out []Tuple[V]
-		metrics.ElementsScanned.Add(int64(len(in)))
-		for _, kv := range in {
-			if pred(kv.Key, q) {
-				out = append(out, kv)
-			}
-		}
-		return out, nil
-	})
-	return filtered.CollectPartitions(s.relevantPartitions(q.Envelope()))
+	return scanFiltered(s, q, pred).CollectPartitions(s.relevantPartitions(q.Envelope()))
 }
 
 // Intersects returns the records whose key intersects q in the
@@ -58,35 +71,14 @@ func (s *SpatialDataset[V]) WithinDistance(q stobject.STObject, maxDist float64,
 	// The pruning envelope must be grown by maxDist: an object
 	// within distance of q can live in a partition whose extent does
 	// not touch q itself.
-	metrics := s.Context().Metrics()
-	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
-		var out []Tuple[V]
-		metrics.ElementsScanned.Add(int64(len(in)))
-		for _, kv := range in {
-			if pred(kv.Key, q) {
-				out = append(out, kv)
-			}
-		}
-		return out, nil
-	})
-	return filtered.CollectPartitions(s.relevantPartitions(q.Envelope().ExpandBy(maxDist)))
+	return scanFiltered(s, q, pred).CollectPartitions(s.relevantPartitions(q.Envelope().ExpandBy(maxDist)))
 }
 
 // Filter applies an arbitrary spatio-temporal predicate against q,
 // visiting the partitions relevant for pruneEnv (pass the query
 // envelope, expanded as needed for distance predicates).
 func (s *SpatialDataset[V]) Filter(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate) ([]Tuple[V], error) {
-	metrics := s.Context().Metrics()
-	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
-		var out []Tuple[V]
-		metrics.ElementsScanned.Add(int64(len(in)))
-		for _, kv := range in {
-			if pred(kv.Key, q) {
-				out = append(out, kv)
-			}
-		}
-		return out, nil
-	})
+	filtered := scanFiltered(s, q, pred)
 	if s.sp == nil || pruneEnv.IsEmpty() {
 		return filtered.Collect()
 	}

@@ -196,17 +196,13 @@ func (s *IndexedDataset[V]) Collect() ([]Tuple[V], error) {
 	return s.Flat().Collect()
 }
 
-// Count returns the number of records.
+// Count returns the number of records. Partition lengths are summed
+// inside the job — neither the records nor the trees travel to the
+// driver.
 func (s *IndexedDataset[V]) Count() (int64, error) {
-	var total int64
-	parts, err := s.parts.Collect()
-	if err != nil {
-		return 0, err
-	}
-	for _, ip := range parts {
-		total += int64(len(ip.Items))
-	}
-	return total, nil
+	return engine.Aggregate(s.parts, int64(0),
+		func(acc int64, ip IndexedPartition[V]) int64 { return acc + int64(len(ip.Items)) },
+		func(a, b int64) int64 { return a + b })
 }
 
 // Persist writes every partition tree to the file system under

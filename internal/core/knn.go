@@ -65,12 +65,11 @@ func (s *SpatialDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc
 			pruned++
 			continue
 		}
-		part, err := s.ds.ComputePartition(pd.idx)
-		if err != nil {
-			return nil, err
-		}
-		metrics.ElementsScanned.Add(int64(len(part)))
-		for _, kv := range part {
+		// Stream the partition through the heap — the filter chain
+		// upstream (if any) fuses into this scan.
+		var scanned int64
+		err := s.ds.EachPartition(pd.idx, func(kv Tuple[V]) bool {
+			scanned++
 			d := q.Distance(kv.Key, df)
 			if h.Len() < k {
 				heap.Push(h, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d})
@@ -78,6 +77,11 @@ func (s *SpatialDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc
 				(*h)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d}
 				heap.Fix(h, 0)
 			}
+			return true
+		})
+		metrics.ElementsScanned.Add(scanned)
+		if err != nil {
+			return nil, err
 		}
 	}
 	if pruned > 0 {

@@ -16,20 +16,11 @@ import (
 // valid over-approximations and downstream pruning still applies.
 
 // Where keeps the records whose key satisfies pred against q,
-// lazily.
+// lazily. The predicate is fused into the partition pipeline:
+// chaining several Where steps (or a Where under a Collect/Count)
+// executes as one loop per partition with no intermediate slices.
 func (s *SpatialDataset[V]) Where(q stobject.STObject, pred stobject.Predicate) *SpatialDataset[V] {
-	metrics := s.Context().Metrics()
-	filtered := engine.MapPartitions(s.ds, func(_ int, in []Tuple[V]) ([]Tuple[V], error) {
-		metrics.ElementsScanned.Add(int64(len(in)))
-		var out []Tuple[V]
-		for _, kv := range in {
-			if pred(kv.Key, q) {
-				out = append(out, kv)
-			}
-		}
-		return out, nil
-	})
-	return &SpatialDataset[V]{ds: filtered, sp: s.sp}
+	return &SpatialDataset[V]{ds: scanFiltered(s, q, pred), sp: s.sp}
 }
 
 // WhereIntersects is Where with the Intersects predicate.

@@ -107,9 +107,12 @@ func (c *Context) runJob(parts []int, task func(p int) error) error {
 		return nil
 	}
 	if len(parts) == 1 {
-		// Fast path: run in the calling goroutine.
+		// Fast path: run in the calling goroutine — with the same
+		// panic recovery as the pooled path, so a 1-partition job
+		// reports a panicking task as an error instead of killing the
+		// process.
 		c.metrics.TasksLaunched.Add(1)
-		return task(parts[0])
+		return runTask(parts[0], task)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -125,18 +128,25 @@ func (c *Context) runJob(parts []int, task func(p int) error) error {
 				<-c.sem
 				wg.Done()
 			}()
-			defer func() {
-				if r := recover(); r != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("engine: task %d panicked: %v", p, r) })
-				}
-			}()
-			if err := task(p); err != nil {
+			if err := runTask(p, task); err != nil {
 				errOnce.Do(func() { firstErr = err })
 			}
 		}(p)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// runTask executes one task, converting a panic into an error — the
+// engine's stand-in for Spark's task failure handling, applied
+// uniformly whether the task runs inline or on the pool.
+func runTask(p int, task func(p int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task %d panicked: %v", p, r)
+		}
+	}()
+	return task(p)
 }
 
 // allPartitions returns [0, 1, ..., n-1].

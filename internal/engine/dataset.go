@@ -13,6 +13,17 @@ import (
 // partitions from its parents (its lineage); nothing is materialised
 // until an action (Collect, Count, Reduce, Foreach) runs a job.
 //
+// The lineage is a pull-based streaming plan: each(p, yield) drives
+// every element of partition p through yield, one at a time. A chain
+// of narrow transformations (Map, Filter, FlatMap, Sample) therefore
+// compiles into a single fused loop per partition with no intermediate
+// slices — the per-partition pipeline execution Spark gives STARK for
+// free. Fusion breaks only at explicit materialisation points: Cache,
+// shuffles (PartitionBy), and MapPartitions, which needs the whole
+// partition as a slice. yield returning false stops the stream
+// mid-partition, so actions like Take, First and Exists terminate
+// early without computing elements they will never consume.
+//
 // Transformations that change the element type are package functions
 // (Map, FlatMap, MapPartitions) because Go methods cannot introduce
 // type parameters; same-type transformations (Filter, Union, Sample)
@@ -21,20 +32,68 @@ type Dataset[T any] struct {
 	ctx     *Context
 	name    string
 	numPart int
-	compute func(p int) ([]T, error)
 
-	// cacheOn may be read by ComputePartition without holding
-	// cacheMu (the hot path of every task), so it is atomic; the
-	// cached/cachedOK slices are only touched under cacheMu.
+	// each streams partition p through yield; it returns early (nil)
+	// when yield returns false.
+	each func(p int, yield func(T) bool) error
+	// source, when non-nil, materialises partition p without running
+	// the streaming plan — set for datasets that already hold their
+	// partitions as slices (Parallelize, FromPartitions), so
+	// ComputePartition on them stays zero-copy.
+	source func(p int) ([]T, error)
+	// hint, when non-nil, returns an upper bound on the element count
+	// of partition p (or a negative value when unknown). Narrow
+	// count-preserving or shrinking transformations propagate it so
+	// materialisation can preallocate instead of growing by appends.
+	hint func(p int) int
+
+	// cacheOn may be read by ComputePartition/EachPartition without
+	// holding cacheMu (the hot path of every task), so it is atomic;
+	// the cached/cachedOK slices are only touched under cacheMu.
 	cacheMu  sync.Mutex
 	cacheOn  atomic.Bool
 	cached   [][]T
 	cachedOK []bool
 }
 
-// newDataset wires a lineage node.
+// newStream wires a lineage node from a streaming plan.
+func newStream[T any](ctx *Context, name string, numPart int, each func(p int, yield func(T) bool) error) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, each: each}
+}
+
+// NewStream builds a dataset directly from a streaming partition plan
+// — the extension point operators outside the engine use to splice
+// custom fused stages (counting scans, probe pipelines) into a
+// lineage. each must stream partition p through yield and stop as
+// soon as yield returns false.
+func NewStream[T any](ctx *Context, name string, numPart int, each func(p int, yield func(T) bool) error) *Dataset[T] {
+	return newStream(ctx, name, numPart, each)
+}
+
+// newDataset wires a lineage node from a slice-producing compute
+// function — the pre-fusion representation, kept for sources and
+// tests that naturally produce whole partitions.
 func newDataset[T any](ctx *Context, name string, numPart int, compute func(p int) ([]T, error)) *Dataset[T] {
-	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, compute: compute}
+	return newSource(ctx, name, numPart, compute)
+}
+
+// newSource wires a lineage node whose partitions already exist as
+// slices; the streaming plan iterates them.
+func newSource[T any](ctx *Context, name string, numPart int, source func(p int) ([]T, error)) *Dataset[T] {
+	d := &Dataset[T]{ctx: ctx, name: name, numPart: numPart, source: source}
+	d.each = func(p int, yield func(T) bool) error {
+		in, err := source(p)
+		if err != nil {
+			return err
+		}
+		for _, v := range in {
+			if !yield(v) {
+				return nil
+			}
+		}
+		return nil
+	}
+	return d
 }
 
 // Parallelize distributes data across numPartitions partitions as
@@ -45,19 +104,24 @@ func Parallelize[T any](ctx *Context, data []T, numPartitions int) *Dataset[T] {
 		numPartitions = ctx.parallelism
 	}
 	n := len(data)
-	return newDataset(ctx, "parallelize", numPartitions, func(p int) ([]T, error) {
-		lo := p * n / numPartitions
-		hi := (p + 1) * n / numPartitions
+	np := numPartitions
+	d := newSource(ctx, "parallelize", np, func(p int) ([]T, error) {
+		lo := p * n / np
+		hi := (p + 1) * n / np
 		return data[lo:hi], nil
 	})
+	d.hint = func(p int) int { return (p+1)*n/np - p*n/np }
+	return d
 }
 
 // FromPartitions builds a dataset whose partitions are exactly the
 // given slices. The slices are not copied.
 func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
-	return newDataset(ctx, "fromPartitions", len(parts), func(p int) ([]T, error) {
+	d := newSource(ctx, "fromPartitions", len(parts), func(p int) ([]T, error) {
 		return parts[p], nil
 	})
+	d.hint = func(p int) int { return len(parts[p]) }
+	return d
 }
 
 // Context returns the owning context.
@@ -69,19 +133,58 @@ func (d *Dataset[T]) Name() string { return d.name }
 // NumPartitions returns the partition count.
 func (d *Dataset[T]) NumPartitions() int { return d.numPart }
 
+// maxMaterialiseHint caps how much capacity a size hint may
+// preallocate, bounding transient overcommit when a highly selective
+// filter reports its parent's size as the upper bound.
+const maxMaterialiseHint = 1 << 16
+
+// partitionHint returns the upper-bound size of partition p, or -1
+// when unknown.
+func (d *Dataset[T]) partitionHint(p int) int {
+	if d.hint == nil {
+		return -1
+	}
+	return d.hint(p)
+}
+
+// materialise runs the partition into a slice, preferring the
+// zero-copy source when the dataset holds its partitions already.
+func (d *Dataset[T]) materialise(p int) ([]T, error) {
+	if d.source != nil {
+		return d.source(p)
+	}
+	var out []T
+	if h := d.partitionHint(p); h > 0 {
+		if h > maxMaterialiseHint {
+			h = maxMaterialiseHint
+		}
+		out = make([]T, 0, h)
+	}
+	err := d.each(p, func(v T) bool {
+		out = append(out, v)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ComputePartition materialises one partition, honouring the cache.
+// For a chain of narrow transformations this runs the whole fused
+// pipeline into a single output slice — no intermediates.
 func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 	if p < 0 || p >= d.numPart {
 		return nil, fmt.Errorf("engine: partition %d out of range [0, %d)", p, d.numPart)
 	}
 	if !d.cacheOn.Load() {
-		return d.compute(p)
+		return d.materialise(p)
 	}
 	d.cacheMu.Lock()
 	if d.cachedOK == nil {
 		// Unpersist raced with the flag read; behave as uncached.
 		d.cacheMu.Unlock()
-		return d.compute(p)
+		return d.materialise(p)
 	}
 	if d.cachedOK[p] {
 		out := d.cached[p]
@@ -89,7 +192,7 @@ func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 		return out, nil
 	}
 	d.cacheMu.Unlock()
-	out, err := d.compute(p)
+	out, err := d.materialise(p)
 	if err != nil {
 		return nil, err
 	}
@@ -102,9 +205,36 @@ func (d *Dataset[T]) ComputePartition(p int) ([]T, error) {
 	return out, nil
 }
 
+// EachPartition streams partition p through yield, stopping as soon
+// as yield returns false. On an uncached dataset this pulls elements
+// straight through the fused pipeline; on a cached one the partition
+// is materialised (at most once) and the cached slice is replayed, so
+// caching keeps its compute-once guarantee and remains a fusion
+// barrier.
+func (d *Dataset[T]) EachPartition(p int, yield func(T) bool) error {
+	if p < 0 || p >= d.numPart {
+		return fmt.Errorf("engine: partition %d out of range [0, %d)", p, d.numPart)
+	}
+	if !d.cacheOn.Load() {
+		return d.each(p, yield)
+	}
+	out, err := d.ComputePartition(p)
+	if err != nil {
+		return err
+	}
+	for _, v := range out {
+		if !yield(v) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Cache marks the dataset for materialisation: each partition is
 // computed at most once and retained in memory, mirroring
-// RDD.cache(). It returns the receiver for chaining.
+// RDD.cache(). It returns the receiver for chaining. Cache is a
+// fusion barrier: downstream pipelines stream from the cached slices
+// instead of re-running the upstream plan.
 func (d *Dataset[T]) Cache() *Dataset[T] {
 	d.cacheMu.Lock()
 	defer d.cacheMu.Unlock()
@@ -126,96 +256,106 @@ func (d *Dataset[T]) Unpersist() {
 }
 
 // ---- Narrow transformations ----
+// Each one wraps the parent's streaming plan: chains fuse into one
+// loop per partition.
 
 // Map applies f to every element.
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
-	return newDataset(d.ctx, d.name+".map", d.numPart, func(p int) ([]U, error) {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]U, len(in))
-		for i, v := range in {
-			out[i] = f(v)
-		}
-		return out, nil
+	m := newStream(d.ctx, d.name+".map", d.numPart, func(p int, yield func(U) bool) error {
+		return d.EachPartition(p, func(v T) bool {
+			return yield(f(v))
+		})
 	})
+	m.hint = d.partitionHint // count-preserving
+	return m
 }
 
 // FlatMap applies f to every element and concatenates the results.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
-	return newDataset(d.ctx, d.name+".flatMap", d.numPart, func(p int) ([]U, error) {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return nil, err
-		}
-		var out []U
-		for _, v := range in {
-			out = append(out, f(v)...)
-		}
-		return out, nil
+	return newStream(d.ctx, d.name+".flatMap", d.numPart, func(p int, yield func(U) bool) error {
+		return d.EachPartition(p, func(v T) bool {
+			for _, u := range f(v) {
+				if !yield(u) {
+					return false
+				}
+			}
+			return true
+		})
 	})
 }
 
 // MapPartitions transforms whole partitions at once; idx is the
-// partition index (Spark's mapPartitionsWithIndex).
+// partition index (Spark's mapPartitionsWithIndex). It is a
+// materialisation point: the parent partition is computed into a
+// slice before f runs (f needs random access), and fusion restarts
+// downstream of the result.
 func MapPartitions[T, U any](d *Dataset[T], f func(idx int, in []T) ([]U, error)) *Dataset[U] {
-	return newDataset(d.ctx, d.name+".mapPartitions", d.numPart, func(p int) ([]U, error) {
+	return newStream(d.ctx, d.name+".mapPartitions", d.numPart, func(p int, yield func(U) bool) error {
 		in, err := d.ComputePartition(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return f(p, in)
+		out, err := f(p, in)
+		if err != nil {
+			return err
+		}
+		for _, v := range out {
+			if !yield(v) {
+				return nil
+			}
+		}
+		return nil
 	})
 }
 
 // Filter keeps the elements for which pred is true.
 func (d *Dataset[T]) Filter(pred func(T) bool) *Dataset[T] {
-	return newDataset(d.ctx, d.name+".filter", d.numPart, func(p int) ([]T, error) {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return nil, err
-		}
-		var out []T
-		for _, v := range in {
-			if pred(v) {
-				out = append(out, v)
+	f := newStream(d.ctx, d.name+".filter", d.numPart, func(p int, yield func(T) bool) error {
+		return d.EachPartition(p, func(v T) bool {
+			if !pred(v) {
+				return true
 			}
-		}
-		return out, nil
+			return yield(v)
+		})
 	})
+	f.hint = d.partitionHint // parent size stays an upper bound
+	return f
 }
 
 // Union concatenates two datasets partition-wise (their partitions
 // are kept side by side, as in RDD.union).
 func (d *Dataset[T]) Union(o *Dataset[T]) *Dataset[T] {
 	n1 := d.numPart
-	return newDataset(d.ctx, d.name+".union", n1+o.numPart, func(p int) ([]T, error) {
+	u := newStream(d.ctx, d.name+".union", n1+o.numPart, func(p int, yield func(T) bool) error {
 		if p < n1 {
-			return d.ComputePartition(p)
+			return d.EachPartition(p, yield)
 		}
-		return o.ComputePartition(p - n1)
+		return o.EachPartition(p-n1, yield)
 	})
+	u.hint = func(p int) int {
+		if p < n1 {
+			return d.partitionHint(p)
+		}
+		return o.partitionHint(p - n1)
+	}
+	return u
 }
 
 // Sample returns a dataset keeping each element with probability
 // fraction, deterministically derived from seed and the partition
 // index.
 func (d *Dataset[T]) Sample(fraction float64, seed int64) *Dataset[T] {
-	return newDataset(d.ctx, d.name+".sample", d.numPart, func(p int) ([]T, error) {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return nil, err
-		}
+	s := newStream(d.ctx, d.name+".sample", d.numPart, func(p int, yield func(T) bool) error {
 		rng := rand.New(rand.NewSource(seed + int64(p)*2654435761))
-		var out []T
-		for _, v := range in {
-			if rng.Float64() < fraction {
-				out = append(out, v)
+		return d.EachPartition(p, func(v T) bool {
+			if rng.Float64() >= fraction {
+				return true
 			}
-		}
-		return out, nil
+			return yield(v)
+		})
 	})
+	s.hint = d.partitionHint // parent size stays an upper bound
+	return s
 }
 
 // Coalesce reduces the partition count to n without a shuffle by
@@ -225,18 +365,23 @@ func (d *Dataset[T]) Coalesce(n int) *Dataset[T] {
 		return d
 	}
 	old := d.numPart
-	return newDataset(d.ctx, d.name+".coalesce", n, func(p int) ([]T, error) {
+	return newStream(d.ctx, d.name+".coalesce", n, func(p int, yield func(T) bool) error {
 		lo := p * old / n
 		hi := (p + 1) * old / n
-		var out []T
 		for i := lo; i < hi; i++ {
-			part, err := d.ComputePartition(i)
-			if err != nil {
-				return nil, err
+			stopped := false
+			err := d.EachPartition(i, func(v T) bool {
+				if !yield(v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if err != nil || stopped {
+				return err
 			}
-			out = append(out, part...)
 		}
-		return out, nil
+		return nil
 	})
 }
 
@@ -264,14 +409,23 @@ func (d *Dataset[T]) CollectPartitions(parts []int) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	var all []T
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	all := make([]T, 0, total)
 	for _, r := range results {
 		all = append(all, r...)
 	}
 	return all, nil
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. No partition is materialised:
+// elements stream through the fused pipeline and only a counter
+// survives.
 func (d *Dataset[T]) Count() (int64, error) {
 	return d.CountPartitions(allPartitions(d.numPart))
 }
@@ -280,42 +434,54 @@ func (d *Dataset[T]) Count() (int64, error) {
 // the counting counterpart of CollectPartitions, used by
 // partition-pruned queries.
 func (d *Dataset[T]) CountPartitions(parts []int) (int64, error) {
-	var total int64
-	var mu sync.Mutex
+	var total atomic.Int64
 	err := d.ctx.runJob(parts, func(p int) error {
-		out, err := d.ComputePartition(p)
-		if err != nil {
+		var local int64
+		if err := d.EachPartition(p, func(T) bool {
+			local++
+			return true
+		}); err != nil {
 			return err
 		}
-		mu.Lock()
-		total += int64(len(out))
-		mu.Unlock()
+		total.Add(local)
 		return nil
 	})
-	return total, err
+	return total.Load(), err
 }
 
-// Reduce combines all elements with f; it returns false when the
-// dataset is empty. f must be associative and commutative, as in
-// Spark.
+// Reduce combines all elements with f, streaming each partition
+// through a local accumulator; it returns false when the dataset is
+// empty. f must be associative and commutative, as in Spark.
 func (d *Dataset[T]) Reduce(f func(a, b T) T) (T, bool, error) {
+	return d.ReducePartitions(allPartitions(d.numPart), f)
+}
+
+// ReducePartitions is Reduce restricted to the listed partitions —
+// the reducing counterpart of CollectPartitions for partition-pruned
+// queries.
+func (d *Dataset[T]) ReducePartitions(parts []int, f func(a, b T) T) (T, bool, error) {
 	var (
-		mu    sync.Mutex
-		acc   T
-		have  bool
-		parts = allPartitions(d.numPart)
+		mu   sync.Mutex
+		acc  T
+		have bool
 	)
 	err := d.ctx.runJob(parts, func(p int) error {
-		out, err := d.ComputePartition(p)
-		if err != nil {
+		var (
+			local     T
+			haveLocal bool
+		)
+		if err := d.EachPartition(p, func(v T) bool {
+			if haveLocal {
+				local = f(local, v)
+			} else {
+				local, haveLocal = v, true
+			}
+			return true
+		}); err != nil {
 			return err
 		}
-		if len(out) == 0 {
+		if !haveLocal {
 			return nil
-		}
-		local := out[0]
-		for _, v := range out[1:] {
-			local = f(local, v)
 		}
 		mu.Lock()
 		if have {
@@ -329,48 +495,204 @@ func (d *Dataset[T]) Reduce(f func(a, b T) T) (T, bool, error) {
 	return acc, have, err
 }
 
-// Foreach runs fn on every element, partition-parallel.
+// Foreach runs fn on every element, partition-parallel, streaming —
+// no partition is materialised.
 func (d *Dataset[T]) Foreach(fn func(T)) error {
-	return d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
-		out, err := d.ComputePartition(p)
-		if err != nil {
-			return err
-		}
-		for _, v := range out {
+	return d.ForeachPartitions(allPartitions(d.numPart), fn)
+}
+
+// ForeachPartitions is Foreach restricted to the listed partitions —
+// the side-effecting counterpart of CollectPartitions for
+// partition-pruned queries.
+func (d *Dataset[T]) ForeachPartitions(parts []int, fn func(T)) error {
+	return d.ctx.runJob(parts, func(p int) error {
+		return d.EachPartition(p, func(v T) bool {
 			fn(v)
-		}
-		return nil
+			return true
+		})
 	})
 }
 
-// Take returns up to n elements, scanning partitions in order.
+// Take returns up to n elements, scanning partitions in order. The
+// scan short-circuits: as soon as n elements are gathered the current
+// partition's pipeline stops mid-stream and no further partition is
+// touched.
 func (d *Dataset[T]) Take(n int) ([]T, error) {
-	var out []T
-	for p := 0; p < d.numPart && len(out) < n; p++ {
-		part, err := d.ComputePartition(p)
-		if err != nil {
+	return d.TakePartitions(allPartitions(d.numPart), n)
+}
+
+// TakePartitions is Take restricted to the listed partitions, in the
+// order given — the short-circuiting counterpart of CollectPartitions
+// for partition-pruned queries.
+func (d *Dataset[T]) TakePartitions(parts []int, n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	// n is caller-controlled ("take a lot" may mean "everything"), so
+	// cap the speculative preallocation like materialise does.
+	capHint := n
+	if capHint > maxMaterialiseHint {
+		capHint = maxMaterialiseHint
+	}
+	out := make([]T, 0, capHint)
+	for _, p := range parts {
+		if err := d.EachPartition(p, func(v T) bool {
+			out = append(out, v)
+			return len(out) < n
+		}); err != nil {
 			return nil, err
 		}
-		need := n - len(out)
-		if need > len(part) {
-			need = len(part)
+		if len(out) >= n {
+			break
 		}
-		out = append(out, part[:need]...)
 	}
 	return out, nil
 }
 
-// PartitionSizes materialises all partitions and returns their
-// element counts — the balance statistic the partitioning ablation
+// First returns the first element in partition order, streaming and
+// stopping at the very first element produced; ok is false when the
+// dataset is empty.
+func (d *Dataset[T]) First() (T, bool, error) {
+	var (
+		first T
+		found bool
+	)
+	for p := 0; p < d.numPart && !found; p++ {
+		if err := d.EachPartition(p, func(v T) bool {
+			first, found = v, true
+			return false
+		}); err != nil {
+			var zero T
+			return zero, false, err
+		}
+	}
+	return first, found, nil
+}
+
+// Exists reports whether any element satisfies pred. Partitions are
+// scanned in parallel; every task stops mid-stream as soon as one
+// finds a match.
+func (d *Dataset[T]) Exists(pred func(T) bool) (bool, error) {
+	return d.ExistsPartitions(allPartitions(d.numPart), pred)
+}
+
+// ExistsPartitions is Exists restricted to the listed partitions,
+// keeping the parallel short-circuiting scan for partition-pruned
+// queries.
+func (d *Dataset[T]) ExistsPartitions(parts []int, pred func(T) bool) (bool, error) {
+	var found atomic.Bool
+	err := d.ctx.runJob(parts, func(p int) error {
+		return d.EachPartition(p, func(v T) bool {
+			if found.Load() {
+				return false
+			}
+			if pred(v) {
+				found.Store(true)
+				return false
+			}
+			return true
+		})
+	})
+	return found.Load(), err
+}
+
+// Stream drives every element through fn sequentially, in partition
+// order, without materialising anything; fn returning false stops the
+// whole scan. This is the entry point for consumers that need ordered
+// streaming output (e.g. encoding rows onto a network socket).
+func (d *Dataset[T]) Stream(fn func(T) bool) error {
+	return d.StreamPartitions(allPartitions(d.numPart), fn)
+}
+
+// StreamPartitions is Stream restricted to the listed partitions, in
+// the order given — the streaming counterpart of CollectPartitions
+// for partition-pruned queries.
+func (d *Dataset[T]) StreamPartitions(parts []int, fn func(T) bool) error {
+	stopped := false
+	for _, p := range parts {
+		if err := d.EachPartition(p, func(v T) bool {
+			if !fn(v) {
+				stopped = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// StreamParallel is StreamPartitionsParallel over every partition
+// with the default window width.
+func (d *Dataset[T]) StreamParallel(fn func(T) bool) error {
+	return d.StreamPartitionsParallel(allPartitions(d.numPart), 0, fn)
+}
+
+// StreamPartitionsParallel delivers the rows of the listed partitions
+// to fn sequentially, in the given partition order, while computing
+// the partitions in parallel: partitions are processed in windows of
+// `width` (<= 0 selects the context parallelism), each window's
+// pipelines run as one parallel job, and the buffered results are
+// replayed in order. Compared to StreamPartitions this trades bounded
+// buffering (at most one window of partitions) for partition-parallel
+// compute — the right default for network consumers whose per-row
+// cost is small relative to the scan. fn returning false stops the
+// stream; windows past the current one are never computed.
+func (d *Dataset[T]) StreamPartitionsParallel(parts []int, width int, fn func(T) bool) error {
+	if width <= 0 {
+		width = d.ctx.parallelism
+	}
+	for start := 0; start < len(parts); start += width {
+		end := start + width
+		if end > len(parts) {
+			end = len(parts)
+		}
+		window := parts[start:end]
+		results := make([][]T, len(window))
+		idxs := make([]int, len(window))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		err := d.ctx.runJob(idxs, func(i int) error {
+			out, err := d.ComputePartition(window[i])
+			if err != nil {
+				return err
+			}
+			results[i] = out
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, rows := range results {
+			for _, v := range rows {
+				if !fn(v) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionSizes returns the element count of every partition,
+// streaming — the balance statistic the partitioning ablation
 // reports.
 func (d *Dataset[T]) PartitionSizes() ([]int, error) {
 	sizes := make([]int, d.numPart)
 	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
-		out, err := d.ComputePartition(p)
-		if err != nil {
+		n := 0
+		if err := d.EachPartition(p, func(T) bool {
+			n++
+			return true
+		}); err != nil {
 			return err
 		}
-		sizes[p] = len(out)
+		sizes[p] = n
 		return nil
 	})
 	return sizes, err

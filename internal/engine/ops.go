@@ -43,20 +43,21 @@ func Distinct[T comparable](d *Dataset[T], hash func(T) int) (*Dataset[T], error
 
 // Aggregate folds every partition with seqOp starting from zero, then
 // merges the per-partition results with combOp — Spark's aggregate
-// action. zero must be a neutral element for combOp.
+// action. zero must be a neutral element for combOp. Elements stream
+// through the fused pipeline into the fold; no partition is
+// materialised.
 func Aggregate[T, A any](d *Dataset[T], zero A, seqOp func(A, T) A, combOp func(A, A) A) (A, error) {
 	var (
 		mu  sync.Mutex
 		acc = zero
 	)
 	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return err
-		}
 		local := zero
-		for _, v := range in {
+		if err := d.EachPartition(p, func(v T) bool {
 			local = seqOp(local, v)
+			return true
+		}); err != nil {
+			return err
 		}
 		mu.Lock()
 		acc = combOp(acc, local)
@@ -73,23 +74,26 @@ func Zip[A, B any](a *Dataset[A], b *Dataset[B]) (*Dataset[Pair[A, B]], error) {
 	if a.numPart != b.numPart {
 		return nil, fmt.Errorf("engine: zip needs equal partition counts (%d vs %d)", a.numPart, b.numPart)
 	}
-	return newDataset(a.ctx, a.name+".zip", a.numPart, func(p int) ([]Pair[A, B], error) {
+	// Zip is a materialisation point: pairing the i-th elements needs
+	// both partitions as slices.
+	return newStream(a.ctx, a.name+".zip", a.numPart, func(p int, yield func(Pair[A, B]) bool) error {
 		pa, err := a.ComputePartition(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pb, err := b.ComputePartition(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(pa) != len(pb) {
-			return nil, fmt.Errorf("engine: zip partition %d size mismatch (%d vs %d)", p, len(pa), len(pb))
+			return fmt.Errorf("engine: zip partition %d size mismatch (%d vs %d)", p, len(pa), len(pb))
 		}
-		out := make([]Pair[A, B], len(pa))
 		for i := range pa {
-			out[i] = Pair[A, B]{Key: pa[i], Value: pb[i]}
+			if !yield(Pair[A, B]{Key: pa[i], Value: pb[i]}) {
+				return nil
+			}
 		}
-		return out, nil
+		return nil
 	}), nil
 }
 
@@ -105,16 +109,13 @@ func ZipWithIndex[T any](d *Dataset[T]) (*Dataset[Pair[T, int64]], error) {
 	for i, s := range sizes {
 		offsets[i+1] = offsets[i] + int64(s)
 	}
-	return newDataset(d.ctx, d.name+".zipWithIndex", d.numPart, func(p int) ([]Pair[T, int64], error) {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]Pair[T, int64], len(in))
-		for i, v := range in {
-			out[i] = Pair[T, int64]{Key: v, Value: offsets[p] + int64(i)}
-		}
-		return out, nil
+	return newStream(d.ctx, d.name+".zipWithIndex", d.numPart, func(p int, yield func(Pair[T, int64]) bool) error {
+		i := offsets[p]
+		return d.EachPartition(p, func(v T) bool {
+			ok := yield(Pair[T, int64]{Key: v, Value: i})
+			i++
+			return ok
+		})
 	}), nil
 }
 

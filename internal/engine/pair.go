@@ -48,13 +48,11 @@ func PartitionBy[K, V any](d *Dataset[Pair[K, V]], part Partitioner[K]) (*Datase
 	var mu sync.Mutex
 
 	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return err
-		}
-		// Route locally, then merge under one lock per source task.
+		// Route straight off the fused pipeline into local buckets
+		// (no input slice), then merge under one lock per source task.
 		local := make([][]Pair[K, V], n)
-		for _, kv := range in {
+		var routed int64
+		if err := d.EachPartition(p, func(kv Pair[K, V]) bool {
 			t := part.PartitionFor(kv.Key)
 			if t < 0 {
 				t = 0
@@ -62,8 +60,12 @@ func PartitionBy[K, V any](d *Dataset[Pair[K, V]], part Partitioner[K]) (*Datase
 				t = n - 1
 			}
 			local[t] = append(local[t], kv)
+			routed++
+			return true
+		}); err != nil {
+			return err
 		}
-		d.ctx.metrics.ShuffledRecords.Add(int64(len(in)))
+		d.ctx.metrics.ShuffledRecords.Add(routed)
 		mu.Lock()
 		for t := 0; t < n; t++ {
 			if len(local[t]) > 0 {
@@ -157,13 +159,12 @@ func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]int64, error
 	var mu sync.Mutex
 	counts := make(map[K]int64)
 	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
-		in, err := d.ComputePartition(p)
-		if err != nil {
-			return err
-		}
 		local := make(map[K]int64)
-		for _, kv := range in {
+		if err := d.EachPartition(p, func(kv Pair[K, V]) bool {
 			local[kv.Key]++
+			return true
+		}); err != nil {
+			return err
 		}
 		mu.Lock()
 		for k, c := range local {

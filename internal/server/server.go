@@ -8,6 +8,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strings"
 
@@ -150,12 +152,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown predicate %q", req.Predicate)
 		return
 	}
-	hits, err := filtered.Collect()
-	if err != nil {
+	// Resolve the chain before committing the response status: chain
+	// errors (bad geometry, failed shuffle) surface here and still map
+	// to an HTTP error code.
+	if err := filtered.Run(); err != nil {
 		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
-	writeJSON(w, featureCollection(hits, nil, nil))
+	streamFeatureCollection(w, filtered)
+}
+
+// streamFeatureCollection encodes the query result as a GeoJSON
+// FeatureCollection, writing each feature as it leaves the fused
+// partition pipeline — the result set is never materialised in
+// memory. The status line is committed before the scan runs, so a
+// mid-stream error can only be reported by logging it and leaving the
+// JSON unterminated: the client sees a malformed document instead of
+// a silently truncated result.
+func streamFeatureCollection(w http.ResponseWriter, ds *stark.Dataset[workload.Event]) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := io.WriteString(w, `{"type":"FeatureCollection","features":[`); err != nil {
+		log.Printf("server: aborting GeoJSON stream: %v", err)
+		return
+	}
+	count := 0
+	var rowErr error
+	// StreamParallel keeps partition-parallel predicate evaluation
+	// while rows arrive here in partition order; a failed write (the
+	// client hung up) stops the whole pipeline instead of scanning
+	// into a dead socket.
+	err := ds.StreamParallel(func(kv stark.Tuple[workload.Event]) bool {
+		b, err := json.Marshal(feature(kv, nil, nil))
+		if err != nil {
+			rowErr = err
+			return false
+		}
+		if count > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				rowErr = err
+				return false
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			rowErr = err
+			return false
+		}
+		count++
+		return true
+	})
+	if err == nil {
+		err = rowErr
+	}
+	if err != nil {
+		log.Printf("server: aborting GeoJSON stream after %d features: %v", count, err)
+		return
+	}
+	_, _ = fmt.Fprintf(w, `],"count":%d}`, count)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -239,27 +291,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// feature renders one event as a GeoJSON feature. dist and label
+// optionally add distance / cluster properties.
+func feature(kv stark.Tuple[workload.Event], dist *float64, label *int) map[string]interface{} {
+	props := map[string]interface{}{
+		"id":       kv.Value.ID,
+		"category": kv.Value.Category,
+		"time":     kv.Value.Time,
+	}
+	if dist != nil {
+		props["distance"] = *dist
+	}
+	if label != nil {
+		props["cluster"] = *label
+	}
+	return map[string]interface{}{
+		"type":       "Feature",
+		"geometry":   geometryJSON(kv.Key.Geo()),
+		"properties": props,
+	}
+}
+
 // featureCollection renders events as GeoJSON. dists and labels are
 // optional parallel slices adding distance / cluster properties.
 func featureCollection(hits []stark.Tuple[workload.Event], dists []float64, labels []int) map[string]interface{} {
 	features := make([]map[string]interface{}, 0, len(hits))
 	for i, kv := range hits {
-		props := map[string]interface{}{
-			"id":       kv.Value.ID,
-			"category": kv.Value.Category,
-			"time":     kv.Value.Time,
-		}
+		var dist *float64
 		if dists != nil {
-			props["distance"] = dists[i]
+			dist = &dists[i]
 		}
+		var label *int
 		if labels != nil {
-			props["cluster"] = labels[i]
+			label = &labels[i]
 		}
-		features = append(features, map[string]interface{}{
-			"type":       "Feature",
-			"geometry":   geometryJSON(kv.Key.Geo()),
-			"properties": props,
-		})
+		features = append(features, feature(kv, dist, label))
 	}
 	return map[string]interface{}{
 		"type":     "FeatureCollection",

@@ -233,3 +233,37 @@ func TestGeometryJSONShapes(t *testing.T) {
 		t.Errorf("mp type = %v", mp["type"])
 	}
 }
+
+// TestQueryEndpointStreamsValidGeoJSON pins the streaming encoder: the
+// response must be one well-formed document whose trailing count
+// matches the number of streamed features, including the empty-result
+// edge (no features at all).
+func TestQueryEndpointStreamsValidGeoJSON(t *testing.T) {
+	s := testServer(t, 150)
+	rec, out := postJSON(t, s, "/api/query", QueryRequest{
+		Predicate: "intersects",
+		WKT:       "POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	feats := out["features"].([]interface{})
+	if int(out["count"].(float64)) != len(feats) {
+		t.Errorf("count %v != %d streamed features", out["count"], len(feats))
+	}
+	if out["type"] != "FeatureCollection" {
+		t.Errorf("type = %v", out["type"])
+	}
+
+	// Empty result: still valid JSON with count 0.
+	rec, out = postJSON(t, s, "/api/query", QueryRequest{
+		Predicate: "intersects",
+		WKT:       "POLYGON ((900 900, 910 900, 910 910, 900 910, 900 900))",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty-result status = %d", rec.Code)
+	}
+	if int(out["count"].(float64)) != 0 || len(out["features"].([]interface{})) != 0 {
+		t.Errorf("empty result rendered as %v", out)
+	}
+}

@@ -248,3 +248,177 @@ func TestPartitionPruningAtAction(t *testing.T) {
 		t.Fatalf("pruned collect returned %d records, want %d", len(got), want)
 	}
 }
+
+// TestStreamingActions exercises the streaming / short-circuiting
+// action surface of the DSL: Exists, First, Reduce, Stream and Take
+// must agree with Collect on the same chain — with and without a
+// spatial partitioner (i.e. with partition pruning pending).
+func TestStreamingActions(t *testing.T) {
+	ctx := stark.NewContext(4)
+	tuples := apiSpatialTuples(t, 3_000)
+	q := stark.NewSTObject(stark.NewEnvelope(100, 100, 700, 700).ToPolygon())
+
+	for _, mode := range []string{"plain", "partitioned"} {
+		ds := stark.Parallelize(ctx, tuples, 6)
+		if mode == "partitioned" {
+			ds = ds.PartitionBy(stark.Grid(4))
+		}
+		filtered := ds.Intersects(q)
+
+		want, err := filtered.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatal("degenerate query")
+		}
+
+		// Stream sees exactly the Collect rows, in partition order.
+		var streamed []stark.Tuple[int]
+		if err := filtered.Stream(func(kv stark.Tuple[int]) bool {
+			streamed = append(streamed, kv)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(want) {
+			t.Fatalf("%s: stream saw %d rows, collect %d", mode, len(streamed), len(want))
+		}
+		for i := range streamed {
+			if streamed[i].Value != want[i].Value {
+				t.Fatalf("%s: stream row %d differs from collect", mode, i)
+			}
+		}
+
+		// Early stop.
+		n := 0
+		if err := filtered.Stream(func(stark.Tuple[int]) bool {
+			n++
+			return n < 7
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 7 {
+			t.Errorf("%s: stream stop saw %d rows, want 7", mode, n)
+		}
+
+		// First matches the head of Collect.
+		first, ok, err := filtered.First()
+		if err != nil || !ok {
+			t.Fatalf("%s: first ok=%v err=%v", mode, ok, err)
+		}
+		if first.Value != want[0].Value {
+			t.Errorf("%s: first = %v, want %v", mode, first.Value, want[0].Value)
+		}
+
+		// Take short-circuits but returns the same prefix.
+		head, err := filtered.Take(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(head) != 5 {
+			t.Fatalf("%s: take = %d rows", mode, len(head))
+		}
+		for i := range head {
+			if head[i].Value != want[i].Value {
+				t.Errorf("%s: take row %d differs from collect", mode, i)
+			}
+		}
+
+		// Exists: a present payload and an impossible one.
+		found, err := filtered.Exists(func(kv stark.Tuple[int]) bool { return kv.Value == want[0].Value })
+		if err != nil || !found {
+			t.Errorf("%s: exists(present) = %v err=%v", mode, found, err)
+		}
+		found, err = filtered.Exists(func(kv stark.Tuple[int]) bool { return kv.Value < 0 })
+		if err != nil || found {
+			t.Errorf("%s: exists(absent) = %v err=%v", mode, found, err)
+		}
+
+		// Reduce streams to the same sum Collect gives.
+		wantSum := 0
+		for _, kv := range want {
+			wantSum += kv.Value
+		}
+		total, ok, err := filtered.Reduce(func(a, b stark.Tuple[int]) stark.Tuple[int] {
+			a.Value += b.Value
+			return a
+		})
+		if err != nil || !ok {
+			t.Fatalf("%s: reduce ok=%v err=%v", mode, ok, err)
+		}
+		if total.Value != wantSum {
+			t.Errorf("%s: reduce sum = %d, want %d", mode, total.Value, wantSum)
+		}
+	}
+}
+
+// TestStreamingActionErrors checks that deferred chain errors and nil
+// arguments surface through the new actions.
+func TestStreamingActionErrors(t *testing.T) {
+	ctx := stark.NewContext(2)
+	tuples := apiSpatialTuples(t, 100)
+	bad := stark.Parallelize(ctx, tuples).Intersects(stark.STObject{})
+
+	if _, _, err := bad.First(); err == nil {
+		t.Error("First on failed chain must error")
+	}
+	if _, err := bad.Exists(func(stark.Tuple[int]) bool { return true }); err == nil {
+		t.Error("Exists on failed chain must error")
+	}
+	if err := bad.Stream(func(stark.Tuple[int]) bool { return true }); err == nil {
+		t.Error("Stream on failed chain must error")
+	}
+
+	good := stark.Parallelize(ctx, tuples)
+	if _, err := good.Exists(nil); err == nil {
+		t.Error("Exists(nil) must error")
+	}
+	if err := good.Stream(nil); err == nil {
+		t.Error("Stream(nil) must error")
+	}
+	if _, _, err := good.Reduce(nil); err == nil {
+		t.Error("Reduce(nil) must error")
+	}
+}
+
+// TestStreamParallelAgrees pins the parallel ordered stream against
+// Collect on plain and partitioned chains.
+func TestStreamParallelAgrees(t *testing.T) {
+	ctx := stark.NewContext(4)
+	tuples := apiSpatialTuples(t, 2_000)
+	q := stark.NewSTObject(stark.NewEnvelope(100, 100, 700, 700).ToPolygon())
+
+	for _, mode := range []string{"plain", "partitioned"} {
+		ds := stark.Parallelize(ctx, tuples, 6)
+		if mode == "partitioned" {
+			ds = ds.PartitionBy(stark.Grid(4))
+		}
+		filtered := ds.Intersects(q)
+		want, err := filtered.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []stark.Tuple[int]
+		if err := filtered.StreamParallel(func(kv stark.Tuple[int]) bool {
+			got = append(got, kv)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamParallel %d rows, collect %d", mode, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Value != want[i].Value {
+				t.Fatalf("%s: row %d differs", mode, i)
+			}
+		}
+		if _, err := stark.Parallelize(ctx, tuples).Intersects(stark.STObject{}).Collect(); err == nil {
+			t.Fatal("sanity: failed chain must error")
+		}
+		if err := filtered.StreamParallel(nil); err == nil {
+			t.Error("StreamParallel(nil) must error")
+		}
+	}
+}
