@@ -64,6 +64,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "piglet: %v\n", err)
 		os.Exit(1)
 	}
+	for _, text := range out.Explained {
+		fmt.Println(text)
+	}
 	for _, line := range out.Dumped {
 		fmt.Println(line)
 	}

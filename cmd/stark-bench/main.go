@@ -7,7 +7,8 @@
 //	stark-bench -experiment indexing -n 10000 -json
 //
 // Experiments: figure4 (the paper's micro-benchmark), partitioning,
-// indexing, stfilter, knn, dbscan, joins, localindex, persist, all.
+// indexing, stfilter, knn, dbscan, joins, localindex, persist,
+// optimizer (cost-based planner vs naive execution), all.
 //
 // With -json, every experiment additionally writes a machine-readable
 // BENCH_<experiment>.json (into -json-dir, default the working
@@ -68,13 +69,14 @@ func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
 		total.ShuffledRecords += s.ShuffledRecords
 		total.IndexProbes += s.IndexProbes
 		total.CandidatesRefined += s.CandidatesRefined
+		total.StatsRecords += s.StatsRecords
 	}
 	return total
 }
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|optimizer|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -196,6 +198,17 @@ func main() {
 				fmt.Printf("%-8s %-10s %12.3f %14.6f %12d\n", r.Structure, r.Dist, r.BuildSecs, r.QuerySecs, r.Results)
 			}
 			result = rows
+		case "optimizer":
+			fmt.Println("== E8: cost-based planner vs naive execution ==")
+			rows, err := bench.Optimizer(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-8s %12s %12s %14s %12s\n", "Variant", "Indexed", "Time [s]", "Results", "Scanned", "Skipped")
+			for _, r := range rows {
+				fmt.Printf("%-10s %-8v %12.4f %12d %14d %12d\n", r.Variant, r.Indexed, r.Seconds, r.Results, r.ElementsScanned, r.TasksSkipped)
+			}
+			result = rows
 		case "persist":
 			fmt.Println("== persistent index round trip ==")
 			build, reloadDur, err := bench.PersistIndexRoundTrip(cfg)
@@ -237,7 +250,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist", "optimizer"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

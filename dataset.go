@@ -28,19 +28,41 @@ import (
 	"stark/internal/core"
 	"stark/internal/engine"
 	"stark/internal/geom"
+	"stark/internal/plan"
 )
 
 // state is the resolved form of a Dataset: the engine-level spatial
 // dataset, the optional partition indexes, the configured index mode,
-// and the pruning envelopes accumulated by lazy filters.
+// the scan filters still awaiting compilation, and the pruning
+// envelopes of filters already folded into the lineage.
 type state[V any] struct {
-	sds  *core.SpatialDataset[V]   // always set on success
-	idx  *core.IndexedDataset[V]   // set when mode is live/persistent
+	sds  *core.SpatialDataset[V] // always set on success
+	idx  *core.IndexedDataset[V] // set when mode is live/persistent
 	mode IndexMode
-	// pruneEnvs are the envelopes of pending scan filters; a
-	// partition whose extent misses any of them cannot contribute to
-	// the result, so actions skip it (the paper's partition pruning).
+	// pruneEnvs are the envelopes of folded scan filters; a partition
+	// whose extent misses any of them cannot contribute to the
+	// result, so actions skip it (the paper's partition pruning).
 	pruneEnvs []geom.Envelope
+	// pending are the scan filters not yet folded into the lineage.
+	// Record-enumerating actions hand them to the cost-based planner
+	// (predicate reordering, stats-based pruning, index-mode choice);
+	// every other consumer folds them in caller order via flush.
+	pending []pendingPred
+	// noOpt disables the planner (Optimize(false)): pending filters
+	// fold in caller order with partitioner-extent pruning only.
+	noOpt bool
+	// base is the EXPLAIN lineage of everything below the pending
+	// filters.
+	base *plan.Node
+}
+
+// pendingPred is one deferred scan filter: the execution closure plus
+// the planner's description of it.
+type pendingPred struct {
+	name string
+	q    STObject
+	pred Predicate
+	info plan.Pred
 }
 
 // Dataset is a lazily evaluated spatio-temporal query over records of
@@ -53,6 +75,20 @@ type state[V any] struct {
 type Dataset[V any] struct {
 	ctx     *Context
 	resolve func() (state[V], error)
+
+	// compileOnce memoises the planner's compilation of the resolved
+	// state, so repeated actions on one Dataset plan (and count
+	// pruned partitions) once.
+	compileOnce sync.Once
+	comp        compiled[V]
+	compErr     error
+
+	// flushOnce memoises the caller-order fold of pending filters, so
+	// consumers that need the concrete filtered dataset (joins, kNN,
+	// Stats) never execute an eager index probe or filter fold twice.
+	flushOnce sync.Once
+	flushed   state[V]
+	flushErr  error
 }
 
 // newDataset wraps a resolve step with memoisation.
@@ -97,7 +133,12 @@ func Parallelize[V any](ctx *Context, records []Tuple[V], numPartitions ...int) 
 		n = numPartitions[0]
 	}
 	return newDataset(ctx, func() (state[V], error) {
-		return state[V]{sds: core.Wrap(engine.Parallelize(ctx, records, n))}, nil
+		sds := core.Wrap(engine.Parallelize(ctx, records, n))
+		scan := plan.NewNode("Scan", "parallelize")
+		scan.EstRows = float64(len(records))
+		scan.ActRows = int64(len(records))
+		scan.Prop("partitions=%d", sds.NumPartitions())
+		return state[V]{sds: sds, base: scan}, nil
 	})
 }
 
@@ -113,6 +154,10 @@ func (d *Dataset[V]) Context() *Context { return d.ctx }
 // either order.
 func (d *Dataset[V]) PartitionBy(p Partitioner) *Dataset[V] {
 	return d.chain("partitionBy", func(st state[V]) (state[V], error) {
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		// Data-driven recipes (Grid, BSP, Voronoi) need the keys; in
 		// that case materialise the upstream once — honouring pending
 		// partition pruning — and shuffle the materialised rows, so
@@ -147,7 +192,10 @@ func (d *Dataset[V]) PartitionBy(p Partitioner) *Dataset[V] {
 		if err != nil {
 			return state[V]{}, err
 		}
-		return applyMode(d.ctx, state[V]{sds: parted, mode: st.mode})
+		node := plan.NewNode("Partition", p.String()).
+			Prop("partitions=%d", parted.NumPartitions()).
+			Add(st.base)
+		return applyMode(d.ctx, state[V]{sds: parted, mode: st.mode, noOpt: st.noOpt, base: node})
 	})
 }
 
@@ -161,7 +209,12 @@ func (d *Dataset[V]) Index(m IndexMode) *Dataset[V] {
 		if err := m.validate(); err != nil {
 			return state[V]{}, err
 		}
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		st.mode = m
+		st.base = plan.NewNode("Index", m.String()).Add(st.base)
 		return applyMode(d.ctx, st)
 	})
 }
@@ -191,23 +244,27 @@ func applyMode[V any](ctx *Context, st state[V]) (state[V], error) {
 // repeated actions on the same chain compute each partition once.
 func (d *Dataset[V]) Cache() *Dataset[V] {
 	return d.chain("cache", func(st state[V]) (state[V], error) {
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		st.sds.Cache()
 		return st, nil
 	})
 }
 
-// Where keeps the records whose key satisfies pred against q. With an
-// index configured, the partition trees are probed with q's envelope
-// (expanded by pruneExpand) and candidates refined exactly; without
-// one the filter is folded into the scan lineage and q's envelope is
-// remembered for partition pruning at the action. pruneExpand must
-// cover how far a matching record's envelope can lie outside q's
-// (pass the distance for distance predicates, 0 otherwise).
+// Where keeps the records whose key satisfies pred against q. The
+// filter is deferred: at the action the cost-based planner orders
+// pending predicates by estimated selectivity, prunes partitions from
+// collected statistics, and picks scan vs index probe (see Explain;
+// Optimize(false) restores caller order). pruneExpand must cover how
+// far a matching record's envelope can lie outside q's (pass the
+// distance for distance predicates, 0 otherwise).
 func (d *Dataset[V]) Where(q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
-	return d.where("where", q, pred, pruneExpand)
+	return d.where("where", plan.Custom, q, pred, pruneExpand)
 }
 
-func (d *Dataset[V]) where(name string, q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
+func (d *Dataset[V]) where(name string, kind plan.PredKind, q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
 	return d.chain(name, func(st state[V]) (state[V], error) {
 		if q.IsEmpty() {
 			return state[V]{}, fmt.Errorf("empty query object")
@@ -215,50 +272,112 @@ func (d *Dataset[V]) where(name string, q STObject, pred Predicate, pruneExpand 
 		if pred == nil {
 			return state[V]{}, fmt.Errorf("nil predicate")
 		}
-		pruneEnv := q.Envelope().ExpandBy(pruneExpand)
+		pp := pendingPred{name: name, q: q, pred: pred, info: planPred(kind, q, pruneExpand)}
+		st.pending = append(st.pending[:len(st.pending):len(st.pending)], pp)
+		return st, nil
+	})
+}
+
+// planPred builds the planner's description of a predicate.
+func planPred(kind plan.PredKind, q STObject, pruneExpand float64) plan.Pred {
+	p := plan.Pred{
+		Kind:     kind,
+		Env:      q.Envelope(),
+		Expand:   pruneExpand,
+		Vertices: vertexCount(q.Geo()),
+	}
+	if iv, ok := q.Time(); ok {
+		p.HasTime = true
+		p.Begin, p.End = int64(iv.Start), int64(iv.End)
+	}
+	return p
+}
+
+// vertexCount returns the vertex count of a geometry — the planner's
+// refinement-cost proxy.
+func vertexCount(g Geometry) int {
+	switch t := g.(type) {
+	case Point:
+		return 1
+	case geom.MultiPoint:
+		return t.NumPoints()
+	case LineString:
+		return t.NumPoints()
+	case Polygon:
+		n := t.Shell().NumPoints()
+		for h := 0; h < t.NumHoles(); h++ {
+			n += t.HoleAt(h).NumPoints()
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+// flush folds the pending scan filters into the lineage in caller
+// order — the pre-planner execution strategy, used by every consumer
+// that needs the concrete filtered dataset (repartitioning, payload
+// transforms, joins, clustering) rather than a plannable scan. An
+// existing index is probed eagerly, exactly as Where executed before
+// the planner existed.
+func (st state[V]) flush(ctx *Context) (state[V], error) {
+	pending := st.pending
+	st.pending = nil
+	for _, p := range pending {
+		pruneEnv := p.info.PruneEnv()
 		if st.idx != nil {
 			// Indexed probe + exact refinement. The result is a plain
 			// in-memory dataset: like the Scala DSL, an indexed
 			// operator yields an unindexed RDD.
-			rows, err := st.idx.Filter(q, pruneEnv, pred)
+			rows, err := st.idx.Filter(p.q, pruneEnv, p.pred)
 			if err != nil {
-				return state[V]{}, err
+				return state[V]{}, fmt.Errorf("stark: %s: %w", p.name, err)
 			}
-			return state[V]{sds: core.Wrap(engine.Parallelize(d.ctx, rows, 0))}, nil
+			node := plan.NewNode("Filter", p.info.String()).
+				Prop("index=probe (existing partition trees)").
+				Add(st.base)
+			node.ActRows = int64(len(rows))
+			st = state[V]{
+				sds:   core.Wrap(engine.Parallelize(ctx, rows, 0)),
+				noOpt: st.noOpt,
+				base:  node,
+			}
+			continue
 		}
-		st.sds = st.sds.Where(q, pred)
+		st.sds = st.sds.Where(p.q, p.pred)
 		st.pruneEnvs = append(st.pruneEnvs[:len(st.pruneEnvs):len(st.pruneEnvs)], pruneEnv)
 		st.mode = NoIndexing
-		return st, nil
-	})
+		st.base = plan.NewNode("Filter", p.info.String()).Add(st.base)
+	}
+	return st, nil
 }
 
 // Intersects keeps the records whose key intersects q in the combined
 // spatio-temporal semantics.
 func (d *Dataset[V]) Intersects(q STObject) *Dataset[V] {
-	return d.where("intersects", q, Intersects, 0)
+	return d.where("intersects", plan.Intersects, q, Intersects, 0)
 }
 
 // Contains keeps the records whose key completely contains q.
 func (d *Dataset[V]) Contains(q STObject) *Dataset[V] {
-	return d.where("contains", q, Contains, 0)
+	return d.where("contains", plan.Contains, q, Contains, 0)
 }
 
 // ContainedBy keeps the records whose key is completely contained by
 // q — the paper's events.containedBy(qry).
 func (d *Dataset[V]) ContainedBy(q STObject) *Dataset[V] {
-	return d.where("containedBy", q, ContainedBy, 0)
+	return d.where("containedBy", plan.ContainedBy, q, ContainedBy, 0)
 }
 
 // CoveredBy is ContainedBy with boundary tolerance.
 func (d *Dataset[V]) CoveredBy(q STObject) *Dataset[V] {
-	return d.where("coveredBy", q, CoveredBy, 0)
+	return d.where("coveredBy", plan.CoveredBy, q, CoveredBy, 0)
 }
 
 // WithinDistance keeps the records whose key lies within maxDist of q
 // under df (nil selects the exact planar distance).
 func (d *Dataset[V]) WithinDistance(q STObject, maxDist float64, df DistanceFunc) *Dataset[V] {
-	return d.where("withinDistance", q, WithinDistancePredicate(maxDist, df), maxDist)
+	return d.where("withinDistance", plan.WithinDistance, q, WithinDistancePredicate(maxDist, df), maxDist)
 }
 
 // FilterValues keeps the records whose payload satisfies keep. The
@@ -269,6 +388,10 @@ func (d *Dataset[V]) FilterValues(keep func(V) bool) *Dataset[V] {
 		if keep == nil {
 			return state[V]{}, fmt.Errorf("nil filter")
 		}
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		filtered := st.sds.Dataset().Filter(func(kv Tuple[V]) bool { return keep(kv.Value) })
 		wrapped, err := core.WrapPartitioned(filtered, st.sds.Partitioner())
 		if err != nil {
@@ -277,6 +400,7 @@ func (d *Dataset[V]) FilterValues(keep func(V) bool) *Dataset[V] {
 		st.sds = wrapped
 		st.mode = NoIndexing
 		st.idx = nil
+		st.base = plan.NewNode("FilterValues", "").Add(st.base)
 		return st, nil
 	})
 }
@@ -289,6 +413,10 @@ func (d *Dataset[V]) Sample(fraction float64, seed int64) *Dataset[V] {
 		if fraction < 0 || fraction > 1 {
 			return state[V]{}, fmt.Errorf("fraction %v outside [0, 1]", fraction)
 		}
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		sampled, err := core.WrapPartitioned(st.sds.Dataset().Sample(fraction, seed), st.sds.Partitioner())
 		if err != nil {
 			return state[V]{}, err
@@ -296,6 +424,7 @@ func (d *Dataset[V]) Sample(fraction float64, seed int64) *Dataset[V] {
 		st.sds = sampled
 		st.mode = NoIndexing
 		st.idx = nil
+		st.base = plan.NewNode("Sample", fmt.Sprintf("fraction=%g", fraction)).Add(st.base)
 		return st, nil
 	})
 }
@@ -309,9 +438,15 @@ func MapValues[V, W any](d *Dataset[V], f func(V) W) *Dataset[W] {
 		if err != nil {
 			return state[W]{}, err
 		}
+		st, err = st.flush(d.ctx)
+		if err != nil {
+			return state[W]{}, err
+		}
 		return state[W]{
 			sds:       core.MapDatasetValues(st.sds, f),
 			pruneEnvs: st.pruneEnvs,
+			noOpt:     st.noOpt,
+			base:      plan.NewNode("MapValues", "").Add(st.base),
 		}, nil
 	})
 }
@@ -321,7 +456,15 @@ func MapValues[V, W any](d *Dataset[V], f func(V) W) *Dataset[W] {
 // not respect the old layout. Repartition afterwards if needed.
 func ReKey[V any](d *Dataset[V], f func(key STObject, v V) STObject) *Dataset[V] {
 	return d.chain("reKey", func(st state[V]) (state[V], error) {
-		return state[V]{sds: core.ReKey(st.sds, f)}, nil
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
+		return state[V]{
+			sds:   core.ReKey(st.sds, f),
+			noOpt: st.noOpt,
+			base:  plan.NewNode("ReKey", "").Add(st.base),
+		}, nil
 	})
 }
 
@@ -332,11 +475,31 @@ func (d *Dataset[V]) force() (state[V], error) {
 	return d.resolve()
 }
 
+// forceFlushed resolves the chain and folds any pending scan filters
+// into the lineage in caller order — for consumers that need the
+// concrete filtered dataset rather than a plannable scan. The fold is
+// memoised: an indexed chain probes its R-trees at most once no
+// matter how many consumers flush, and the flushed dataset instance
+// is stable so its statistics cache can hit.
+func (d *Dataset[V]) forceFlushed() (state[V], error) {
+	d.flushOnce.Do(func() {
+		st, err := d.resolve()
+		if err != nil {
+			d.flushErr = err
+			return
+		}
+		d.flushed, d.flushErr = st.flush(d.ctx)
+	})
+	return d.flushed, d.flushErr
+}
+
 // Run executes the chain for its side effects (shuffles, index
-// builds, caching) and reports the first deferred error. Useful to
-// warm a shared base dataset or to surface chain errors eagerly.
+// builds, caching, plan compilation) and reports the first deferred
+// error. Useful to warm a shared base dataset or to surface chain and
+// planning errors eagerly, before a streaming consumer commits to a
+// response.
 func (d *Dataset[V]) Run() error {
-	_, err := d.force()
+	_, err := d.compiled()
 	return err
 }
 
@@ -381,32 +544,26 @@ func (st *state[V]) prunedVisit(ctx *Context) (visit []int, ok bool) {
 
 // Collect materialises the query result.
 func (d *Dataset[V]) Collect() ([]Tuple[V], error) {
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return nil, err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Collect()
+	if c.visit != nil {
+		return c.ds.CollectPartitions(c.visit)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().CollectPartitions(visit)
-	}
-	return st.sds.Collect()
+	return c.ds.Collect()
 }
 
 // Count returns the number of result records.
 func (d *Dataset[V]) Count() (int64, error) {
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return 0, err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Count()
+	if c.visit != nil {
+		return c.ds.CountPartitions(c.visit)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().CountPartitions(visit)
-	}
-	return st.sds.Count()
+	return c.ds.Count()
 }
 
 // Take returns up to n result records, scanning partitions in order.
@@ -415,20 +572,17 @@ func (d *Dataset[V]) Count() (int64, error) {
 // pending filters are never touched, and later partitions are not
 // scheduled at all.
 func (d *Dataset[V]) Take(n int) ([]Tuple[V], error) {
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return nil, err
-	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().Take(n)
 	}
 	if n <= 0 {
 		return nil, nil
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().TakePartitions(visit, n)
+	if c.visit != nil {
+		return c.ds.TakePartitions(c.visit, n)
 	}
-	return st.sds.Dataset().Take(n)
+	return c.ds.Take(n)
 }
 
 // First returns the first result record in partition order, ok=false
@@ -450,17 +604,14 @@ func (d *Dataset[V]) Exists(pred func(Tuple[V]) bool) (bool, error) {
 	if pred == nil {
 		return false, fmt.Errorf("stark: exists: nil predicate")
 	}
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return false, err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().Exists(pred)
+	if c.visit != nil {
+		return c.ds.ExistsPartitions(c.visit, pred)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().ExistsPartitions(visit, pred)
-	}
-	return st.sds.Dataset().Exists(pred)
+	return c.ds.Exists(pred)
 }
 
 // Reduce combines all result records with f, streaming each partition
@@ -472,17 +623,14 @@ func (d *Dataset[V]) Reduce(f func(a, b Tuple[V]) Tuple[V]) (Tuple[V], bool, err
 	if f == nil {
 		return zero, false, fmt.Errorf("stark: reduce: nil reducer")
 	}
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return zero, false, err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().Reduce(f)
+	if c.visit != nil {
+		return c.ds.ReducePartitions(c.visit, f)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().ReducePartitions(visit, f)
-	}
-	return st.sds.Dataset().Reduce(f)
+	return c.ds.Reduce(f)
 }
 
 // Foreach runs fn on every result record, partition-parallel,
@@ -492,17 +640,14 @@ func (d *Dataset[V]) Foreach(fn func(Tuple[V])) error {
 	if fn == nil {
 		return fmt.Errorf("stark: foreach: nil fn")
 	}
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().Foreach(fn)
+	if c.visit != nil {
+		return c.ds.ForeachPartitions(c.visit, fn)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().ForeachPartitions(visit, fn)
-	}
-	return st.sds.Dataset().Foreach(fn)
+	return c.ds.Foreach(fn)
 }
 
 // Stream drives every result record through fn sequentially, in
@@ -515,17 +660,14 @@ func (d *Dataset[V]) Stream(fn func(Tuple[V]) bool) error {
 	if fn == nil {
 		return fmt.Errorf("stark: stream: nil consumer")
 	}
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().Stream(fn)
+	if c.visit != nil {
+		return c.ds.StreamPartitions(c.visit, fn)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().StreamPartitions(visit, fn)
-	}
-	return st.sds.Dataset().Stream(fn)
+	return c.ds.Stream(fn)
 }
 
 // StreamParallel is Stream with partition-parallel compute: rows
@@ -538,22 +680,19 @@ func (d *Dataset[V]) StreamParallel(fn func(Tuple[V]) bool) error {
 	if fn == nil {
 		return fmt.Errorf("stark: streamParallel: nil consumer")
 	}
-	st, err := d.force()
+	c, err := d.compiled()
 	if err != nil {
 		return err
 	}
-	if st.enumerateViaIndex() {
-		return st.idx.Flat().StreamParallel(fn)
+	if c.visit != nil {
+		return c.ds.StreamPartitionsParallel(c.visit, 0, fn)
 	}
-	if visit, ok := st.prunedVisit(d.ctx); ok {
-		return st.sds.Dataset().StreamPartitionsParallel(visit, 0, fn)
-	}
-	return st.sds.Dataset().StreamParallel(fn)
+	return c.ds.StreamParallel(fn)
 }
 
 // NumPartitions resolves the chain and returns the partition count.
 func (d *Dataset[V]) NumPartitions() (int, error) {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return 0, err
 	}
@@ -563,7 +702,7 @@ func (d *Dataset[V]) NumPartitions() (int, error) {
 // Partitioner resolves the chain and returns the spatial partitioner,
 // or nil when the data is not spatially partitioned.
 func (d *Dataset[V]) Partitioner() (SpatialPartitioner, error) {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return nil, err
 	}
@@ -573,7 +712,7 @@ func (d *Dataset[V]) Partitioner() (SpatialPartitioner, error) {
 // CountBy counts the result records per key derived by key —
 // partition-parallel, the DSL's GROUP ... COUNT.
 func CountBy[V any, K comparable](d *Dataset[V], key func(Tuple[V]) K) (map[K]int64, error) {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return nil, err
 	}
@@ -600,7 +739,7 @@ func (d *Dataset[V]) KNN(q STObject, k int, df ...DistanceFunc) ([]Neighbor[V], 
 	if len(df) > 0 {
 		dist = df[0]
 	}
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +767,7 @@ type ClusteredRecord[V any] = core.ClusteredRecord[V]
 // Cluster runs distributed DBSCAN over the query result and returns
 // one labelled record per input record plus the number of clusters.
 func (d *Dataset[V]) Cluster(opts ClusterOptions) ([]ClusteredRecord[V], int, error) {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return nil, 0, err
 	}

@@ -52,6 +52,50 @@
 // Partition pruning composes with fusion: a pruned partition's
 // pipeline is never started at all.
 //
+// # Cost-based planning and EXPLAIN
+//
+// Filters do not execute where they appear in the chain. They join a
+// pending set that the cost-based planner compiles at the first
+// record-enumerating action:
+//
+//   - Statistics are collected in ONE streaming pass per dataset —
+//     per-partition MBRs, record counts, temporal extents and a
+//     coarse grid histogram of centroids — and cached on the dataset
+//     (repartitioning or filtering yields a new dataset, so a summary
+//     can never describe a stale layout).
+//   - Conjunctive predicates are reordered most selective first,
+//     selectivity estimated from the histogram (times a temporal
+//     overlap factor for timed queries), so expensive predicates see
+//     few records.
+//   - Partitions are pruned from the collected per-partition MBRs and
+//     temporal extents — no spatial partitioner required: data with
+//     ingest-order locality prunes out of the box. Partitioner
+//     extents, when present, intersect with the stats-based list.
+//   - A cost model compares the fused scan against building
+//     transient per-partition R-trees (live indexing) and probes
+//     whichever is cheaper; a dataset that already carries trees is
+//     always probed. Joins index the smaller input (build side).
+//
+// Explain returns the plan as an indented tree: each operator with
+// estimated cost and cardinality, the decisions taken (chosen index
+// mode, pruned-partition count, predicate order) and, because Explain
+// executes the chain, the actual cardinality and engine metrics:
+//
+//	Filter[containedby env=[15 15 35 35] ...] est_rows=2.6 cost=433.1 act_rows=8
+//	  · index=none scan chosen (scan_cost=433.1 index_cost=840.2)
+//	  · pruned 3/4 partitions (stats MBR/time), input_rows=75
+//	  · pred_order=[1(sel=0.0312) 0(sel=0.2776)]
+//	  · actual: rows=8 elements_scanned=83 index_probes=0 candidates_refined=0
+//	  Scan[parallelize] est_rows=300 act_rows=300
+//
+// Optimize(false) opts a chain out: filters run in caller order as
+// fused scans with partitioner-extent pruning only, exactly the
+// pre-planner behaviour (the `optimizer` bench measures the gap).
+// Dataset.Stats exposes the collected summary; the web front end
+// serves the plan as JSON via POST /api/explain, and the Piglet
+// dialect gains an EXPLAIN statement whose output is pinned by
+// golden-file tests.
+//
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:
 //
@@ -69,6 +113,11 @@
 //     persistence;
 //   - internal/core      — the eager operator layer the DSL drives
 //     (filters, joins, kNN, the indexing modes, DBSCAN entry point);
+//   - internal/stats     — one-pass dataset statistics for the
+//     planner (per-partition MBRs, counts, temporal extents, grid
+//     histogram);
+//   - internal/plan      — the cost-based planner: predicate algebra,
+//     cost model, rewrite decisions and the EXPLAIN tree;
 //   - internal/cluster   — sequential and MR-DBSCAN-style distributed
 //     DBSCAN;
 //   - internal/baselines — GeoSpark- and SpatialSpark-style join

@@ -1,0 +1,259 @@
+package stark
+
+// This file wires the cost-based planner (internal/plan, fed by
+// internal/stats) into the fluent DSL. Scan filters accumulate on the
+// chain as pending predicates; the first record-enumerating action
+// compiles them: statistics are collected in one streaming pass
+// (cached per dataset), predicates are reordered most selective
+// first, partitions are pruned from the collected per-partition MBRs
+// and temporal extents, and a cost model picks the fused scan or a
+// live R-tree probe. Explain renders the resulting plan — with
+// estimated and, after execution, actual cardinalities — and
+// Optimize(false) opts a chain out of all of it.
+
+import (
+	"fmt"
+
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/index"
+	"stark/internal/plan"
+	"stark/internal/stats"
+)
+
+// DatasetStats is the planner's statistics bundle: record counts,
+// per-partition MBRs and temporal extents, and the spatial grid
+// histogram (see Dataset.Stats).
+type DatasetStats = stats.Summary
+
+// PartitionStats summarises one partition inside DatasetStats.
+type PartitionStats = stats.PartitionStats
+
+// PlanNode is one operator of an EXPLAIN tree (see Dataset.Explain
+// and the server's /api/explain endpoint).
+type PlanNode = plan.Node
+
+// compiled is the executable form of a resolved chain: the engine
+// dataset to drive, the partitions to visit (nil = all), and the
+// EXPLAIN tree describing the decisions taken.
+type compiled[V any] struct {
+	ds    *engine.Dataset[Tuple[V]]
+	visit []int
+	root  *plan.Node
+}
+
+// compiled memoises the compilation of the resolved state, so
+// repeated actions on one Dataset plan (and count pruned partitions)
+// exactly once.
+func (d *Dataset[V]) compiled() (compiled[V], error) {
+	d.compileOnce.Do(func() {
+		st, err := d.resolve()
+		if err != nil {
+			d.compErr = err
+			return
+		}
+		d.comp, d.compErr = compileState(d.ctx, st)
+	})
+	return d.comp, d.compErr
+}
+
+// compileState turns a resolved state into an executable plan.
+func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
+	if len(st.pending) == 0 {
+		if st.enumerateViaIndex() {
+			return compiled[V]{ds: st.idx.Flat(), root: st.base}, nil
+		}
+		if visit, ok := st.prunedVisit(ctx); ok {
+			return compiled[V]{ds: st.sds.Dataset(), visit: visit, root: st.base}, nil
+		}
+		return compiled[V]{ds: st.sds.Dataset(), root: st.base}, nil
+	}
+
+	preds := make([]plan.Pred, len(st.pending))
+	for i, p := range st.pending {
+		preds[i] = p.info
+	}
+
+	if st.noOpt {
+		// Optimizer off: fold in caller order; pruning falls back to
+		// partitioner extents (the pre-planner behaviour).
+		fl, err := st.flush(ctx)
+		if err != nil {
+			return compiled[V]{}, err
+		}
+		fl.base = plan.NaiveFilterNode(preds, st.base)
+		return compileState(ctx, fl)
+	}
+
+	sum, err := st.sds.Stats(0)
+	if err != nil {
+		return compiled[V]{}, fmt.Errorf("stark: plan: stats: %w", err)
+	}
+	dec := plan.PlanFilter(sum, preds, plan.FilterOptions{
+		AlreadyIndexed: st.idx != nil,
+		IndexOrder:     st.autoIndexOrder(),
+	})
+
+	// Partitioner-extent pruning composes with stats pruning: both
+	// are safe over-approximations of where matches can live, so the
+	// visit list is their intersection.
+	visit := dec.Visit
+	if sp := st.sds.Partitioner(); sp != nil {
+		envs := make([]geom.Envelope, 0, len(preds)+len(st.pruneEnvs))
+		for _, p := range preds {
+			envs = append(envs, p.PruneEnv())
+		}
+		envs = append(envs, st.pruneEnvs...)
+		kept := visit[:0:0]
+		for _, pi := range visit {
+			ext := sp.Extent(pi)
+			hit := true
+			for _, env := range envs {
+				if !ext.Intersects(env) {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				kept = append(kept, pi)
+			}
+		}
+		visit = kept
+	}
+	dec.Visit = visit
+	dec.Pruned = st.sds.NumPartitions() - len(visit)
+	dec.InputRows = sum.RowsIn(visit)
+	if dec.Pruned > 0 {
+		ctx.Metrics().TasksSkipped.Add(int64(dec.Pruned))
+	}
+
+	root := plan.FilterNode(dec, preds, st.idx != nil, st.base)
+
+	if st.idx != nil || dec.UseIndex {
+		// Index probe: an existing index is reused; otherwise a live
+		// R-tree is built because the cost model priced build+probe
+		// below the scan. The trees are probed with the most selective
+		// predicate's envelope and candidates are refined with every
+		// predicate, cheapest-surviving order.
+		idx := st.idx
+		if idx == nil {
+			live, err := st.sds.LiveIndex(dec.IndexOrder, nil)
+			if err != nil {
+				return compiled[V]{}, fmt.Errorf("stark: plan: live index: %w", err)
+			}
+			idx = live
+		}
+		ordered := make([]pendingPred, len(dec.Order))
+		for i, pi := range dec.Order {
+			ordered[i] = st.pending[pi]
+		}
+		refineAll := func(key, _ STObject) bool {
+			for _, p := range ordered {
+				if !p.pred(key, p.q) {
+					return false
+				}
+			}
+			return true
+		}
+		first := ordered[0]
+		before := ctx.Metrics().Snapshot()
+		rows, err := idx.FilterPartitions(first.q, first.info.PruneEnv(), refineAll, visit)
+		if err != nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: index probe: %w", err)
+		}
+		after := ctx.Metrics().Snapshot()
+		root.ActRows = int64(len(rows))
+		root.Prop("probe: index_probes=%d candidates_refined=%d",
+			after.IndexProbes-before.IndexProbes,
+			after.CandidatesRefined-before.CandidatesRefined)
+		return compiled[V]{ds: engine.Parallelize(ctx, rows, 0), root: root}, nil
+	}
+
+	// Fused scan in planned predicate order.
+	cur := st.sds
+	for _, pi := range dec.Order {
+		p := st.pending[pi]
+		cur = cur.Where(p.q, p.pred)
+	}
+	return compiled[V]{ds: cur.Dataset(), visit: visit, root: root}, nil
+}
+
+// autoIndexOrder returns the R-tree order an auto-built live index
+// would use: the configured mode's order, or the default.
+func (st *state[V]) autoIndexOrder() int {
+	if st.mode.kind != modeNone {
+		return st.mode.order
+	}
+	return index.DefaultOrder
+}
+
+// Optimize enables (true, the default) or disables (false) the
+// cost-based planner for this chain. With the planner off, filters
+// run in caller order as fused scans, partitions are pruned from
+// partitioner extents only, and no statistics pass runs — the
+// behaviour before the planner existed, kept as an opt-out and for
+// A/B measurements (the optimizer bench uses it).
+func (d *Dataset[V]) Optimize(enabled bool) *Dataset[V] {
+	return d.chain("optimize", func(st state[V]) (state[V], error) {
+		st.noOpt = !enabled
+		return st, nil
+	})
+}
+
+// Explain compiles the chain, executes it, and returns the rendered
+// plan tree: one line per operator with estimated cost/cardinality,
+// the decisions taken (chosen index mode, pruned partitions,
+// predicate order), actual cardinality, and the engine metrics the
+// execution generated.
+func (d *Dataset[V]) Explain() (string, error) {
+	n, err := d.ExplainNode()
+	if err != nil {
+		return "", err
+	}
+	return n.Render(), nil
+}
+
+// ExplainNode is Explain returning the plan tree itself (the
+// /api/explain endpoint serialises it as JSON).
+func (d *Dataset[V]) ExplainNode() (*PlanNode, error) {
+	c, err := d.compiled()
+	if err != nil {
+		return nil, err
+	}
+	m := d.ctx.Metrics()
+	before := m.Snapshot()
+	var n int64
+	if c.visit != nil {
+		n, err = c.ds.CountPartitions(c.visit)
+	} else {
+		n, err = c.ds.Count()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stark: explain: %w", err)
+	}
+	after := m.Snapshot()
+	root := c.root.Clone()
+	if root == nil {
+		root = plan.NewNode("Scan", "dataset")
+	}
+	if root.ActRows < 0 {
+		root.ActRows = n
+	}
+	root.Prop("actual: rows=%d elements_scanned=%d index_probes=%d candidates_refined=%d",
+		n,
+		after.ElementsScanned-before.ElementsScanned,
+		after.IndexProbes-before.IndexProbes,
+		after.CandidatesRefined-before.CandidatesRefined)
+	return root, nil
+}
+
+// Stats resolves the chain (folding any pending filters) and returns
+// the planner statistics of the resulting dataset, collected in one
+// streaming pass and cached per dataset instance.
+func (d *Dataset[V]) Stats() (*DatasetStats, error) {
+	st, err := d.forceFlushed()
+	if err != nil {
+		return nil, err
+	}
+	return st.sds.Stats(0)
+}

@@ -9,6 +9,7 @@ import (
 
 	"stark/internal/core"
 	"stark/internal/index"
+	"stark/internal/plan"
 )
 
 const (
@@ -75,7 +76,7 @@ func (m IndexMode) validate() error {
 // only the trees, so re-attaching via LoadIndex requires the same
 // data partitioned the same way.
 func (d *Dataset[V]) SaveIndex(fs *DFS, pathPrefix string) error {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return err
 	}
@@ -95,12 +96,17 @@ func (d *Dataset[V]) SaveIndex(fs *DFS, pathPrefix string) error {
 // errors (missing files, partition mismatch) surface at the action.
 func LoadIndex[V any](d *Dataset[V], fs *DFS, pathPrefix string) *Dataset[V] {
 	return d.chain("loadIndex", func(st state[V]) (state[V], error) {
+		st, err := st.flush(d.ctx)
+		if err != nil {
+			return state[V]{}, err
+		}
 		idx, err := core.LoadIndex(st.sds, fs, pathPrefix)
 		if err != nil {
 			return state[V]{}, err
 		}
 		st.idx = idx
 		st.mode = Persistent(idx.Order())
+		st.base = plan.NewNode("Index", st.mode.String()+" loaded").Add(st.base)
 		return st, nil
 	})
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stark"
+	"stark/internal/engine"
+	"stark/internal/workload"
+)
+
+// This file implements the `optimizer` experiment: the same
+// spatio-temporal filter executed naive (Optimize(false): caller
+// order, no statistics, partitioner-extent pruning only) versus
+// planned (the cost-based planner's stats-driven partition pruning,
+// predicate ordering and index-mode selection), over unindexed and
+// persistently indexed data. It quantifies the gap the planner buys
+// on clustered data that no caller hand-tuned — the ROADMAP's
+// "no tuning knobs per request" north star.
+
+// OptimizerRow is one measured configuration.
+type OptimizerRow struct {
+	Variant         string  // naive | planned
+	Indexed         bool    // persistent partition R-trees present
+	Seconds         float64 // mean seconds per query
+	Results         int64
+	ElementsScanned int64 // per query, from engine metrics
+	TasksSkipped    int64 // per query, from engine metrics
+}
+
+// Optimizer runs the experiment. The dataset is skewed (clustered)
+// and sorted by coarse spatial cell before parallelisation, modelling
+// ingest-order locality: contiguous-range partitions are spatially
+// coherent, so stats-based pruning has structure to exploit — without
+// any caller-specified partitioner.
+func Optimizer(cfg Config) ([]OptimizerRow, error) {
+	cfg = cfg.withDefaults()
+	wc := workload.Config{
+		N: cfg.N, Seed: cfg.Seed, Dist: workload.Skewed,
+		Width: 1000, Height: 1000, Clusters: 8, Spread: 12,
+	}
+	tuples := workload.SpatialTuples(wc)
+	sort.SliceStable(tuples, func(i, j int) bool {
+		ci, cj := tuples[i].Key.Centroid(), tuples[j].Key.Centroid()
+		xi, xj := math.Floor(ci.X/50), math.Floor(cj.X/50)
+		if xi != xj {
+			return xi < xj
+		}
+		return math.Floor(ci.Y/50) < math.Floor(cj.Y/50)
+	})
+	// Query window around the first cluster in sorted order: real
+	// data to find, most partitions prunable.
+	c := tuples[0].Key.Centroid()
+	q := stark.NewSTObject(stark.NewEnvelope(c.X-30, c.Y-30, c.X+30, c.Y+30).ToPolygon())
+
+	const reps = 3
+	var rows []OptimizerRow
+	var wantResults int64 = -1
+	for _, indexed := range []bool{false, true} {
+		for _, variant := range []string{"naive", "planned"} {
+			ctx := engine.NewContext(cfg.Parallelism)
+			if cfg.Observe != nil {
+				cfg.Observe(ctx)
+			}
+			base := stark.Parallelize(ctx, tuples, 4*ctx.Parallelism())
+			if indexed {
+				base = base.Index(stark.Persistent(16))
+				// Build the trees outside the measured window, like a
+				// long-lived service would.
+				if err := base.Run(); err != nil {
+					return nil, err
+				}
+			}
+			if variant == "naive" {
+				base = base.Optimize(false)
+			}
+			before := ctx.Metrics().Snapshot()
+			var n int64
+			dur, err := timed(func() error {
+				for r := 0; r < reps; r++ {
+					var err error
+					n, err = base.Intersects(q).Count()
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			after := ctx.Metrics().Snapshot()
+			if wantResults < 0 {
+				wantResults = n
+			} else if n != wantResults {
+				return nil, fmt.Errorf("bench: optimizer variant %s/indexed=%v returned %d results, want %d",
+					variant, indexed, n, wantResults)
+			}
+			rows = append(rows, OptimizerRow{
+				Variant: variant, Indexed: indexed,
+				Seconds:         dur.Seconds() / reps,
+				Results:         n,
+				ElementsScanned: (after.ElementsScanned - before.ElementsScanned) / reps,
+				TasksSkipped:    (after.TasksSkipped - before.TasksSkipped) / reps,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -18,10 +18,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/partition"
+	"stark/internal/stats"
 	"stark/internal/stobject"
 )
 
@@ -37,6 +39,13 @@ type Tuple[V any] = engine.Pair[stobject.STObject, V]
 type SpatialDataset[V any] struct {
 	ds *engine.Dataset[Tuple[V]]
 	sp partition.SpatialPartitioner // nil when not spatially partitioned
+
+	// statsCache memoises planner statistics per grid resolution.
+	// Every transformation returns a fresh SpatialDataset, so a
+	// summary can never describe a stale layout: repartitioning or
+	// filtering implicitly invalidates by construction.
+	statsMu    sync.Mutex
+	statsCache map[int]*stats.Summary
 }
 
 // Wrap lifts a plain engine dataset into a SpatialDataset — the
@@ -100,6 +109,30 @@ type spAdapter struct{ sp partition.SpatialPartitioner }
 
 func (a spAdapter) NumPartitions() int                   { return a.sp.NumPartitions() }
 func (a spAdapter) PartitionFor(o stobject.STObject) int { return a.sp.PartitionFor(o) }
+
+// Stats returns the planner statistics of the dataset — per-partition
+// MBRs, counts, temporal extents and the spatial histogram — computed
+// in one streaming pass on first use and cached on this dataset
+// instance. gridN <= 0 selects stats.DefaultGridSize.
+func (s *SpatialDataset[V]) Stats(gridN int) (*stats.Summary, error) {
+	if gridN <= 0 {
+		gridN = stats.DefaultGridSize
+	}
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if sum, ok := s.statsCache[gridN]; ok {
+		return sum, nil
+	}
+	sum, err := stats.Collect(s.ds, gridN)
+	if err != nil {
+		return nil, err
+	}
+	if s.statsCache == nil {
+		s.statsCache = make(map[int]*stats.Summary, 1)
+	}
+	s.statsCache[gridN] = sum
+	return sum, nil
+}
 
 // relevantPartitions returns the partitions a query with the given
 // envelope must visit, counting pruned partitions in the metrics.

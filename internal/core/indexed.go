@@ -130,6 +130,14 @@ func (s *IndexedDataset[V]) relevantPartitions(q geom.Envelope) []int {
 // including the temporal component, which is evaluated during the
 // candidate pruning step exactly as the paper describes.
 func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate) ([]Tuple[V], error) {
+	return s.FilterPartitions(q, pruneEnv, pred, nil)
+}
+
+// FilterPartitions is Filter restricted to an explicit visit list —
+// the entry point of the cost-based planner, which prunes partitions
+// from collected statistics instead of partitioner extents. visit nil
+// selects the partitioner-pruned default.
+func (s *IndexedDataset[V]) FilterPartitions(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate, visit []int) ([]Tuple[V], error) {
 	metrics := s.Context().Metrics()
 	qEnv := q.Envelope()
 	if !pruneEnv.IsEmpty() {
@@ -150,7 +158,10 @@ func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Env
 		}
 		return out, nil
 	})
-	return results.CollectPartitions(s.relevantPartitions(qEnv))
+	if visit == nil {
+		visit = s.relevantPartitions(qEnv)
+	}
+	return results.CollectPartitions(visit)
 }
 
 // Filter probes the index with pruneEnv (or q's envelope when empty)

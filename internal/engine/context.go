@@ -38,6 +38,7 @@ type Metrics struct {
 	ShuffledRecords   atomic.Int64 // records moved by PartitionBy
 	IndexProbes       atomic.Int64 // R-tree queries issued
 	CandidatesRefined atomic.Int64 // index candidates checked exactly
+	StatsRecords      atomic.Int64 // records summarised by planner statistics passes
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -49,6 +50,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ShuffledRecords:   m.ShuffledRecords.Load(),
 		IndexProbes:       m.IndexProbes.Load(),
 		CandidatesRefined: m.CandidatesRefined.Load(),
+		StatsRecords:      m.StatsRecords.Load(),
 	}
 }
 
@@ -60,6 +62,7 @@ func (m *Metrics) Reset() {
 	m.ShuffledRecords.Store(0)
 	m.IndexProbes.Store(0)
 	m.CandidatesRefined.Store(0)
+	m.StatsRecords.Store(0)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -70,6 +73,7 @@ type MetricsSnapshot struct {
 	ShuffledRecords   int64
 	IndexProbes       int64
 	CandidatesRefined int64
+	StatsRecords      int64
 }
 
 // NewContext returns a context with the given executor parallelism;

@@ -34,10 +34,19 @@ type Describe struct {
 	Line int
 }
 
+// Explain renders the compiled query plan of a relation — the
+// cost-based planner's decisions with estimated and actual
+// cardinalities — into the execution output.
+type Explain struct {
+	Name string
+	Line int
+}
+
 func (Assign) stmt()   {}
 func (Dump) stmt()     {}
 func (Store) stmt()    {}
 func (Describe) stmt() {}
+func (Explain) stmt()  {}
 
 // Operator is the right-hand side of an assignment.
 type Operator interface{ op() }

@@ -7,14 +7,21 @@ import (
 
 	"stark"
 	"stark/internal/geom"
+	"stark/internal/plan"
 	"stark/internal/workload"
 )
 
-// The executor compiles piglet statements onto the public stark DSL:
-// every relation carries a fluent Dataset, so PARTITION/INDEX/FILTER
-// compose exactly like a hand-written chain — including the unified
-// index modes — and each statement surfaces its deferred chain error
-// with its line number.
+// The executor compiles piglet statements onto the public stark DSL.
+// Every relation carries a fluent Dataset; FILTER, PARTITION and
+// INDEX chain *lazily*, so a script's consecutive filters accumulate
+// on one chain and the DSL's cost-based planner compiles them
+// together — cross-statement predicate pushdown, selectivity-ordered
+// evaluation and stats-based partition pruning fall out of the
+// deferral. Rows materialise when a statement needs them (DUMP,
+// STORE, DESCRIBE, LIMIT, ...) or, at the latest, when the script
+// finishes. EXPLAIN renders the compiled plan of a relation, its
+// script-level lineage (LOAD, JOIN, KNN, ...) grafted under the plan
+// the DSL built for the deferred stages.
 
 // Row is a piglet tuple: the source event plus fields produced by
 // operators downstream (cluster label, kNN distance, group counts).
@@ -29,16 +36,41 @@ type Row struct {
 // NotClustered marks rows that never passed a CLUSTER operator.
 const NotClustered = stark.ClusterNoise - 1
 
-// Relation is a named intermediate result: the materialised rows plus
-// the Dataset the next operator chains from (spatially partitioned
-// and/or indexed when PARTITION/INDEX produced it).
-type Relation struct {
+// rowsCell is the materialisation state of a relation, shared between
+// relations that are guaranteed to hold the same rows (a partitioned
+// relation shares its input's cell, as repartitioning moves no row in
+// or out).
+type rowsCell struct {
+	done bool
 	rows []stark.Tuple[Row]
-	ds   *stark.Dataset[Row]
+	err  error
+	src  *stark.Dataset[Row]
 }
 
-// Rows returns the relation's tuples.
-func (r *Relation) Rows() []stark.Tuple[Row] { return r.rows }
+// Relation is a named intermediate result: the Dataset the next
+// operator chains from (spatially partitioned and/or indexed when
+// PARTITION/INDEX produced it), its lazily materialised rows, and the
+// script-level lineage node EXPLAIN grafts under the DSL's plan.
+type Relation struct {
+	ds   *stark.Dataset[Row]
+	cell *rowsCell
+	base *plan.Node
+	line int // statement line that defined the relation
+}
+
+// materialise collects the relation's rows once.
+func (r *Relation) materialise() ([]stark.Tuple[Row], error) {
+	if !r.cell.done {
+		r.cell.rows, r.cell.err = r.cell.src.Collect()
+		r.cell.done = true
+	}
+	return r.cell.rows, r.cell.err
+}
+
+// Rows returns the relation's tuples. Execute materialises every
+// relation before returning, so the rows of a successful run are
+// always present.
+func (r *Relation) Rows() []stark.Tuple[Row] { return r.cell.rows }
 
 // Env is the execution environment of a script.
 type Env struct {
@@ -57,6 +89,9 @@ type Output struct {
 	Dumped []string
 	// Stored lists the paths written by STORE statements.
 	Stored []string
+	// Explained holds the plan renderings produced by EXPLAIN
+	// statements, in order.
+	Explained []string
 }
 
 // Run parses and executes a script.
@@ -68,7 +103,11 @@ func Run(src string, env *Env) (*Output, error) {
 	return Execute(stmts, env)
 }
 
-// Execute runs parsed statements.
+// Execute runs parsed statements. Relations stay lazy while the
+// script runs (so filter chains compile through the cost-based
+// planner as one unit); every relation still unmaterialised when the
+// script ends is materialised before returning, with errors
+// attributed to the statement that defined it.
 func Execute(stmts []Statement, env *Env) (*Output, error) {
 	if env == nil || env.Ctx == nil || env.FS == nil {
 		return nil, fmt.Errorf("piglet: Env needs Ctx and FS")
@@ -81,6 +120,21 @@ func Execute(stmts []Statement, env *Env) (*Output, error) {
 	for _, s := range stmts {
 		if err := ex.exec(s); err != nil {
 			return nil, err
+		}
+	}
+	// Materialising intermediates here costs one standalone run per
+	// still-lazy relation — the same work the previous eager executor
+	// did per statement — while relations the script consumed pay
+	// nothing extra and got the fused, planned execution.
+	names := make([]string, 0, len(ex.rels))
+	for name := range ex.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := ex.rels[name]
+		if _, err := r.materialise(); err != nil {
+			return nil, fmt.Errorf("piglet: line %d: materialising %q: %w", r.line, name, err)
 		}
 	}
 	ex.out.Relations = ex.rels
@@ -108,9 +162,23 @@ func (ex *executor) relation(name string, line int) (*Relation, error) {
 	return r, nil
 }
 
-// fresh wraps rows into a Relation with an unpartitioned Dataset.
-func (ex *executor) fresh(rows []stark.Tuple[Row]) *Relation {
-	return &Relation{rows: rows, ds: stark.Parallelize(ex.env.Ctx, rows, ex.parallelism())}
+// fresh wraps materialised rows into a Relation whose script-level
+// lineage is origin (nil for an anonymous in-memory stage).
+func (ex *executor) fresh(rows []stark.Tuple[Row], origin *plan.Node, line int) *Relation {
+	if origin != nil && origin.ActRows < 0 {
+		origin.ActRows = int64(len(rows))
+	}
+	return &Relation{
+		ds:   stark.Parallelize(ex.env.Ctx, rows, ex.parallelism()),
+		cell: &rowsCell{done: true, rows: rows},
+		base: origin,
+		line: line,
+	}
+}
+
+// lazy derives a Relation that chains on ds without materialising.
+func lazy(parent *Relation, ds *stark.Dataset[Row], line int) *Relation {
+	return &Relation{ds: ds, cell: &rowsCell{src: ds}, base: parent.base, line: line}
 }
 
 func (ex *executor) exec(s Statement) error {
@@ -127,18 +195,39 @@ func (ex *executor) exec(s Statement) error {
 		if err != nil {
 			return err
 		}
-		for _, kv := range rel.rows {
+		rows, err := rel.materialise()
+		if err != nil {
+			return fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		for _, kv := range rows {
 			ex.out.Dumped = append(ex.out.Dumped, formatRow(st.Name, kv))
 		}
+		return nil
+	case Explain:
+		rel, err := ex.relation(st.Name, st.Line)
+		if err != nil {
+			return err
+		}
+		node, err := rel.ds.ExplainNode()
+		if err != nil {
+			return fmt.Errorf("piglet: line %d: explaining %q: %w", st.Line, st.Name, err)
+		}
+		node = plan.Graft(node, rel.base)
+		ex.out.Explained = append(ex.out.Explained,
+			fmt.Sprintf("%s:\n%s", st.Name, node.Render()))
 		return nil
 	case Describe:
 		rel, err := ex.relation(st.Name, st.Line)
 		if err != nil {
 			return err
 		}
+		rows, err := rel.materialise()
+		if err != nil {
+			return fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
 		timed, clustered := 0, 0
 		env := geom.EmptyEnvelope()
-		for _, kv := range rel.rows {
+		for _, kv := range rows {
 			if kv.Key.HasTime() {
 				timed++
 			}
@@ -153,16 +242,20 @@ func (ex *executor) exec(s Statement) error {
 		}
 		ex.out.Dumped = append(ex.out.Dumped, fmt.Sprintf(
 			"%s: %d rows, %d timed, %d clustered, extent %s, %s",
-			st.Name, len(rel.rows), timed, clustered, env, parts))
+			st.Name, len(rows), timed, clustered, env, parts))
 		return nil
 	case Store:
 		rel, err := ex.relation(st.Name, st.Line)
 		if err != nil {
 			return err
 		}
-		lines := make([]string, 0, len(rel.rows)+1)
+		rows, err := rel.materialise()
+		if err != nil {
+			return fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		lines := make([]string, 0, len(rows)+1)
 		lines = append(lines, workload.EventsCSVHeader)
-		for _, kv := range rel.rows {
+		for _, kv := range rows {
 			e := kv.Value.Event
 			lines = append(lines, fmt.Sprintf("%d,%s,%d,%s", e.ID, e.Category, e.Time, e.WKT))
 		}
@@ -206,24 +299,37 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			}
 			rows = append(rows, stark.NewTuple(obj, Row{Event: e, Cluster: NotClustered}))
 		}
-		return ex.fresh(rows), nil
+		return ex.fresh(rows, plan.NewNode("Load", op.Path), st.Line), nil
 
 	case Filter:
 		rel, err := ex.relation(op.Input, st.Line)
 		if err != nil {
 			return nil, err
 		}
-		q, pred, expand, err := compilePredicate(op.Pred)
+		q, pred, expand, err := compilePredicate(op.Pred, st.Line)
 		if err != nil {
-			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+			return nil, err
 		}
-		// Where dispatches by the relation's index mode: scan, live
-		// probe or persistent probe — one call path for all three.
-		rows, err := rel.ds.Where(q, pred, expand).Collect()
-		if err != nil {
-			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		// The filter defers: the predicate joins the chain's pending
+		// set and the cost-based planner compiles consecutive FILTER
+		// statements together at the first materialising action. The
+		// named DSL operators carry the predicate kind into the plan.
+		var nds *stark.Dataset[Row]
+		switch op.Pred.Kind {
+		case "intersects":
+			nds = rel.ds.Intersects(q)
+		case "contains":
+			nds = rel.ds.Contains(q)
+		case "containedby":
+			nds = rel.ds.ContainedBy(q)
+		case "coveredby":
+			nds = rel.ds.CoveredBy(q)
+		case "withindistance":
+			nds = rel.ds.WithinDistance(q, op.Pred.Distance, nil)
+		default:
+			nds = rel.ds.Where(q, pred, expand)
 		}
-		return ex.fresh(rows), nil
+		return lazy(rel, nds, st.Line), nil
 
 	case PartitionOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -243,7 +349,9 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err := parted.Run(); err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		return &Relation{rows: rel.rows, ds: parted}, nil
+		// Repartitioning moves no row in or out: share the input's
+		// materialisation cell so DUMP order stays the input order.
+		return &Relation{ds: parted, cell: rel.cell, base: rel.base, line: st.Line}, nil
 
 	case IndexOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -254,7 +362,7 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err := indexed.Run(); err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		return &Relation{rows: rel.rows, ds: indexed}, nil
+		return &Relation{ds: indexed, cell: rel.cell, base: rel.base, line: st.Line}, nil
 
 	case KNNOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -275,7 +383,9 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			row.Distance = nb.Distance
 			rows[i] = stark.NewTuple(nb.Key, row)
 		}
-		return ex.fresh(rows), nil
+		node := plan.NewNode("KNN", fmt.Sprintf("input=%s k=%d query=%s", op.Input, op.K, op.WKT)).
+			Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case ClusterOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -292,38 +402,13 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			row.Cluster = rec.Cluster
 			rows[i] = stark.NewTuple(rec.Key, row)
 		}
-		return ex.fresh(rows), nil
+		node := plan.NewNode("Cluster",
+			fmt.Sprintf("input=%s eps=%g minPts=%d", op.Input, op.Eps, op.MinPts)).
+			Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case JoinOp:
-		left, err := ex.relation(op.Left, st.Line)
-		if err != nil {
-			return nil, err
-		}
-		right, err := ex.relation(op.Right, st.Line)
-		if err != nil {
-			return nil, err
-		}
-		pred, expand, err := compileJoinPredicate(op.Pred)
-		if err != nil {
-			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
-		}
-		joined, err := stark.Join(left.ds, right.ds, stark.JoinOptions{
-			Predicate:      pred,
-			IndexOrder:     -1,
-			ProbeExpansion: expand,
-		}).Collect()
-		if err != nil {
-			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
-		}
-		// The joined relation keeps the left row; the right event ID
-		// is recorded in the group field for inspection.
-		rows := make([]stark.Tuple[Row], len(joined))
-		for i, kv := range joined {
-			row := kv.Value.Left
-			row.Group = fmt.Sprintf("%d/%d", kv.Value.Left.Event.ID, kv.Value.Right.Event.ID)
-			rows[i] = stark.NewTuple(kv.Key, row)
-		}
-		return ex.fresh(rows), nil
+		return ex.evalJoin(st, op)
 
 	case Limit:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -331,13 +416,18 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			return nil, err
 		}
 		n := op.N
-		if n > len(rel.rows) {
-			n = len(rel.rows)
-		}
 		if n < 0 {
 			n = 0
 		}
-		return ex.fresh(rel.rows[:n]), nil
+		// Take short-circuits through the planned pipeline: pruned
+		// partitions are never touched and the scan stops at n rows.
+		rows, err := rel.ds.Take(n)
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		node := plan.NewNode("Limit", fmt.Sprintf("input=%s n=%d", op.Input, op.N)).
+			Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case SampleOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -348,22 +438,29 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 		}
-		return ex.fresh(sampled), nil
+		node := plan.NewNode("Sample", fmt.Sprintf("input=%s fraction=%g", op.Input, op.Fraction)).
+			Add(rel.base)
+		return ex.fresh(sampled, node, st.Line), nil
 
 	case DistinctOp:
 		rel, err := ex.relation(op.Input, st.Line)
 		if err != nil {
 			return nil, err
 		}
-		seen := make(map[int]bool, len(rel.rows))
+		in, err := rel.materialise()
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		seen := make(map[int]bool, len(in))
 		var rows []stark.Tuple[Row]
-		for _, kv := range rel.rows {
+		for _, kv := range in {
 			if !seen[kv.Value.Event.ID] {
 				seen[kv.Value.Event.ID] = true
 				rows = append(rows, kv)
 			}
 		}
-		return ex.fresh(rows), nil
+		node := plan.NewNode("Distinct", "input="+op.Input).Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case UnionOp:
 		left, err := ex.relation(op.Left, st.Line)
@@ -374,10 +471,20 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := make([]stark.Tuple[Row], 0, len(left.rows)+len(right.rows))
-		rows = append(rows, left.rows...)
-		rows = append(rows, right.rows...)
-		return ex.fresh(rows), nil
+		lrows, err := left.materialise()
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rrows, err := right.materialise()
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rows := make([]stark.Tuple[Row], 0, len(lrows)+len(rrows))
+		rows = append(rows, lrows...)
+		rows = append(rows, rrows...)
+		node := plan.NewNode("Union", fmt.Sprintf("%s, %s", op.Left, op.Right)).
+			Add(left.base, right.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case BufferOp:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -387,8 +494,12 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		if op.Radius <= 0 {
 			return nil, fmt.Errorf("piglet: line %d: buffer radius must be > 0, got %v", st.Line, op.Radius)
 		}
-		rows := make([]stark.Tuple[Row], 0, len(rel.rows))
-		for _, kv := range rel.rows {
+		in, err := rel.materialise()
+		if err != nil {
+			return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+		}
+		rows := make([]stark.Tuple[Row], 0, len(in))
+		for _, kv := range in {
 			disc, ok := geom.BufferPoint(kv.Key.Centroid(), op.Radius, 32)
 			if !ok {
 				return nil, fmt.Errorf("piglet: line %d: buffering failed", st.Line)
@@ -399,7 +510,9 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			}
 			rows = append(rows, stark.NewTuple(key, kv.Value))
 		}
-		return ex.fresh(rows), nil
+		node := plan.NewNode("Buffer", fmt.Sprintf("input=%s radius=%g", op.Input, op.Radius)).
+			Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	case GroupCount:
 		rel, err := ex.relation(op.Input, st.Line)
@@ -424,38 +537,137 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 			rows = append(rows, stark.NewTuple(stark.STObject{},
 				Row{Group: k, Count: counts[k], Cluster: NotClustered}))
 		}
-		return ex.fresh(rows), nil
+		node := plan.NewNode("GroupCount", fmt.Sprintf("input=%s by=%s", op.Input, op.Field)).
+			Add(rel.base)
+		return ex.fresh(rows, node, st.Line), nil
 
 	default:
 		return nil, fmt.Errorf("piglet: line %d: unsupported operator %T", st.Line, st.Op)
 	}
 }
 
+// evalJoin executes a JOIN with planner-chosen build side: the
+// execution core indexes the right input of every partition pair, so
+// the smaller relation is swapped onto the right (replacing the
+// predicate with its converse) and the result rows are swapped back.
+func (ex *executor) evalJoin(st Assign, op JoinOp) (*Relation, error) {
+	left, err := ex.relation(op.Left, st.Line)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.relation(op.Right, st.Line)
+	if err != nil {
+		return nil, err
+	}
+	pred, expand, err := compileJoinPredicate(op.Pred, st.Line)
+	if err != nil {
+		return nil, err
+	}
+	kind := predKind(op.Pred.Kind)
+
+	lstats, err := left.ds.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("piglet: line %d: join stats (left): %w", st.Line, err)
+	}
+	rstats, err := right.ds.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("piglet: line %d: join stats (right): %w", st.Line, err)
+	}
+	dec := plan.PlanJoin(lstats, rstats, plan.Pred{Kind: kind, Expand: expand})
+
+	lds, rds := left.ds, right.ds
+	swapped := false
+	if !dec.BuildRight {
+		if ck, ok := plan.Converse(kind); ok {
+			swapped = true
+			lds, rds = right.ds, left.ds
+			// Symmetric predicates (intersects, withindistance) keep
+			// their compiled form — recompiling would lose parameters
+			// like the distance. Only contains/containedby actually
+			// change under the swap, and those carry none.
+			if ck != kind {
+				cp, _, cerr := compileJoinPredicate(Predicate{Kind: ck.String()}, st.Line)
+				if cerr != nil {
+					return nil, cerr
+				}
+				pred = cp
+			}
+		}
+	}
+	joined, err := stark.Join(lds, rds, stark.JoinOptions{
+		Predicate:      pred,
+		IndexOrder:     -1,
+		ProbeExpansion: expand,
+	}).Collect()
+	if err != nil {
+		return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
+	}
+	// The joined relation keeps the script-level left row; the event
+	// ID pair is recorded in the group field for inspection. When the
+	// planner swapped the inputs, swap each row back so the output is
+	// oriented as written.
+	rows := make([]stark.Tuple[Row], len(joined))
+	for i, kv := range joined {
+		leftRow, rightRow := kv.Value.Left, kv.Value.Right
+		key := kv.Key
+		if swapped {
+			leftRow, rightRow = kv.Value.Right, kv.Value.Left
+			key = kv.Value.RightKey
+		}
+		row := leftRow
+		row.Group = fmt.Sprintf("%d/%d", leftRow.Event.ID, rightRow.Event.ID)
+		rows[i] = stark.NewTuple(key, row)
+	}
+	node := plan.JoinNode(dec, plan.Pred{Kind: kind, Expand: expand}, swapped, left.base, right.base)
+	return ex.fresh(rows, node, st.Line), nil
+}
+
+// predKind maps a parsed predicate kind to the planner's algebra.
+func predKind(kind string) plan.PredKind {
+	switch kind {
+	case "intersects":
+		return plan.Intersects
+	case "contains":
+		return plan.Contains
+	case "containedby":
+		return plan.ContainedBy
+	case "coveredby":
+		return plan.CoveredBy
+	case "withindistance":
+		return plan.WithinDistance
+	default:
+		return plan.Custom
+	}
+}
+
 // compilePredicate turns a filter predicate literal into a query
-// object, a predicate and a pruning expansion.
-func compilePredicate(p Predicate) (stark.STObject, stark.Predicate, float64, error) {
+// object, a predicate and a pruning expansion. Errors carry the
+// statement's line number, like relation lookups do.
+func compilePredicate(p Predicate, line int) (stark.STObject, stark.Predicate, float64, error) {
 	g, err := stark.ParseWKT(p.WKT)
 	if err != nil {
-		return stark.STObject{}, nil, 0, err
+		return stark.STObject{}, nil, 0, fmt.Errorf("piglet: line %d: filter geometry: %w", line, err)
 	}
 	var q stark.STObject
 	if p.HasTime {
 		iv, err := stark.NewInterval(stark.Instant(p.Begin), stark.Instant(p.End))
 		if err != nil {
-			return stark.STObject{}, nil, 0, err
+			return stark.STObject{}, nil, 0, fmt.Errorf("piglet: line %d: filter interval: %w", line, err)
 		}
 		q = stark.NewSTObjectWithInterval(g, iv)
 	} else {
 		q = stark.NewSTObject(g)
 	}
-	pred, expand, err := compileJoinPredicate(p)
+	pred, expand, err := compileJoinPredicate(p, line)
 	if err != nil {
 		return stark.STObject{}, nil, 0, err
 	}
 	return q, pred, expand, nil
 }
 
-func compileJoinPredicate(p Predicate) (stark.Predicate, float64, error) {
+// compileJoinPredicate resolves a predicate kind; errors carry the
+// statement's line number.
+func compileJoinPredicate(p Predicate, line int) (stark.Predicate, float64, error) {
 	switch p.Kind {
 	case "intersects":
 		return stark.Intersects, 0, nil
@@ -468,6 +680,6 @@ func compileJoinPredicate(p Predicate) (stark.Predicate, float64, error) {
 	case "withindistance":
 		return stark.WithinDistancePredicate(p.Distance, nil), p.Distance, nil
 	default:
-		return nil, 0, fmt.Errorf("unknown predicate %q", p.Kind)
+		return nil, 0, fmt.Errorf("piglet: line %d: unknown predicate %q", line, p.Kind)
 	}
 }

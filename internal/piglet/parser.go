@@ -99,6 +99,16 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return Describe{Name: name.text, Line: t.line}, nil
+	case keywordIs(t, "explain"):
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return nil, err
+		}
+		return Explain{Name: name.text, Line: t.line}, nil
 	case keywordIs(t, "store"):
 		p.advance()
 		name, err := p.expect(tokIdent)

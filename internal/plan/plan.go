@@ -1,0 +1,306 @@
+// Package plan implements the cost-based query planner: a small
+// logical algebra over spatio-temporal datasets (Scan, Filter, Join,
+// KNN, Cluster) plus rule-based, cost-estimated rewrites driven by the
+// statistics of internal/stats.
+//
+// The planner does not execute anything. It takes predicate
+// descriptions and dataset summaries and returns *decisions* — which
+// partitions to visit, in which order to evaluate predicates, whether
+// to build a live R-tree or scan, which join side to index — together
+// with the cost estimates behind them. The execution layers (the
+// public DSL, the Piglet executor) interpret those decisions with
+// their concrete record types, and render the decision tree as
+// EXPLAIN output via Node.
+//
+// The rewrites:
+//
+//   - Predicate reordering: conjunctive filters are evaluated most
+//     selective first (selectivity estimated from the grid histogram),
+//     so later, more expensive predicates see fewer records.
+//   - Partition pruning: the partitions to visit are derived from the
+//     collected per-partition MBRs and temporal extents instead of
+//     caller hints, so pruning applies even to data that was never
+//     spatially partitioned by a recipe.
+//   - Index-mode selection: a scan-cost vs build+probe cost model
+//     decides between the plain fused scan and a transient live
+//     R-tree per partition (the paper's live indexing), and always
+//     probes an index the dataset already carries.
+//   - Join build-side selection: the smaller input is indexed (put on
+//     the build side), the larger streamed against it.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stark/internal/geom"
+	"stark/internal/stats"
+)
+
+// PredKind names a spatio-temporal predicate.
+type PredKind int
+
+const (
+	Intersects PredKind = iota
+	Contains
+	ContainedBy
+	CoveredBy
+	WithinDistance
+	// Custom marks a caller-supplied predicate the planner cannot
+	// name; costing falls back to the base scan cost, and pruning
+	// relies on the caller's prune-expansion contract.
+	Custom
+)
+
+// String returns the lower-case predicate name.
+func (k PredKind) String() string {
+	switch k {
+	case Intersects:
+		return "intersects"
+	case Contains:
+		return "contains"
+	case ContainedBy:
+		return "containedby"
+	case CoveredBy:
+		return "coveredby"
+	case WithinDistance:
+		return "withindistance"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("pred(%d)", int(k))
+	}
+}
+
+// Pred describes one spatio-temporal predicate for planning purposes:
+// the query envelope, the pruning expansion (how far a matching
+// record's envelope may lie outside the query's — the distance for
+// WithinDistance, 0 otherwise), the optional temporal window, and the
+// query geometry's vertex count as a refinement-cost proxy.
+type Pred struct {
+	Kind       PredKind
+	Env        geom.Envelope
+	Expand     float64
+	HasTime    bool
+	Begin, End int64
+	Vertices   int
+}
+
+// PruneEnv returns the envelope a matching record must intersect —
+// the partition-pruning and index-probe rectangle.
+func (p Pred) PruneEnv() geom.Envelope { return p.Env.ExpandBy(p.Expand) }
+
+// String renders the predicate for EXPLAIN output.
+func (p Pred) String() string {
+	s := fmt.Sprintf("%s env=%s", p.Kind, envString(p.Env))
+	if p.Expand > 0 {
+		s += fmt.Sprintf(" dist=%s", trimFloat(p.Expand))
+	}
+	if p.HasTime {
+		s += fmt.Sprintf(" time=[%d,%d]", p.Begin, p.End)
+	}
+	return s
+}
+
+// ---- Cost model ----
+//
+// Costs are in abstract per-record units, calibrated so that an exact
+// predicate check on a trivial geometry costs 1. The constants only
+// need to order alternatives correctly, not predict wall time.
+const (
+	// CostScan is the base cost of one exact predicate evaluation.
+	CostScan = 1.0
+	// CostVertex is the extra refinement cost per query-geometry
+	// vertex (point-in-polygon and distance walks scale with it).
+	CostVertex = 0.08
+	// CostDistance is the surcharge of an exact distance computation
+	// (WithinDistance refinement).
+	CostDistance = 4.0
+	// CostBuild is the cost of inserting one record into a live
+	// R-tree (envelope copy + sort/pack amortised).
+	CostBuild = 2.5
+	// CostProbe is the fixed cost of one per-partition tree descent.
+	CostProbe = 16.0
+)
+
+// evalCost returns the cost of one exact evaluation of p.
+func evalCost(p Pred) float64 {
+	c := CostScan + float64(p.Vertices)*CostVertex
+	if p.Kind == WithinDistance {
+		c += CostDistance
+	}
+	return c
+}
+
+// ---- Filter planning ----
+
+// FilterOptions configures PlanFilter.
+type FilterOptions struct {
+	// AlreadyIndexed marks a dataset that carries materialised (or
+	// live-mode) partition R-trees: probing is free of build cost.
+	AlreadyIndexed bool
+	// IndexOrder is the R-tree order an auto-built live index would
+	// use.
+	IndexOrder int
+}
+
+// FilterDecision is the planner's verdict for a conjunctive
+// spatio-temporal filter.
+type FilterDecision struct {
+	// Order lists the input predicate indexes in evaluation order,
+	// most selective first.
+	Order []int
+	// Sel holds the estimated selectivity of each input predicate
+	// (indexed like the input, not like Order).
+	Sel []float64
+	// Visit lists the partitions to visit, pruned via the collected
+	// per-partition MBRs and temporal extents.
+	Visit []int
+	// Pruned is the number of partitions skipped.
+	Pruned int
+	// InputRows counts the records in the visited partitions.
+	InputRows int64
+	// EstRows is the estimated result cardinality.
+	EstRows float64
+	// UseIndex selects the index probe (live build when not already
+	// indexed) over the fused scan; IndexOrder is the order to build
+	// with. ScanCost and IndexCost are the compared estimates.
+	UseIndex   bool
+	IndexOrder int
+	ScanCost   float64
+	IndexCost  float64
+}
+
+// PlanFilter plans a conjunctive filter (every predicate must hold)
+// over a dataset summarised by sum.
+func PlanFilter(sum *stats.Summary, preds []Pred, opt FilterOptions) FilterDecision {
+	d := FilterDecision{IndexOrder: opt.IndexOrder}
+
+	// Partition pruning from stats: a partition can contribute only
+	// when its MBR intersects every predicate's prune envelope and its
+	// temporal extent can overlap every temporal window.
+	envs := make([]geom.Envelope, 0, len(preds))
+	var times []stats.TimeFilter
+	for _, p := range preds {
+		envs = append(envs, p.PruneEnv())
+		if p.HasTime {
+			times = append(times, stats.TimeFilter{Begin: p.Begin, End: p.End})
+		}
+	}
+	d.Visit = sum.Visit(envs, times)
+	d.Pruned = len(sum.Parts) - len(d.Visit)
+	d.InputRows = sum.RowsIn(d.Visit)
+
+	// Per-predicate selectivity: spatial from the histogram, temporal
+	// from the timed-record extent, multiplied under independence.
+	d.Sel = make([]float64, len(preds))
+	for i, p := range preds {
+		sel := sum.Selectivity(p.PruneEnv())
+		if p.HasTime {
+			sel *= sum.TemporalSelectivity(p.Begin, p.End)
+		}
+		d.Sel[i] = sel
+	}
+
+	// Reorder: most selective first; ties broken by cheaper
+	// evaluation, then input order for determinism.
+	d.Order = make([]int, len(preds))
+	for i := range d.Order {
+		d.Order[i] = i
+	}
+	sort.SliceStable(d.Order, func(a, b int) bool {
+		ia, ib := d.Order[a], d.Order[b]
+		if d.Sel[ia] != d.Sel[ib] {
+			return d.Sel[ia] < d.Sel[ib]
+		}
+		return evalCost(preds[ia]) < evalCost(preds[ib])
+	})
+
+	// Cost the two physical alternatives over the visited rows.
+	rows := float64(d.InputRows)
+	d.EstRows = rows
+	d.ScanCost = 0
+	for _, i := range d.Order {
+		d.ScanCost += d.EstRows * evalCost(preds[i])
+		d.EstRows *= d.Sel[i]
+	}
+
+	// Index alternative: probe the trees with the most selective
+	// predicate's envelope, refine candidates with every predicate.
+	d.IndexCost = 0
+	if !opt.AlreadyIndexed {
+		d.IndexCost += rows * CostBuild
+	}
+	d.IndexCost += float64(len(d.Visit)) * CostProbe
+	if len(preds) > 0 {
+		first := d.Order[0]
+		candidates := rows * d.Sel[first]
+		refine := 0.0
+		for _, i := range d.Order {
+			refine += evalCost(preds[i])
+		}
+		d.IndexCost += candidates * refine
+	}
+	d.UseIndex = len(preds) > 0 && rows > 0 &&
+		(opt.AlreadyIndexed || d.IndexCost < d.ScanCost)
+	return d
+}
+
+// ---- Join planning ----
+
+// JoinDecision is the planner's verdict for a spatio-temporal join.
+type JoinDecision struct {
+	// BuildRight is true when the right input should be indexed (the
+	// build side); when false the caller should swap the inputs so
+	// the smaller side is built. Converse reports whether the
+	// predicate must be replaced by its converse after a swap.
+	BuildRight bool
+	// LeftRows/RightRows are the input cardinalities the choice was
+	// made from.
+	LeftRows, RightRows int64
+	// EstRows estimates the join cardinality from the overlap of the
+	// two datasets' envelopes.
+	EstRows float64
+}
+
+// PlanJoin chooses the build side of a join whose execution builds a
+// live R-tree over the right input of every partition pair: the
+// smaller input belongs on the right. Cardinality is estimated from
+// the envelope overlap of the two summaries.
+func PlanJoin(left, right *stats.Summary, pred Pred) JoinDecision {
+	d := JoinDecision{
+		BuildRight: right.Count <= left.Count,
+		LeftRows:   left.Count,
+		RightRows:  right.Count,
+	}
+	// Records outside the envelope overlap cannot match. Within it,
+	// assume the larger population dominates the result (each record
+	// of the smaller side matches a handful of nearby records),
+	// bounded by the cross product of the overlap populations.
+	overlap := left.MBR.Intersection(right.MBR.ExpandBy(pred.Expand))
+	if !overlap.IsEmpty() && left.Count > 0 && right.Count > 0 {
+		lin := float64(left.Count) * left.Selectivity(overlap)
+		rin := float64(right.Count) * right.Selectivity(overlap)
+		d.EstRows = math.Min(lin*rin, math.Max(lin, rin))
+	}
+	return d
+}
+
+// Converse returns the predicate kind with its operands swapped, and
+// whether a converse exists (symmetric predicates are their own
+// converse).
+func Converse(k PredKind) (PredKind, bool) {
+	switch k {
+	case Intersects, WithinDistance:
+		return k, true
+	case Contains:
+		return ContainedBy, true
+	case ContainedBy:
+		return Contains, true
+	default:
+		// CoveredBy's converse (Covers) is not in the predicate
+		// algebra; the caller keeps the original side order.
+		return k, false
+	}
+}

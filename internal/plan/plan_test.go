@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/stats"
+	"stark/internal/stobject"
+)
+
+// clustered builds a summary of 4 partitions, each a tight 10×10
+// cluster at x = 0, 100, 200, 300.
+func clustered(t *testing.T) *stats.Summary {
+	t.Helper()
+	ctx := engine.NewContext(4)
+	parts := make([][]engine.Pair[stobject.STObject, int], 4)
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 100; i++ {
+			x := float64(100*p) + float64(i%10)
+			y := float64(i / 10)
+			parts[p] = append(parts[p], engine.NewPair(stobject.New(geom.Point{X: x, Y: y}), i))
+		}
+	}
+	sum, err := stats.Collect(engine.FromPartitions(ctx, parts), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestPlanFilterPruningAndOrder(t *testing.T) {
+	sum := clustered(t)
+	preds := []Pred{
+		// Predicate 0: the whole space — unselective.
+		{Kind: Intersects, Env: geom.NewEnvelope(-10, -10, 400, 20), Vertices: 5},
+		// Predicate 1: a window inside partition 1 — very selective.
+		{Kind: Intersects, Env: geom.NewEnvelope(102, 2, 105, 5), Vertices: 5},
+	}
+	d := PlanFilter(sum, preds, FilterOptions{IndexOrder: 8})
+	if len(d.Visit) != 1 || d.Visit[0] != 1 {
+		t.Errorf("visit = %v, want [1]", d.Visit)
+	}
+	if d.Pruned != 3 {
+		t.Errorf("pruned = %d, want 3", d.Pruned)
+	}
+	if d.InputRows != 100 {
+		t.Errorf("input rows = %d", d.InputRows)
+	}
+	if d.Order[0] != 1 || d.Order[1] != 0 {
+		t.Errorf("order = %v, want the selective predicate first", d.Order)
+	}
+	if d.Sel[1] >= d.Sel[0] {
+		t.Errorf("selectivities not ordered: %v", d.Sel)
+	}
+	if d.EstRows < 0 || d.EstRows > 100 {
+		t.Errorf("est rows = %v", d.EstRows)
+	}
+}
+
+func TestPlanFilterIndexChoice(t *testing.T) {
+	sum := clustered(t)
+	sel := geom.NewEnvelope(102, 2, 105, 5)
+
+	// A cheap predicate on a trivial geometry: scanning wins — the
+	// R-tree build costs more per record than the predicate.
+	cheap := PlanFilter(sum, []Pred{{Kind: Intersects, Env: sel, Vertices: 5}},
+		FilterOptions{IndexOrder: 8})
+	if cheap.UseIndex {
+		t.Errorf("cheap predicate chose index (scan=%v index=%v)", cheap.ScanCost, cheap.IndexCost)
+	}
+
+	// An expensive refinement (complex polygon + distance) on a very
+	// selective window: build+probe beats evaluating it on every row.
+	costly := PlanFilter(sum, []Pred{{Kind: WithinDistance, Env: sel, Expand: 1, Vertices: 64}},
+		FilterOptions{IndexOrder: 8})
+	if !costly.UseIndex {
+		t.Errorf("costly predicate chose scan (scan=%v index=%v)", costly.ScanCost, costly.IndexCost)
+	}
+	if costly.IndexCost >= costly.ScanCost {
+		t.Errorf("index chosen but not cheaper: scan=%v index=%v", costly.ScanCost, costly.IndexCost)
+	}
+
+	// An already-indexed dataset always probes.
+	idx := PlanFilter(sum, []Pred{{Kind: Intersects, Env: sel, Vertices: 5}},
+		FilterOptions{AlreadyIndexed: true, IndexOrder: 8})
+	if !idx.UseIndex {
+		t.Error("already-indexed dataset did not choose the probe")
+	}
+}
+
+func TestPlanJoinBuildSide(t *testing.T) {
+	big := clustered(t)
+	ctx := engine.NewContext(2)
+	few := make([]engine.Pair[stobject.STObject, int], 10)
+	for i := range few {
+		few[i] = engine.NewPair(stobject.New(geom.Point{X: float64(i), Y: 1}), i)
+	}
+	small, err := stats.Collect(engine.Parallelize(ctx, few, 2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := PlanJoin(big, small, Pred{Kind: Intersects})
+	if !d.BuildRight {
+		t.Error("smaller right input should be the build side")
+	}
+	d = PlanJoin(small, big, Pred{Kind: Intersects})
+	if d.BuildRight {
+		t.Error("larger right input should be swapped to probe side")
+	}
+	if k, ok := Converse(Contains); !ok || k != ContainedBy {
+		t.Errorf("Converse(Contains) = %v, %v", k, ok)
+	}
+	if _, ok := Converse(CoveredBy); ok {
+		t.Error("CoveredBy has no converse in the algebra")
+	}
+}
+
+func TestNodeRenderAndGraft(t *testing.T) {
+	scan := NewNode("Scan", "parallelize")
+	scan.EstRows, scan.ActRows = 400, 400
+	filter := NewNode("Filter", "intersects env=[0 0 10 10]").
+		Prop("pruned 3/4 partitions (stats MBR/time), input_rows=100").
+		Add(scan)
+	filter.EstRows = 12.5
+	out := filter.Render()
+	for _, want := range []string{
+		"Filter[intersects env=[0 0 10 10]] est_rows=12.5",
+		"· pruned 3/4 partitions",
+		"  Scan[parallelize] est_rows=400 act_rows=400",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	load := NewNode("Load", "events.csv")
+	grafted := Graft(filter.Clone(), load)
+	found := false
+	grafted.Walk(func(n *Node) {
+		if n.Op == "Load" {
+			found = true
+		}
+		if n.Op == "Scan" {
+			t.Error("scan leaf survived the graft")
+		}
+	})
+	if !found {
+		t.Error("graft did not splice the load node")
+	}
+}

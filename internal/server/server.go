@@ -25,6 +25,10 @@ type Server struct {
 	ctx *stark.Context
 	ds  *stark.Dataset[workload.Event]
 	mux *http.ServeMux
+	// events and summary are computed once at construction — the data
+	// is static, so /api/stats must never rescan it per request.
+	events  int64
+	summary *stark.DatasetStats
 }
 
 // New builds a server over the given events.
@@ -37,12 +41,21 @@ func New(ctx *stark.Context, events []workload.Event) (*Server, error) {
 	if err := ds.Run(); err != nil {
 		return nil, fmt.Errorf("server: staging events: %w", err)
 	}
-	s := &Server{ctx: ctx, ds: ds, mux: http.NewServeMux()}
+	// One statistics pass warms the planner cache and yields the
+	// count: the dataset is static, so both are computed exactly once
+	// here instead of on every /api/stats request.
+	summary, err := ds.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("server: collecting stats: %w", err)
+	}
+	s := &Server{ctx: ctx, ds: ds, mux: http.NewServeMux(),
+		events: summary.Count, summary: summary}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/knn", s.handleKNN)
 	s.mux.HandleFunc("/api/cluster", s.handleCluster)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/explain", s.handleExplain)
 	return s, nil
 }
 
@@ -127,39 +140,76 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	q, err := s.queryObject(req)
+	filtered, err := s.buildFilter(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query: %v", err)
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var filtered *stark.Dataset[workload.Event]
-	switch strings.ToLower(req.Predicate) {
-	case "intersects", "":
-		filtered = s.ds.Intersects(q)
-	case "contains":
-		filtered = s.ds.Contains(q)
-	case "containedby":
-		filtered = s.ds.ContainedBy(q)
-	case "coveredby":
-		filtered = s.ds.CoveredBy(q)
-	case "withindistance":
-		if req.Distance <= 0 {
-			httpError(w, http.StatusBadRequest, "withindistance needs distance > 0")
-			return
-		}
-		filtered = s.ds.WithinDistance(q, req.Distance, nil)
-	default:
-		httpError(w, http.StatusBadRequest, "unknown predicate %q", req.Predicate)
-		return
-	}
-	// Resolve the chain before committing the response status: chain
-	// errors (bad geometry, failed shuffle) surface here and still map
-	// to an HTTP error code.
+	// Compile the chain before committing the response status: chain
+	// and planning errors (bad geometry, failed shuffle) surface here
+	// and still map to an HTTP error code.
 	if err := filtered.Run(); err != nil {
 		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
 	streamFeatureCollection(w, filtered)
+}
+
+// buildFilter compiles a QueryRequest into a filter chain over the
+// event dataset — shared by /api/query (which streams the result) and
+// /api/explain (which renders the plan).
+func (s *Server) buildFilter(req QueryRequest) (*stark.Dataset[workload.Event], error) {
+	q, err := s.queryObject(req)
+	if err != nil {
+		return nil, fmt.Errorf("bad query: %v", err)
+	}
+	switch strings.ToLower(req.Predicate) {
+	case "intersects", "":
+		return s.ds.Intersects(q), nil
+	case "contains":
+		return s.ds.Contains(q), nil
+	case "containedby":
+		return s.ds.ContainedBy(q), nil
+	case "coveredby":
+		return s.ds.CoveredBy(q), nil
+	case "withindistance":
+		if req.Distance <= 0 {
+			return nil, fmt.Errorf("withindistance needs distance > 0")
+		}
+		return s.ds.WithinDistance(q, req.Distance, nil), nil
+	default:
+		return nil, fmt.Errorf("unknown predicate %q", req.Predicate)
+	}
+}
+
+// handleExplain compiles the same filter chain /api/query would run,
+// executes it, and returns the planner's EXPLAIN tree — the chosen
+// index mode, pruned partitions, predicate order, estimated vs actual
+// cardinality — as JSON plus a rendered text form.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	filtered, err := s.buildFilter(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	node, err := filtered.ExplainNode()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "explain failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"plan": node,
+		"text": node.Render(),
+	})
 }
 
 // streamFeatureCollection encodes the query result as a GeoJSON
@@ -270,24 +320,18 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	n, err := s.ds.Count()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "count failed: %v", err)
-		return
-	}
-	parts, err := s.ds.NumPartitions()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "stats failed: %v", err)
-		return
-	}
+	// The dataset is static: the count and planner statistics were
+	// computed once at construction, so this handler never rescans.
 	snap := s.ctx.Metrics().Snapshot()
 	writeJSON(w, map[string]interface{}{
-		"events":          n,
-		"partitions":      parts,
+		"events":          s.events,
+		"partitions":      len(s.summary.Parts),
 		"parallelism":     s.ctx.Parallelism(),
 		"tasksLaunched":   snap.TasksLaunched,
 		"tasksSkipped":    snap.TasksSkipped,
 		"elementsScanned": snap.ElementsScanned,
+		"statsRecords":    snap.StatsRecords,
+		"planner":         s.summary,
 	})
 }
 
@@ -409,6 +453,7 @@ pre { background: #f4f4f4; padding: 1rem; overflow: auto; max-height: 24rem; }
 <label>begin <input id="begin" value="0" size="10"></label>
 <label>end <input id="end" value="1000000" size="10"></label><br>
 <button onclick="query()">Run filter</button>
+<button onclick="explain()">Explain</button>
 </fieldset>
 <fieldset>
 <legend>kNN</legend>
@@ -429,6 +474,21 @@ pre { background: #f4f4f4; padding: 1rem; overflow: auto; max-height: 24rem; }
 async function post(url, body) {
   const r = await fetch(url, {method: 'POST', body: JSON.stringify(body)});
   document.getElementById('out').textContent = JSON.stringify(await r.json(), null, 2);
+}
+function filterBody() {
+  return {
+    predicate: document.getElementById('predicate').value,
+    wkt: document.getElementById('wkt').value,
+    hasTime: document.getElementById('hasTime').checked,
+    begin: parseInt(document.getElementById('begin').value),
+    end: parseInt(document.getElementById('end').value),
+    distance: parseFloat(document.getElementById('distance').value),
+  };
+}
+async function explain() {
+  const r = await fetch('/api/explain', {method: 'POST', body: JSON.stringify(filterBody())});
+  const j = await r.json();
+  document.getElementById('out').textContent = j.text || JSON.stringify(j, null, 2);
 }
 function query() {
   post('/api/query', {

@@ -267,3 +267,71 @@ func TestQueryEndpointStreamsValidGeoJSON(t *testing.T) {
 		t.Errorf("empty result rendered as %v", out)
 	}
 }
+
+func TestExplainEndpoint(t *testing.T) {
+	s := testServer(t, 300)
+	rec, out := postJSON(t, s, "/api/explain", QueryRequest{
+		Predicate: "intersects",
+		WKT:       "POLYGON ((10 10, 40 10, 40 40, 10 40, 10 10))",
+		HasTime:   true,
+		Begin:     0,
+		End:       1000,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	text, ok := out["text"].(string)
+	if !ok || !strings.Contains(text, "Filter[intersects") {
+		t.Errorf("explain text = %q", text)
+	}
+	for _, want := range []string{"index=", "pruned ", "est_rows=", "act_rows="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain text missing %q:\n%s", want, text)
+		}
+	}
+	node, ok := out["plan"].(map[string]interface{})
+	if !ok || node["op"] != "Filter" {
+		t.Errorf("plan node = %v", out["plan"])
+	}
+
+	// GET is rejected; bad WKT maps to a 400.
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/api/explain", nil))
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec2.Code)
+	}
+	rec3, _ := postJSON(t, s, "/api/explain", QueryRequest{WKT: "NOT WKT"})
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("bad WKT status = %d", rec3.Code)
+	}
+}
+
+func TestStatsComputedOnce(t *testing.T) {
+	s := testServer(t, 200)
+	launched0 := s.ctx.Metrics().Snapshot().TasksLaunched
+	var events float64
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		var out map[string]interface{}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		events = out["events"].(float64)
+		if events != 200 {
+			t.Errorf("events = %v", events)
+		}
+		if _, ok := out["planner"].(map[string]interface{}); !ok {
+			t.Error("stats response missing planner summary")
+		}
+	}
+	// Serving stats launches no tasks: the count and summary were
+	// computed at construction, not per request.
+	if launched := s.ctx.Metrics().Snapshot().TasksLaunched; launched != launched0 {
+		t.Errorf("stats requests launched %d tasks", launched-launched0)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"stark/internal/core"
 	"stark/internal/engine"
+	"stark/internal/plan"
 )
 
 // JoinOptions configures a spatial join: the predicate (nil selects
@@ -35,13 +36,12 @@ type JoinRow[V, W any] struct {
 // operators chain; errors from either input surface at the action
 // (the left input's error wins when both failed).
 func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[JoinRow[V, W]] {
-	lres, rres := l.resolve, r.resolve
 	return newDataset(l.ctx, func() (state[JoinRow[V, W]], error) {
-		ls, err := lres()
+		ls, err := l.forceFlushed()
 		if err != nil {
 			return state[JoinRow[V, W]]{}, err
 		}
-		rs, err := rres()
+		rs, err := r.forceFlushed()
 		if err != nil {
 			return state[JoinRow[V, W]]{}, err
 		}
@@ -55,7 +55,13 @@ func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[Joi
 				Left: jp.LeftVal, RightKey: jp.RightKey, Right: jp.RightVal,
 			})
 		}
-		return state[JoinRow[V, W]]{sds: core.Wrap(engine.Parallelize(l.ctx, rows, 0))}, nil
+		node := plan.NewNode("Join", "spatio-temporal")
+		node.ActRows = int64(len(rows))
+		node.Add(ls.base, rs.base)
+		return state[JoinRow[V, W]]{
+			sds:  core.Wrap(engine.Parallelize(l.ctx, rows, 0)),
+			base: node,
+		}, nil
 	})
 }
 
@@ -71,7 +77,7 @@ func SelfJoin[V any](d *Dataset[V], opts JoinOptions) *Dataset[JoinRow[V, V]] {
 // the symmetric, streaming strategy. order <= 0 selects the default
 // R-tree order.
 func SelfJoinWithinDistanceCount[V any](d *Dataset[V], eps float64, order int) (int64, error) {
-	st, err := d.force()
+	st, err := d.forceFlushed()
 	if err != nil {
 		return 0, err
 	}
@@ -90,11 +96,11 @@ type KNNJoinRow[V, W any] = core.KNNJoinRow[V, W]
 // by planar distance — k consecutive rows per left record, ascending
 // by distance.
 func KNNJoin[V, W any](l *Dataset[V], r *Dataset[W], k int) ([]KNNJoinRow[V, W], error) {
-	ls, err := l.force()
+	ls, err := l.forceFlushed()
 	if err != nil {
 		return nil, err
 	}
-	rs, err := r.force()
+	rs, err := r.forceFlushed()
 	if err != nil {
 		return nil, err
 	}
