@@ -8,7 +8,8 @@
 //
 // Experiments: figure4 (the paper's micro-benchmark), partitioning,
 // indexing, stfilter, knn, dbscan, joins, localindex, persist,
-// optimizer (cost-based planner vs naive execution), all.
+// optimizer (cost-based planner vs naive execution), service (query
+// service latency and cache hit rate over HTTP), all.
 //
 // With -json, every experiment additionally writes a machine-readable
 // BENCH_<experiment>.json (into -json-dir, default the working
@@ -76,7 +77,7 @@ func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|optimizer|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|optimizer|service|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -198,6 +199,19 @@ func main() {
 				fmt.Printf("%-8s %-10s %12.3f %14.6f %12d\n", r.Structure, r.Dist, r.BuildSecs, r.QuerySecs, r.Results)
 			}
 			result = rows
+		case "service":
+			fmt.Println("== E9: query service — latency and cache hit rate over HTTP ==")
+			rows, err := bench.Service(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %10s %12s %10s %10s %10s %10s %10s\n",
+				"Phase", "Requests", "Concurrency", "p50 [ms]", "p99 [ms]", "Hits", "Misses", "HitRate")
+			for _, r := range rows {
+				fmt.Printf("%-8s %10d %12d %10.2f %10.2f %10d %10d %10.2f\n",
+					r.Phase, r.Requests, r.Concurrency, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheMisses, r.HitRate)
+			}
+			result = rows
 		case "optimizer":
 			fmt.Println("== E8: cost-based planner vs naive execution ==")
 			rows, err := bench.Optimizer(cfg)
@@ -250,7 +264,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist", "optimizer"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist", "optimizer", "service"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

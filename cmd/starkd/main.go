@@ -1,17 +1,21 @@
-// Command starkd serves the demonstration web front end: a
-// spatio-temporal query UI over a generated event dataset, mirroring
-// the paper's demo scenario (Section 4).
+// Command starkd serves the STARK query service: a concurrent
+// multi-dataset HTTP API with a plan-fingerprint result cache and
+// admission control, plus the demonstration web UI over the "default"
+// dataset (the paper's demo scenario, Section 4).
 //
 // Usage:
 //
 //	starkd -addr :8080 -events 100000
+//	starkd -dataset "hotels:n=50000,seed=7,dist=uniform,index=live:8,part=grid:8" \
+//	       -dataset "checkins:n=200000,dist=skewed" \
+//	       -max-concurrent 8 -queue-depth 32 -cache-mb 128
 //
 // Then open http://localhost:8080 for the query interface, or use the
 // JSON API directly:
 //
-//	curl -X POST localhost:8080/api/query -d '{"predicate":"intersects","wkt":"POLYGON ((0 0, 500 0, 500 500, 0 500, 0 0))"}'
-//	curl -X POST localhost:8080/api/knn   -d '{"wkt":"POINT (500 500)","k":5}'
-//	curl localhost:8080/api/stats
+//	curl -X POST localhost:8080/api/v1/query -d '{"dataset":"hotels","predicate":"intersects","wkt":"POLYGON ((0 0, 500 0, 500 500, 0 500, 0 0))"}'
+//	curl localhost:8080/api/datasets
+//	curl localhost:8080/api/service
 package main
 
 import (
@@ -19,28 +23,65 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"stark"
 	"stark/internal/server"
 	"stark/internal/workload"
 )
 
+// datasetFlags collects repeated -dataset values.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return fmt.Sprint(*d) }
+func (d *datasetFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
 func main() {
+	var datasets datasetFlags
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		events      = flag.Int("events", 100_000, "number of generated events")
-		seed        = flag.Int64("seed", 42, "event generation seed")
-		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		events        = flag.Int("events", 100_000, "size of the generated \"default\" dataset (0 disables it)")
+		seed          = flag.Int64("seed", 42, "default dataset generation seed")
+		parallelism   = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent query slots (0 = 2×parallelism)")
+		queueDepth    = flag.Int("queue-depth", 0, "admission queue depth (0 = 4×slots)")
+		queueTimeout  = flag.Duration("queue-timeout", 2*time.Second, "admission queue deadline")
+		cacheMB       = flag.Int64("cache-mb", 64, "result cache budget in MiB")
 	)
+	flag.Var(&datasets, "dataset", "preload a dataset: name:n=N[,seed=S,dist=D,width=W,height=H,timerange=T,index=I,part=P] (repeatable)")
 	flag.Parse()
 
-	evs := workload.Events(workload.Config{
-		N: *events, Seed: *seed, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	ctx := stark.NewContext(*parallelism)
+	srv := server.NewService(ctx, server.Options{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		QueueTimeout:  *queueTimeout,
+		CacheBytes:    *cacheMB << 20,
 	})
-	srv, err := server.New(stark.NewContext(*parallelism), evs)
-	if err != nil {
-		log.Fatalf("starkd: %v", err)
+
+	if *events > 0 {
+		evs := workload.Events(workload.Config{
+			N: *events, Seed: *seed, Dist: workload.Skewed, Width: 1000, Height: 1000, TimeRange: 1_000_000,
+		})
+		if err := srv.RegisterEvents(server.DatasetSpec{Name: server.DefaultDataset}, evs); err != nil {
+			log.Fatalf("starkd: default dataset: %v", err)
+		}
+		fmt.Printf("starkd: registered %q (%d events)\n", server.DefaultDataset, *events)
 	}
-	fmt.Printf("starkd: serving %d events on %s\n", *events, *addr)
+	for _, spec := range datasets {
+		parsed, err := server.ParseDatasetFlag(spec)
+		if err != nil {
+			log.Fatalf("starkd: %v", err)
+		}
+		if err := srv.Register(parsed); err != nil {
+			log.Fatalf("starkd: dataset %q: %v", parsed.Name, err)
+		}
+		fmt.Printf("starkd: registered %q (%d events)\n", parsed.Name, parsed.N)
+	}
+
+	fmt.Printf("starkd: serving on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

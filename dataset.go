@@ -57,12 +57,16 @@ type state[V any] struct {
 }
 
 // pendingPred is one deferred scan filter: the execution closure plus
-// the planner's description of it.
+// the planner's description of it. opaque marks predicates whose
+// behaviour is not fully described by (kind, query object) — a custom
+// predicate or distance function — which therefore cannot be
+// fingerprinted for result caching.
 type pendingPred struct {
-	name string
-	q    STObject
-	pred Predicate
-	info plan.Pred
+	name   string
+	q      STObject
+	pred   Predicate
+	info   plan.Pred
+	opaque bool
 }
 
 // Dataset is a lazily evaluated spatio-temporal query over records of
@@ -261,10 +265,10 @@ func (d *Dataset[V]) Cache() *Dataset[V] {
 // far a matching record's envelope can lie outside q's (pass the
 // distance for distance predicates, 0 otherwise).
 func (d *Dataset[V]) Where(q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
-	return d.where("where", plan.Custom, q, pred, pruneExpand)
+	return d.where("where", plan.Custom, q, pred, pruneExpand, true)
 }
 
-func (d *Dataset[V]) where(name string, kind plan.PredKind, q STObject, pred Predicate, pruneExpand float64) *Dataset[V] {
+func (d *Dataset[V]) where(name string, kind plan.PredKind, q STObject, pred Predicate, pruneExpand float64, opaque bool) *Dataset[V] {
 	return d.chain(name, func(st state[V]) (state[V], error) {
 		if q.IsEmpty() {
 			return state[V]{}, fmt.Errorf("empty query object")
@@ -272,7 +276,7 @@ func (d *Dataset[V]) where(name string, kind plan.PredKind, q STObject, pred Pre
 		if pred == nil {
 			return state[V]{}, fmt.Errorf("nil predicate")
 		}
-		pp := pendingPred{name: name, q: q, pred: pred, info: planPred(kind, q, pruneExpand)}
+		pp := pendingPred{name: name, q: q, pred: pred, info: planPred(kind, q, pruneExpand), opaque: opaque}
 		st.pending = append(st.pending[:len(st.pending):len(st.pending)], pp)
 		return st, nil
 	})
@@ -355,29 +359,32 @@ func (st state[V]) flush(ctx *Context) (state[V], error) {
 // Intersects keeps the records whose key intersects q in the combined
 // spatio-temporal semantics.
 func (d *Dataset[V]) Intersects(q STObject) *Dataset[V] {
-	return d.where("intersects", plan.Intersects, q, Intersects, 0)
+	return d.where("intersects", plan.Intersects, q, Intersects, 0, false)
 }
 
 // Contains keeps the records whose key completely contains q.
 func (d *Dataset[V]) Contains(q STObject) *Dataset[V] {
-	return d.where("contains", plan.Contains, q, Contains, 0)
+	return d.where("contains", plan.Contains, q, Contains, 0, false)
 }
 
 // ContainedBy keeps the records whose key is completely contained by
 // q — the paper's events.containedBy(qry).
 func (d *Dataset[V]) ContainedBy(q STObject) *Dataset[V] {
-	return d.where("containedBy", plan.ContainedBy, q, ContainedBy, 0)
+	return d.where("containedBy", plan.ContainedBy, q, ContainedBy, 0, false)
 }
 
 // CoveredBy is ContainedBy with boundary tolerance.
 func (d *Dataset[V]) CoveredBy(q STObject) *Dataset[V] {
-	return d.where("coveredBy", plan.CoveredBy, q, CoveredBy, 0)
+	return d.where("coveredBy", plan.CoveredBy, q, CoveredBy, 0, false)
 }
 
 // WithinDistance keeps the records whose key lies within maxDist of q
-// under df (nil selects the exact planar distance).
+// under df (nil selects the exact planar distance). A custom df is an
+// opaque closure: the chain still plans and executes normally, but it
+// refuses to fingerprint, so results under a custom metric are never
+// result-cached.
 func (d *Dataset[V]) WithinDistance(q STObject, maxDist float64, df DistanceFunc) *Dataset[V] {
-	return d.where("withinDistance", plan.WithinDistance, q, WithinDistancePredicate(maxDist, df), maxDist)
+	return d.where("withinDistance", plan.WithinDistance, q, WithinDistancePredicate(maxDist, df), maxDist, df != nil)
 }
 
 // FilterValues keeps the records whose payload satisfies keep. The
@@ -424,7 +431,7 @@ func (d *Dataset[V]) Sample(fraction float64, seed int64) *Dataset[V] {
 		st.sds = sampled
 		st.mode = NoIndexing
 		st.idx = nil
-		st.base = plan.NewNode("Sample", fmt.Sprintf("fraction=%g", fraction)).Add(st.base)
+		st.base = plan.NewNode("Sample", fmt.Sprintf("fraction=%g seed=%d", fraction, seed)).Add(st.base)
 		return st, nil
 	})
 }

@@ -1,0 +1,153 @@
+package stark_test
+
+// The differential oracle: randomized datasets × randomized predicate
+// chains, asserting that every execution strategy agrees
+// element-for-element. The planner (predicate reordering, stats-based
+// pruning, scan-vs-index selection) is pure optimisation — it must
+// never change a result — so planned execution (Optimize(true), the
+// default) is checked against naive caller-order execution
+// (Optimize(false)) over plain, spatially partitioned and live-indexed
+// layouts. The cached-vs-uncached counterpart lives in
+// internal/server's service tests, where the result cache sits.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stark"
+)
+
+// diffTuples generates n timed points in [0,1000)² with intervals in
+// [0, 1000).
+func diffTuples(rng *rand.Rand, n int) []stark.Tuple[int] {
+	tuples := make([]stark.Tuple[int], n)
+	for i := range tuples {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		begin := rng.Int63n(900)
+		iv, err := stark.NewInterval(stark.Instant(begin), stark.Instant(begin+1+rng.Int63n(99)))
+		if err != nil {
+			panic(err)
+		}
+		tuples[i] = stark.NewTuple(stark.NewSTObjectWithInterval(stark.NewPoint(x, y), iv), i)
+	}
+	return tuples
+}
+
+// diffPred is one randomized predicate application.
+type diffPred struct {
+	name  string
+	apply func(d *stark.Dataset[int]) *stark.Dataset[int]
+}
+
+// randPred draws a random predicate with a random window. Queries
+// always carry a time window: the records are all timed, and mixed
+// timed/untimed pairs never match by definition.
+func randPred(t *testing.T, rng *rand.Rand) diffPred {
+	t.Helper()
+	w := 50 + rng.Float64()*400
+	h := 50 + rng.Float64()*400
+	x := rng.Float64() * (1000 - w)
+	y := rng.Float64() * (1000 - h)
+	begin := rng.Int63n(800)
+	end := begin + rng.Int63n(1000-begin)
+	iv, err := stark.NewInterval(stark.Instant(begin), stark.Instant(end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly, err := stark.ParseWKT(fmt.Sprintf("POLYGON ((%f %f, %f %f, %f %f, %f %f, %f %f))",
+		x, y, x+w, y, x+w, y+h, x, y+h, x, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stark.NewSTObjectWithInterval(poly, iv)
+	switch rng.Intn(4) {
+	case 0:
+		return diffPred{"intersects", func(d *stark.Dataset[int]) *stark.Dataset[int] { return d.Intersects(q) }}
+	case 1:
+		return diffPred{"containedby", func(d *stark.Dataset[int]) *stark.Dataset[int] { return d.ContainedBy(q) }}
+	case 2:
+		return diffPred{"coveredby", func(d *stark.Dataset[int]) *stark.Dataset[int] { return d.CoveredBy(q) }}
+	default:
+		dist := 20 + rng.Float64()*150
+		pt := stark.NewSTObjectWithInterval(stark.NewPoint(x+w/2, y+h/2), iv)
+		return diffPred{"withindistance", func(d *stark.Dataset[int]) *stark.Dataset[int] {
+			return d.WithinDistance(pt, dist, nil)
+		}}
+	}
+}
+
+func collectIDs(t *testing.T, d *stark.Dataset[int]) []int {
+	t.Helper()
+	rows, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(rows))
+	for i, kv := range rows {
+		ids[i] = kv.Value
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialPlannedVsNaive(t *testing.T) {
+	totalMatched := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ctx := stark.NewContext(4)
+			tuples := diffTuples(rng, 600)
+			layouts := []struct {
+				name string
+				base *stark.Dataset[int]
+			}{
+				{"plain", stark.Parallelize(ctx, tuples, 5)},
+				{"grid", stark.Parallelize(ctx, tuples, 5).PartitionBy(stark.Grid(4))},
+				{"live", stark.Parallelize(ctx, tuples, 5).Index(stark.Live(8))},
+			}
+			for trial := 0; trial < 5; trial++ {
+				nPreds := 1 + rng.Intn(3)
+				preds := make([]diffPred, nPreds)
+				names := ""
+				for i := range preds {
+					preds[i] = randPred(t, rng)
+					names += preds[i].name + " "
+				}
+				for _, layout := range layouts {
+					planned := layout.base
+					naive := layout.base.Optimize(false)
+					for _, p := range preds {
+						planned = p.apply(planned)
+						naive = p.apply(naive)
+					}
+					want := collectIDs(t, naive)
+					got := collectIDs(t, planned)
+					if !equalIDs(got, want) {
+						t.Errorf("layout=%s preds=[%s]: planned %d rows, naive %d rows — results diverge",
+							layout.name, names, len(got), len(want))
+					}
+					totalMatched += len(got)
+				}
+			}
+		})
+	}
+	// The oracle is vacuous if every random chain selects nothing.
+	if totalMatched == 0 {
+		t.Error("differential suite never matched a single row — queries are degenerate")
+	}
+}

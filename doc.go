@@ -96,6 +96,32 @@
 // dialect gains an EXPLAIN statement whose output is pinned by
 // golden-file tests.
 //
+// # Plan fingerprints and the query service
+//
+// Every chain built from named predicates has a plan fingerprint
+// (Dataset.Fingerprint): 16 hex digits hashing the canonical plan
+// lineage, the pending predicates, the optimizer and index settings,
+// and the engine generation of the resolved base dataset. Equal
+// fingerprint means "the same logical query over the same physical
+// data", so a fingerprint can key a result cache; because a re-built
+// base carries a fresh generation, re-registering a dataset
+// invalidates every old entry by construction rather than by
+// explicit purge. Chains through opaque closures (Where,
+// FilterValues, MapValues, ReKey) refuse to fingerprint — a key that
+// ignored a closure could alias two different queries.
+//
+// internal/server builds the serving stack on top: a catalog of named
+// datasets (register/list/drop over HTTP, each with its own
+// partitioner recipe, index mode and statistics), an LRU result cache
+// keyed by fingerprint with a byte budget, an admission-controlled
+// worker pool (bounded slots, bounded deadline-limited queue, HTTP
+// 429/503 on overload), and NDJSON streaming straight off the fused
+// pipelines via Dataset.StreamParallelContext, which cancels the scan
+// when the client disconnects. A cache hit is served from stored
+// bytes with zero engine work. cmd/starkd is the executable;
+// stark-bench's `service` experiment measures p50/p99 latency and hit
+// rate through real HTTP.
+//
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:
 //
@@ -123,7 +149,9 @@
 //   - internal/baselines — GeoSpark- and SpatialSpark-style join
 //     strategies for the Figure 4 comparison;
 //   - internal/piglet    — the Pig Latin derivative of the demo;
-//   - internal/server    — the web front end;
+//   - internal/server    — the multi-dataset query service (catalog,
+//     result cache, admission control, NDJSON streaming) and the demo
+//     web front end;
 //   - internal/bench     — the experiment harness regenerating the
 //     paper's evaluation.
 //

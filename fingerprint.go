@@ -1,0 +1,105 @@
+package stark
+
+// Plan fingerprinting for result caches. A fingerprint identifies
+// "this logical query over this physical dataset": it hashes the
+// canonical plan lineage, the pending (not yet compiled) predicates,
+// the optimizer and index settings, and the generation number of the
+// resolved engine dataset. The generation number makes invalidation
+// structural — re-building a dataset (re-registering it in a serving
+// catalog) yields a fresh generation, so every fingerprint minted
+// against the old data can never match again. The query service in
+// internal/server keys its LRU result cache on it.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"stark/internal/plan"
+)
+
+// fingerprintOpaqueOps lists lineage operators that embed a caller
+// closure the canonical plan form cannot identify: two chains through
+// them may serialise identically yet compute different results, so
+// fingerprinting refuses rather than risking a wrong cache hit.
+var fingerprintOpaqueOps = map[string]bool{
+	"FilterValues": true,
+	"MapValues":    true,
+	"ReKey":        true,
+}
+
+// Fingerprint resolves the chain and returns its plan fingerprint: 16
+// hex digits identifying the logical query over the current
+// generation of the underlying data. Two Dataset values share a
+// fingerprint exactly when they were chained off the same resolved
+// base with the same predicates and settings — so a repeated hot
+// query fingerprints equal, while re-creating the base (a fresh
+// Parallelize, a dataset re-registered in a catalog) changes every
+// fingerprint by construction.
+//
+// Chains containing operators the planner cannot canonically describe
+// — Where (custom predicates), FilterValues, MapValues, ReKey — are
+// not fingerprintable and return an error: their closures are opaque,
+// and a cache key that ignored them could alias two different
+// queries.
+func (d *Dataset[V]) Fingerprint() (string, error) {
+	st, err := d.resolve()
+	if err != nil {
+		return "", err
+	}
+	var opaque string
+	st.base.Walk(func(n *plan.Node) {
+		if opaque != "" {
+			return
+		}
+		switch {
+		case fingerprintOpaqueOps[n.Op]:
+			opaque = n.Op
+		case n.Op == "Filter" && strings.HasPrefix(n.Detail, "custom"):
+			// A custom Where predicate already folded into the lineage
+			// (e.g. by Cache or a join) is just as opaque as a pending
+			// one.
+			opaque = "a custom Where predicate"
+		}
+	})
+	if opaque != "" {
+		return "", fmt.Errorf("stark: fingerprint: chain contains %s, whose closure cannot be fingerprinted", opaque)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d|opt=%t|mode=%s|", st.sds.Dataset().ID(), !st.noOpt, st.mode)
+	b.WriteString(st.base.Canonical())
+	for _, p := range st.pending {
+		if p.info.Kind == plan.Custom || p.opaque {
+			return "", fmt.Errorf("stark: fingerprint: chain contains an opaque predicate (custom Where or distance function), which cannot be fingerprinted")
+		}
+		// Hash the full query object (exact WKT + time interval), not
+		// just the planner's envelope summary: two geometries sharing
+		// an envelope are different queries and must not share a cache
+		// key.
+		fmt.Fprintf(&b, "|%s %s dist=%g", p.info.Kind, p.q, p.info.Expand)
+	}
+	return plan.Fingerprint(b.String()), nil
+}
+
+// StreamParallelContext is StreamParallel with cooperative
+// cancellation: once ctx is done no further partition window is
+// computed and the stream returns ctx.Err(). This is the action
+// behind the query service's NDJSON endpoint, which aborts the scan
+// when the client hangs up or the request deadline fires.
+func (d *Dataset[V]) StreamParallelContext(ctx context.Context, fn func(Tuple[V]) bool) error {
+	if fn == nil {
+		return fmt.Errorf("stark: streamParallelContext: nil consumer")
+	}
+	c, err := d.compiled()
+	if err != nil {
+		return err
+	}
+	visit := c.visit
+	if visit == nil {
+		visit = make([]int, c.ds.NumPartitions())
+		for i := range visit {
+			visit[i] = i
+		}
+	}
+	return c.ds.StreamPartitionsParallelContext(ctx, visit, 0, fn)
+}

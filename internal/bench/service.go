@@ -1,0 +1,203 @@
+package bench
+
+// The service experiment measures the query service end to end over
+// real HTTP: a multi-dataset server behind admission control, hammered
+// by concurrent clients, reporting tail latency (p50/p99) and the
+// plan-fingerprint cache hit rate per phase:
+//
+//   - cold:  every request is a distinct query — all misses, the
+//     baseline cost of a planned scan through the full stack.
+//   - hot:   requests draw from a small pool of repeated queries —
+//     after the first round every request is a cache hit.
+//   - mixed: 80% hot pool / 20% distinct, the serving-shaped blend.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"stark/internal/engine"
+	"stark/internal/server"
+	"stark/internal/workload"
+)
+
+// ServiceRow is one phase of the service experiment.
+type ServiceRow struct {
+	Phase       string  `json:"phase"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	MeanMs      float64 `json:"meanMs"`
+	CacheHits   int64   `json:"cacheHits"`
+	CacheMisses int64   `json:"cacheMisses"`
+	HitRate     float64 `json:"hitRate"`
+	Rejected    int     `json:"rejected"` // 429 + 503 responses
+}
+
+// serviceQuery is the subset of the service request body the
+// experiment sends.
+type serviceQuery struct {
+	Dataset   string  `json:"dataset"`
+	Predicate string  `json:"predicate"`
+	WKT       string  `json:"wkt"`
+	HasTime   bool    `json:"hasTime"`
+	Begin     int64   `json:"begin"`
+	End       int64   `json:"end"`
+	Distance  float64 `json:"distance,omitempty"`
+}
+
+// queryWindow renders a rectangle query; the generated events all
+// carry timestamps, so a covering time window keeps matches flowing.
+func queryWindow(rng *rand.Rand) serviceQuery {
+	w := 40 + rng.Float64()*160
+	h := 40 + rng.Float64()*160
+	x := rng.Float64() * (1000 - w)
+	y := rng.Float64() * (1000 - h)
+	return serviceQuery{
+		Dataset:   "bench",
+		Predicate: "intersects",
+		WKT: fmt.Sprintf("POLYGON ((%.3f %.3f, %.3f %.3f, %.3f %.3f, %.3f %.3f, %.3f %.3f))",
+			x, y, x+w, y, x+w, y+h, x, y+h, x, y),
+		HasTime: true, Begin: 0, End: 1_000_000,
+	}
+}
+
+// Service runs the query-service experiment and returns one row per
+// phase.
+func Service(cfg Config) ([]ServiceRow, error) {
+	cfg = cfg.withDefaults()
+	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
+	srv := server.NewService(ctx, server.Options{})
+	events := workload.Events(workload.Config{
+		N: cfg.N, Seed: cfg.Seed, Dist: cfg.Dist, Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	if err := srv.RegisterEvents(server.DatasetSpec{Name: "bench", Partitioner: "grid:8"}, events); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	concurrency := 2 * ctx.Parallelism()
+	const requests = 240
+	const hotPool = 8
+
+	// Pre-render the query pools so generation cost stays out of the
+	// latency measurements.
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	hot := make([][]byte, hotPool)
+	for i := range hot {
+		b, err := json.Marshal(queryWindow(rng))
+		if err != nil {
+			return nil, err
+		}
+		hot[i] = b
+	}
+	// Two distinct pools: the cold phase consumes the first, the mixed
+	// phase the second — otherwise mixed's "distinct" queries would
+	// already sit in the cache from the cold phase.
+	distinct := make([][]byte, 2*requests)
+	for i := range distinct {
+		b, err := json.Marshal(queryWindow(rng))
+		if err != nil {
+			return nil, err
+		}
+		distinct[i] = b
+	}
+
+	phases := []struct {
+		name string
+		body func(i int) []byte
+	}{
+		{"cold", func(i int) []byte { return distinct[i] }},
+		{"hot", func(i int) []byte { return hot[i%hotPool] }},
+		{"mixed", func(i int) []byte {
+			if i%5 == 4 {
+				return distinct[requests+i]
+			}
+			return hot[i%hotPool]
+		}},
+	}
+
+	var rows []ServiceRow
+	for _, phase := range phases {
+		statsBefore := srv.CacheStats()
+		durations := make([]time.Duration, requests)
+		rejected := make([]bool, requests)
+		var wg sync.WaitGroup
+		var firstErr error
+		var errOnce sync.Once
+		sem := make(chan struct{}, concurrency)
+		for i := 0; i < requests; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() { <-sem; wg.Done() }()
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/api/v1/query", "application/json",
+					bytes.NewReader(phase.body(i)))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				durations[i] = time.Since(start)
+				if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+					rejected[i] = true
+				} else if resp.StatusCode != http.StatusOK {
+					errOnce.Do(func() { firstErr = fmt.Errorf("service: %s status %d", phase.name, resp.StatusCode) })
+				}
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		statsAfter := srv.CacheStats()
+
+		sorted := append([]time.Duration(nil), durations...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var total time.Duration
+		for _, d := range sorted {
+			total += d
+		}
+		nRejected := 0
+		for _, r := range rejected {
+			if r {
+				nRejected++
+			}
+		}
+		hits := statsAfter.Hits - statsBefore.Hits
+		misses := statsAfter.Misses - statsBefore.Misses
+		row := ServiceRow{
+			Phase:       phase.name,
+			Requests:    requests,
+			Concurrency: concurrency,
+			P50Ms:       ms(sorted[len(sorted)/2]),
+			P99Ms:       ms(sorted[len(sorted)*99/100]),
+			MeanMs:      ms(total / time.Duration(len(sorted))),
+			CacheHits:   hits,
+			CacheMisses: misses,
+			Rejected:    nRejected,
+		}
+		if hits+misses > 0 {
+			row.HitRate = float64(hits) / float64(hits+misses)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

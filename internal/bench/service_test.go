@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"stark/internal/engine"
+)
+
+func TestServiceSmallRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.N = 1500
+	var ctxs []*engine.Context
+	cfg.Observe = func(c *engine.Context) { ctxs = append(ctxs, c) }
+	rows, err := Service(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (cold, hot, mixed)", len(rows))
+	}
+	byPhase := map[string]ServiceRow{}
+	for _, r := range rows {
+		byPhase[r.Phase] = r
+		if r.Requests == 0 || r.Concurrency == 0 {
+			t.Errorf("%s: empty run: %+v", r.Phase, r)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("%s: implausible latencies: %+v", r.Phase, r)
+		}
+	}
+	cold, hot, mixed := byPhase["cold"], byPhase["hot"], byPhase["mixed"]
+	if cold.CacheHits != 0 || cold.HitRate != 0 {
+		t.Errorf("cold phase hit the cache: %+v", cold)
+	}
+	// The hot pool repeats 8 queries 240 times: at least 90% must hit.
+	if hot.HitRate < 0.9 {
+		t.Errorf("hot phase hit rate %.2f, want >= 0.9", hot.HitRate)
+	}
+	// Mixed is 80/20 hot/distinct: the hit rate sits between the two.
+	if mixed.HitRate <= cold.HitRate || mixed.HitRate >= hot.HitRate {
+		t.Errorf("mixed hit rate %.2f not between cold %.2f and hot %.2f",
+			mixed.HitRate, cold.HitRate, hot.HitRate)
+	}
+	if len(ctxs) == 0 {
+		t.Error("Observe never saw the engine context")
+	}
+}

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -100,6 +101,30 @@ func (c *Context) Metrics() *Metrics { return &c.metrics }
 // pairs of a spatial join).
 func (c *Context) RunJob(tasks []int, task func(t int) error) error {
 	return c.runJob(tasks, task)
+}
+
+// RunJobContext is RunJob with cooperative cancellation: once ctx is
+// done, no further task is scheduled and the job returns ctx.Err().
+// Tasks already running are not interrupted — like Spark, the engine
+// cancels at stage-task granularity — so task bodies that loop over
+// large partitions should consult ctx themselves if finer-grained
+// abort matters.
+func (c *Context) RunJobContext(ctx context.Context, tasks []int, task func(t int) error) error {
+	if ctx == nil {
+		return c.runJob(tasks, task)
+	}
+	err := c.runJob(tasks, func(t int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return task(t)
+	})
+	// Prefer the context's own error so callers see a plain
+	// context.Canceled/DeadlineExceeded rather than a task wrapper.
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // runJob executes task(i) for every i in parts, at most

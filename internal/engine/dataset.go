@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -32,6 +33,9 @@ type Dataset[T any] struct {
 	ctx     *Context
 	name    string
 	numPart int
+	// id is the lineage node's generation number, unique across the
+	// process (see Dataset.ID).
+	id int64
 
 	// each streams partition p through yield; it returns early (nil)
 	// when yield returns false.
@@ -56,9 +60,15 @@ type Dataset[T any] struct {
 	cachedOK []bool
 }
 
+// datasetGen issues process-wide unique lineage node IDs. The counter
+// never resets, so a dataset built later always has a larger ID: the
+// ID doubles as a generation number for consumers that key caches on
+// dataset identity (re-building a source invalidates by construction).
+var datasetGen atomic.Int64
+
 // newStream wires a lineage node from a streaming plan.
 func newStream[T any](ctx *Context, name string, numPart int, each func(p int, yield func(T) bool) error) *Dataset[T] {
-	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, each: each}
+	return &Dataset[T]{ctx: ctx, name: name, numPart: numPart, id: datasetGen.Add(1), each: each}
 }
 
 // NewStream builds a dataset directly from a streaming partition plan
@@ -80,7 +90,7 @@ func newDataset[T any](ctx *Context, name string, numPart int, compute func(p in
 // newSource wires a lineage node whose partitions already exist as
 // slices; the streaming plan iterates them.
 func newSource[T any](ctx *Context, name string, numPart int, source func(p int) ([]T, error)) *Dataset[T] {
-	d := &Dataset[T]{ctx: ctx, name: name, numPart: numPart, source: source}
+	d := &Dataset[T]{ctx: ctx, name: name, numPart: numPart, id: datasetGen.Add(1), source: source}
 	d.each = func(p int, yield func(T) bool) error {
 		in, err := source(p)
 		if err != nil {
@@ -129,6 +139,13 @@ func (d *Dataset[T]) Context() *Context { return d.ctx }
 
 // Name returns the lineage node name, for diagnostics.
 func (d *Dataset[T]) Name() string { return d.name }
+
+// ID returns the process-wide unique generation number of this
+// lineage node. Two Dataset values share an ID only when they are the
+// same node; re-creating a logically identical dataset yields a fresh
+// ID. Result caches key on it so re-registering a dataset invalidates
+// every cached entry by construction.
+func (d *Dataset[T]) ID() int64 { return d.id }
 
 // NumPartitions returns the partition count.
 func (d *Dataset[T]) NumPartitions() int { return d.numPart }
@@ -643,10 +660,24 @@ func (d *Dataset[T]) StreamParallel(fn func(T) bool) error {
 // cost is small relative to the scan. fn returning false stops the
 // stream; windows past the current one are never computed.
 func (d *Dataset[T]) StreamPartitionsParallel(parts []int, width int, fn func(T) bool) error {
+	return d.StreamPartitionsParallelContext(nil, parts, width, fn)
+}
+
+// StreamPartitionsParallelContext is StreamPartitionsParallel with
+// cooperative cancellation: once ctx is done no further window is
+// computed, no further row is delivered, and the stream returns
+// ctx.Err() — the hook a server uses to stop a scan when the client
+// hangs up or a deadline fires. A nil ctx streams to completion.
+func (d *Dataset[T]) StreamPartitionsParallelContext(ctx context.Context, parts []int, width int, fn func(T) bool) error {
 	if width <= 0 {
 		width = d.ctx.parallelism
 	}
 	for start := 0; start < len(parts); start += width {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		end := start + width
 		if end > len(parts) {
 			end = len(parts)
@@ -657,7 +688,7 @@ func (d *Dataset[T]) StreamPartitionsParallel(parts []int, width int, fn func(T)
 		for i := range idxs {
 			idxs[i] = i
 		}
-		err := d.ctx.runJob(idxs, func(i int) error {
+		err := d.ctx.RunJobContext(ctx, idxs, func(i int) error {
 			out, err := d.ComputePartition(window[i])
 			if err != nil {
 				return err
@@ -669,6 +700,11 @@ func (d *Dataset[T]) StreamPartitionsParallel(parts []int, width int, fn func(T)
 			return err
 		}
 		for _, rows := range results {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			for _, v := range rows {
 				if !fn(v) {
 					return nil

@@ -1,0 +1,122 @@
+package server
+
+// Admission control: a bounded pool of concurrent query slots with a
+// bounded, deadline-limited wait queue, so the service degrades
+// gracefully under load instead of stacking up unbounded goroutines.
+// A request that cannot get a slot immediately waits in the queue; if
+// the queue is full it is rejected at once (HTTP 429), and if the
+// queue deadline passes first it times out (HTTP 503). Cache hits
+// bypass admission entirely — they cost no engine work.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull reports an immediately rejected request: every slot
+// busy and the wait queue at capacity.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrQueueTimeout reports a request that waited the full queue
+// deadline without getting a slot.
+var ErrQueueTimeout = errors.New("server: admission queue timeout")
+
+// AdmissionStats is the observable state of an Admission controller.
+type AdmissionStats struct {
+	MaxConcurrent int   `json:"maxConcurrent"`
+	QueueDepth    int   `json:"queueDepth"`
+	InFlight      int64 `json:"inFlight"`
+	Waiting       int64 `json:"waiting"`
+	Admitted      int64 `json:"admitted"`
+	RejectedFull  int64 `json:"rejectedFull"`
+	TimedOut      int64 `json:"timedOut"`
+}
+
+// Admission is the worker-pool gate. All methods are safe for
+// concurrent use.
+type Admission struct {
+	slots        chan struct{}
+	queueDepth   int
+	queueTimeout time.Duration
+
+	inFlight atomic.Int64
+	waiting  atomic.Int64
+	admitted atomic.Int64
+	full     atomic.Int64
+	timedOut atomic.Int64
+}
+
+// NewAdmission returns a controller with maxConcurrent query slots, a
+// wait queue of queueDepth, and a per-request queue deadline.
+func NewAdmission(maxConcurrent, queueDepth int, queueTimeout time.Duration) *Admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if queueTimeout <= 0 {
+		queueTimeout = 2 * time.Second
+	}
+	return &Admission{
+		slots:        make(chan struct{}, maxConcurrent),
+		queueDepth:   queueDepth,
+		queueTimeout: queueTimeout,
+	}
+}
+
+// Acquire blocks until a slot is free, the queue deadline fires
+// (ErrQueueTimeout), the queue is already full (ErrQueueFull), or ctx
+// is done. On nil return the caller owns a slot and must Release it.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	default:
+	}
+	// No free slot: join the queue if there is room. The waiting
+	// counter is an optimistic reservation — increment first, back out
+	// on overflow — so the depth bound holds under concurrency.
+	if a.waiting.Add(1) > int64(a.queueDepth) {
+		a.waiting.Add(-1)
+		a.full.Add(1)
+		return ErrQueueFull
+	}
+	defer a.waiting.Add(-1)
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	case <-timer.C:
+		a.timedOut.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot acquired with Acquire.
+func (a *Admission) Release() {
+	a.inFlight.Add(-1)
+	<-a.slots
+}
+
+// Stats returns a snapshot of the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		MaxConcurrent: cap(a.slots),
+		QueueDepth:    a.queueDepth,
+		InFlight:      a.inFlight.Load(),
+		Waiting:       a.waiting.Load(),
+		Admitted:      a.admitted.Load(),
+		RejectedFull:  a.full.Load(),
+		TimedOut:      a.timedOut.Load(),
+	}
+}

@@ -1,0 +1,342 @@
+package server
+
+// The dataset catalog turns the server from a single-dataset demo
+// into a multi-tenant query service: named datasets are registered,
+// listed and dropped over HTTP (or preloaded by cmd/starkd), each
+// carrying its own staged data, planner statistics, index mode and
+// partitioner recipe. Registration builds the dataset outside the
+// catalog lock, so queries against other datasets keep flowing while
+// a new one stages; the swap under the write lock is the only
+// serialisation point. Queries that already hold an entry keep using
+// it after a drop or re-register — entries are immutable once
+// published, so there are no torn reads, and the result cache
+// invalidates by construction because a re-registered dataset carries
+// a fresh engine generation (see stark.Dataset.Fingerprint).
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"stark"
+	"stark/internal/workload"
+)
+
+// DatasetSpec describes how to build a catalog dataset: either a
+// seeded generator configuration (N > 0) or inline events, plus the
+// physical layout (partitioner recipe and index mode).
+type DatasetSpec struct {
+	Name string `json:"name"`
+	// Generator configuration, used when Events is empty.
+	N         int     `json:"n,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	Dist      string  `json:"dist,omitempty"` // uniform|skewed|diagonal
+	Width     float64 `json:"width,omitempty"`
+	Height    float64 `json:"height,omitempty"`
+	TimeRange int64   `json:"timeRange,omitempty"`
+	// Events, when non-empty, is the inline payload (small datasets,
+	// tests) and takes precedence over the generator.
+	Events []EventSpec `json:"events,omitempty"`
+	// Index is the index mode recipe: "none" (default), "live[:order]"
+	// or "persistent[:order]".
+	Index string `json:"index,omitempty"`
+	// Partitioner is the partitioner recipe: "" (no spatial
+	// partitioning), "grid:ppd", "bsp:maxCost" or "voronoi:seeds".
+	Partitioner string `json:"partitioner,omitempty"`
+}
+
+// EventSpec is one inline event of a registration request.
+type EventSpec struct {
+	ID       int    `json:"id"`
+	Category string `json:"category"`
+	Time     int64  `json:"time"`
+	WKT      string `json:"wkt"`
+}
+
+// DatasetInfo is the public summary of a catalog entry.
+type DatasetInfo struct {
+	Name        string `json:"name"`
+	Events      int64  `json:"events"`
+	Partitions  int    `json:"partitions"`
+	Generation  int64  `json:"generation"`
+	Index       string `json:"index"`
+	Partitioner string `json:"partitioner"`
+}
+
+// catalogEntry is one published dataset. Entries are immutable after
+// Register returns them: a re-registration publishes a new entry
+// value, never mutates an old one.
+type catalogEntry struct {
+	spec    DatasetSpec
+	ds      *stark.Dataset[workload.Event]
+	events  int64
+	summary *stark.DatasetStats
+	gen     int64
+}
+
+func (e *catalogEntry) info() DatasetInfo {
+	idx := e.spec.Index
+	if idx == "" {
+		idx = "none"
+	}
+	return DatasetInfo{
+		Name:        e.spec.Name,
+		Events:      e.events,
+		Partitions:  len(e.summary.Parts),
+		Generation:  e.gen,
+		Index:       idx,
+		Partitioner: e.spec.Partitioner,
+	}
+}
+
+// Catalog is the concurrent registry of named datasets.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*catalogEntry
+	gen     int64 // registration counter, monotonic under mu
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*catalogEntry)}
+}
+
+// Get returns the published entry for name.
+func (c *Catalog) Get(name string) (*catalogEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// List returns the summaries of all entries, sorted by name.
+func (c *Catalog) List() []DatasetInfo {
+	c.mu.RLock()
+	infos := make([]DatasetInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		infos = append(infos, e.info())
+	}
+	c.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Drop removes name from the catalog, reporting whether it existed.
+// In-flight queries holding the entry finish against it undisturbed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	delete(c.entries, name)
+	return ok
+}
+
+// Register builds the dataset described by spec and publishes it
+// under spec.Name, replacing any previous registration. The build
+// (staging, shuffle, index, statistics) runs outside the catalog
+// lock.
+func (c *Catalog) Register(ctx *stark.Context, spec DatasetSpec) (*catalogEntry, error) {
+	events, err := spec.buildEvents()
+	if err != nil {
+		return nil, err
+	}
+	return c.register(ctx, spec, events)
+}
+
+// RegisterEvents is Register with an already-materialised payload —
+// the programmatic preload path, which skips the generator.
+func (c *Catalog) RegisterEvents(ctx *stark.Context, spec DatasetSpec, events []workload.Event) error {
+	_, err := c.register(ctx, spec, events)
+	return err
+}
+
+func (c *Catalog) register(ctx *stark.Context, spec DatasetSpec, events []workload.Event) (*catalogEntry, error) {
+	if strings.TrimSpace(spec.Name) == "" {
+		return nil, fmt.Errorf("dataset name must not be empty")
+	}
+	ds, err := stageDataset(ctx, events, spec)
+	if err != nil {
+		return nil, err
+	}
+	summary, err := ds.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("collecting stats: %w", err)
+	}
+	e := &catalogEntry{spec: spec, ds: ds, events: summary.Count, summary: summary}
+	c.mu.Lock()
+	c.gen++
+	e.gen = c.gen
+	c.entries[spec.Name] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+// buildEvents materialises the spec's payload: inline events when
+// given, the seeded generator otherwise.
+func (spec DatasetSpec) buildEvents() ([]workload.Event, error) {
+	if len(spec.Events) > 0 {
+		events := make([]workload.Event, len(spec.Events))
+		for i, ev := range spec.Events {
+			events[i] = workload.Event{ID: ev.ID, Category: ev.Category, Time: ev.Time, WKT: ev.WKT}
+		}
+		return events, nil
+	}
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("dataset %q: need n > 0 or inline events", spec.Name)
+	}
+	var dist workload.Distribution
+	switch strings.ToLower(spec.Dist) {
+	case "", "skewed":
+		dist = workload.Skewed
+	case "uniform":
+		dist = workload.Uniform
+	case "diagonal":
+		dist = workload.Diagonal
+	default:
+		return nil, fmt.Errorf("dataset %q: unknown distribution %q", spec.Name, spec.Dist)
+	}
+	return workload.Events(workload.Config{
+		N: spec.N, Seed: spec.Seed, Dist: dist,
+		Width: spec.Width, Height: spec.Height, TimeRange: spec.TimeRange,
+	}), nil
+}
+
+// stageDataset lifts events into a cached Dataset with the spec's
+// partitioner recipe and index mode applied, and forces the chain so
+// registration errors surface here rather than on the first query.
+func stageDataset(ctx *stark.Context, events []workload.Event, spec DatasetSpec) (*stark.Dataset[workload.Event], error) {
+	tuples, dropped := workload.EventTuples(events)
+	if dropped > 0 {
+		return nil, fmt.Errorf("%d events with invalid WKT", dropped)
+	}
+	ds := stark.Parallelize(ctx, tuples).Cache()
+	if spec.Partitioner != "" {
+		p, err := parsePartitioner(spec.Partitioner)
+		if err != nil {
+			return nil, err
+		}
+		ds = ds.PartitionBy(p)
+	}
+	mode, err := parseIndexMode(spec.Index)
+	if err != nil {
+		return nil, err
+	}
+	if mode != (stark.NoIndexing) {
+		ds = ds.Index(mode)
+	}
+	if err := ds.Run(); err != nil {
+		return nil, fmt.Errorf("staging events: %w", err)
+	}
+	return ds, nil
+}
+
+// parseIndexMode parses an index recipe: "", "none", "live[:order]",
+// "persistent[:order]".
+func parseIndexMode(s string) (stark.IndexMode, error) {
+	kind, arg, _ := strings.Cut(strings.ToLower(strings.TrimSpace(s)), ":")
+	order := 0
+	if arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return stark.NoIndexing, fmt.Errorf("index recipe %q: bad order %q", s, arg)
+		}
+		order = v
+	}
+	switch kind {
+	case "", "none":
+		return stark.NoIndexing, nil
+	case "live":
+		return stark.Live(order), nil
+	case "persistent":
+		return stark.Persistent(order), nil
+	default:
+		return stark.NoIndexing, fmt.Errorf("unknown index recipe %q (want none, live[:order] or persistent[:order])", s)
+	}
+}
+
+// parsePartitioner parses a partitioner recipe: "grid:ppd",
+// "bsp:maxCost", "voronoi:seeds".
+func parsePartitioner(s string) (stark.Partitioner, error) {
+	kind, arg, _ := strings.Cut(strings.ToLower(strings.TrimSpace(s)), ":")
+	n := 0
+	if arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return stark.Partitioner{}, fmt.Errorf("partitioner recipe %q: bad argument %q", s, arg)
+		}
+		n = v
+	}
+	switch kind {
+	case "grid":
+		if n <= 0 {
+			n = 8
+		}
+		return stark.Grid(n), nil
+	case "bsp":
+		if n <= 0 {
+			n = 1024
+		}
+		return stark.BSP(n), nil
+	case "voronoi":
+		if n <= 0 {
+			n = 32
+		}
+		return stark.Voronoi(n, 42), nil
+	default:
+		return stark.Partitioner{}, fmt.Errorf("unknown partitioner recipe %q (want grid:ppd, bsp:maxCost or voronoi:seeds)", s)
+	}
+}
+
+// ParseDatasetFlag parses the cmd/starkd -dataset flag syntax:
+//
+//	name:key=value,key=value,...
+//
+// with keys n, seed, dist, width, height, timerange, index, part.
+// Example: "hotels:n=50000,seed=7,dist=uniform,index=live:8,part=grid:8".
+func ParseDatasetFlag(s string) (DatasetSpec, error) {
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok || strings.TrimSpace(name) == "" {
+		return DatasetSpec{}, fmt.Errorf("dataset flag %q: want name:key=value,...", s)
+	}
+	spec := DatasetSpec{Name: strings.TrimSpace(name)}
+	for _, kv := range strings.Split(rest, ",") {
+		if strings.TrimSpace(kv) == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return DatasetSpec{}, fmt.Errorf("dataset flag %q: bad pair %q", s, kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch strings.ToLower(key) {
+		case "n":
+			spec.N, err = strconv.Atoi(val)
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "dist":
+			spec.Dist = val
+		case "width":
+			spec.Width, err = strconv.ParseFloat(val, 64)
+		case "height":
+			spec.Height, err = strconv.ParseFloat(val, 64)
+		case "timerange":
+			spec.TimeRange, err = strconv.ParseInt(val, 10, 64)
+		case "index":
+			spec.Index = val
+		case "part", "partitioner":
+			spec.Partitioner = val
+		default:
+			return DatasetSpec{}, fmt.Errorf("dataset flag %q: unknown key %q", s, key)
+		}
+		if err != nil {
+			return DatasetSpec{}, fmt.Errorf("dataset flag %q: bad value for %s: %v", s, key, err)
+		}
+	}
+	if spec.N <= 0 {
+		return DatasetSpec{}, fmt.Errorf("dataset flag %q: need n=<count>", s)
+	}
+	return spec, nil
+}

@@ -1,8 +1,14 @@
-// Package server implements the web front end of the demonstration:
-// an HTTP service that executes spatio-temporal queries over a loaded
-// event dataset and returns GeoJSON, plus an embedded single-page UI
-// mirroring the paper's query interface (spatial window, time window,
-// predicate selection, kNN and clustering).
+// Package server implements STARK's query service: a concurrent
+// multi-dataset HTTP front end over the fluent DSL. A dataset catalog
+// registers, lists and drops named datasets (each with its own
+// partitioner recipe, index mode and planner statistics); queries
+// stream NDJSON straight off the engine's fused partition pipelines;
+// repeated queries are served from a plan-fingerprint result cache;
+// and an admission-controlled worker pool bounds concurrent engine
+// work so the service degrades gracefully under load. The original
+// demonstration endpoints (GeoJSON query, kNN, clustering, stats,
+// EXPLAIN) remain, operating on the catalog's "default" dataset, and
+// the embedded single-page UI mirrors the paper's query interface.
 package server
 
 import (
@@ -12,51 +18,108 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"stark"
 	"stark/internal/geom"
 	"stark/internal/workload"
 )
 
-// Server serves queries over one event dataset, driving the public
-// fluent DSL: handlers build a chain per request and surface the
-// deferred error at the terminal action.
-type Server struct {
-	ctx *stark.Context
-	ds  *stark.Dataset[workload.Event]
-	mux *http.ServeMux
-	// events and summary are computed once at construction — the data
-	// is static, so /api/stats must never rescan it per request.
-	events  int64
-	summary *stark.DatasetStats
+// Options tunes the query service. Zero values select sensible
+// defaults.
+type Options struct {
+	// MaxConcurrent bounds the queries executing engine work at once
+	// (cache hits do not count). Default: 2 × context parallelism.
+	MaxConcurrent int
+	// QueueDepth bounds how many requests may wait for a slot before
+	// new ones are rejected with HTTP 429. Default: 4 × MaxConcurrent.
+	QueueDepth int
+	// QueueTimeout bounds how long a request waits for a slot before
+	// HTTP 503. Default: 2s.
+	QueueTimeout time.Duration
+	// CacheBytes is the result cache's total byte budget; <= 0
+	// selects 64 MiB. CacheEntryBytes bounds one entry; <= 0 selects
+	// CacheBytes/8.
+	CacheBytes      int64
+	CacheEntryBytes int64
 }
 
-// New builds a server over the given events.
-func New(ctx *stark.Context, events []workload.Event) (*Server, error) {
-	tuples, dropped := workload.EventTuples(events)
-	if dropped > 0 {
-		return nil, fmt.Errorf("server: %d events with invalid WKT", dropped)
+// Server is the multi-dataset query service: a catalog of named
+// datasets, a plan-fingerprint result cache, and an admission gate in
+// front of the engine. Handlers build a DSL chain per request and
+// surface the deferred error at the terminal action.
+type Server struct {
+	ctx     *stark.Context
+	catalog *Catalog
+	cache   *ResultCache
+	adm     *Admission
+	mux     *http.ServeMux
+}
+
+// NewService builds an empty query service; register datasets via the
+// catalog endpoints or Register.
+func NewService(ctx *stark.Context, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2 * ctx.Parallelism()
 	}
-	ds := stark.Parallelize(ctx, tuples).Cache()
-	if err := ds.Run(); err != nil {
-		return nil, fmt.Errorf("server: staging events: %w", err)
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.MaxConcurrent
 	}
-	// One statistics pass warms the planner cache and yields the
-	// count: the dataset is static, so both are computed exactly once
-	// here instead of on every /api/stats request.
-	summary, err := ds.Stats()
-	if err != nil {
-		return nil, fmt.Errorf("server: collecting stats: %w", err)
+	s := &Server{
+		ctx:     ctx,
+		catalog: NewCatalog(),
+		cache:   NewResultCache(opts.CacheBytes, opts.CacheEntryBytes),
+		adm:     NewAdmission(opts.MaxConcurrent, opts.QueueDepth, opts.QueueTimeout),
+		mux:     http.NewServeMux(),
 	}
-	s := &Server{ctx: ctx, ds: ds, mux: http.NewServeMux(),
-		events: summary.Count, summary: summary}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/knn", s.handleKNN)
 	s.mux.HandleFunc("/api/cluster", s.handleCluster)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /api/datasets", s.handleDatasetsList)
+	s.mux.HandleFunc("POST /api/datasets", s.handleDatasetsRegister)
+	s.mux.HandleFunc("GET /api/datasets/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /api/datasets/{name}", s.handleDatasetDrop)
+	s.mux.HandleFunc("POST /api/v1/query", s.handleQueryV1)
+	s.mux.HandleFunc("POST /api/v1/explain", s.handleExplainV1)
+	s.mux.HandleFunc("GET /api/service", s.handleServiceStats)
+	return s
+}
+
+// Register builds and publishes a dataset — the programmatic
+// counterpart of POST /api/datasets, used by cmd/starkd to preload.
+func (s *Server) Register(spec DatasetSpec) error {
+	_, err := s.catalog.Register(s.ctx, spec)
+	return err
+}
+
+// RegisterEvents publishes already-materialised events under
+// spec.Name with spec's layout, skipping the generator.
+func (s *Server) RegisterEvents(spec DatasetSpec, events []workload.Event) error {
+	return s.catalog.RegisterEvents(s.ctx, spec, events)
+}
+
+// CacheStats returns a snapshot of the result cache counters — the
+// hook the service benchmark reads hit rates from.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// New builds a service pre-loaded with the given events as the
+// "default" dataset — the single-dataset constructor the demo UI and
+// the legacy endpoints rely on.
+func New(ctx *stark.Context, events []workload.Event) (*Server, error) {
+	s := NewService(ctx, Options{})
+	if err := s.catalog.RegisterEvents(ctx, DatasetSpec{Name: DefaultDataset}, events); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	return s, nil
+}
+
+// defaultEntry resolves the legacy endpoints' dataset, writing a 404
+// when it has been dropped.
+func (s *Server) defaultEntry(w http.ResponseWriter) (*catalogEntry, bool) {
+	return s.resolveDataset(w, DefaultDataset)
 }
 
 // ServeHTTP implements http.Handler.
@@ -115,7 +178,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte(indexHTML))
 }
 
-func (s *Server) queryObject(req QueryRequest) (stark.STObject, error) {
+func queryObject(req QueryRequest) (stark.STObject, error) {
 	g, err := stark.ParseWKT(req.WKT)
 	if err != nil {
 		return stark.STObject{}, err
@@ -140,7 +203,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	filtered, err := s.buildFilter(req)
+	entry, ok := s.defaultEntry(w)
+	if !ok {
+		return
+	}
+	filtered, err := buildFilterOn(entry.ds, req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -155,28 +222,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	streamFeatureCollection(w, filtered)
 }
 
-// buildFilter compiles a QueryRequest into a filter chain over the
-// event dataset — shared by /api/query (which streams the result) and
-// /api/explain (which renders the plan).
-func (s *Server) buildFilter(req QueryRequest) (*stark.Dataset[workload.Event], error) {
-	q, err := s.queryObject(req)
+// buildFilterOn compiles a QueryRequest into a filter chain over a
+// dataset — shared by the legacy GeoJSON endpoint, the NDJSON
+// service endpoint and both EXPLAIN handlers.
+func buildFilterOn(ds *stark.Dataset[workload.Event], req QueryRequest) (*stark.Dataset[workload.Event], error) {
+	q, err := queryObject(req)
 	if err != nil {
 		return nil, fmt.Errorf("bad query: %v", err)
 	}
 	switch strings.ToLower(req.Predicate) {
 	case "intersects", "":
-		return s.ds.Intersects(q), nil
+		return ds.Intersects(q), nil
 	case "contains":
-		return s.ds.Contains(q), nil
+		return ds.Contains(q), nil
 	case "containedby":
-		return s.ds.ContainedBy(q), nil
+		return ds.ContainedBy(q), nil
 	case "coveredby":
-		return s.ds.CoveredBy(q), nil
+		return ds.CoveredBy(q), nil
 	case "withindistance":
 		if req.Distance <= 0 {
 			return nil, fmt.Errorf("withindistance needs distance > 0")
 		}
-		return s.ds.WithinDistance(q, req.Distance, nil), nil
+		return ds.WithinDistance(q, req.Distance, nil), nil
 	default:
 		return nil, fmt.Errorf("unknown predicate %q", req.Predicate)
 	}
@@ -196,7 +263,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	filtered, err := s.buildFilter(req)
+	entry, ok := s.defaultEntry(w)
+	if !ok {
+		return
+	}
+	filtered, err := buildFilterOn(entry.ds, req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -279,7 +350,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be >= 1")
 		return
 	}
-	nbrs, err := s.ds.KNN(q, req.K)
+	entry, ok := s.defaultEntry(w)
+	if !ok {
+		return
+	}
+	nbrs, err := entry.ds.KNN(q, req.K)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "knn failed: %v", err)
 		return
@@ -303,7 +378,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	recs, n, err := s.ds.Cluster(stark.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
+	entry, ok := s.defaultEntry(w)
+	if !ok {
+		return
+	}
+	recs, n, err := entry.ds.Cluster(stark.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "cluster failed: %v", err)
 		return
@@ -320,18 +399,25 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// The dataset is static: the count and planner statistics were
-	// computed once at construction, so this handler never rescans.
+	// The dataset is immutable once registered: its count and planner
+	// statistics were computed at registration, so this handler never
+	// rescans.
+	entry, ok := s.defaultEntry(w)
+	if !ok {
+		return
+	}
 	snap := s.ctx.Metrics().Snapshot()
 	writeJSON(w, map[string]interface{}{
-		"events":          s.events,
-		"partitions":      len(s.summary.Parts),
+		"events":          entry.events,
+		"partitions":      len(entry.summary.Parts),
 		"parallelism":     s.ctx.Parallelism(),
 		"tasksLaunched":   snap.TasksLaunched,
 		"tasksSkipped":    snap.TasksSkipped,
 		"elementsScanned": snap.ElementsScanned,
 		"statsRecords":    snap.StatsRecords,
-		"planner":         s.summary,
+		"planner":         entry.summary,
+		"cache":           s.cache.Stats(),
+		"admission":       s.adm.Stats(),
 	})
 }
 

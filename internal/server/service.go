@@ -1,0 +1,270 @@
+package server
+
+// The multi-dataset query service endpoints (the /api/v1 and catalog
+// surface):
+//
+//	GET    /api/datasets          list registered datasets
+//	POST   /api/datasets          register (build + publish) a dataset
+//	GET    /api/datasets/{name}   one dataset's summary
+//	DELETE /api/datasets/{name}   drop a dataset
+//	POST   /api/v1/query          filter query, streaming NDJSON
+//	POST   /api/v1/explain        EXPLAIN with fingerprint/cache state
+//	GET    /api/service           cache + admission statistics
+//
+// /api/v1/query responds with application/x-ndjson: one GeoJSON
+// feature per line, pulled straight off the engine's fused partition
+// pipelines, followed by a single summary line
+//
+//	{"summary":{"dataset":...,"count":N,"cache":"hit|miss","fingerprint":...}}
+//
+// Results are cached under the chain's plan fingerprint: a repeated
+// identical query is served from the stored bytes without scheduling
+// any engine work (the X-Stark-Cache header says which path served
+// the response). Cache misses pass through admission control; hits
+// bypass it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+
+	"stark"
+	"stark/internal/workload"
+)
+
+// DefaultDataset is the catalog name the single-dataset constructor
+// and the legacy endpoints use.
+const DefaultDataset = "default"
+
+// ServiceQueryRequest is a QueryRequest addressed to a named catalog
+// dataset ("" selects DefaultDataset).
+type ServiceQueryRequest struct {
+	Dataset string `json:"dataset"`
+	QueryRequest
+}
+
+// resolveDataset returns the catalog entry a service request
+// addresses, writing the HTTP error on failure.
+func (s *Server) resolveDataset(w http.ResponseWriter, name string) (*catalogEntry, bool) {
+	if name == "" {
+		name = DefaultDataset
+	}
+	entry, ok := s.catalog.Get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return nil, false
+	}
+	return entry, true
+}
+
+// handleDatasets serves GET (list) and POST (register) on
+// /api/datasets.
+func (s *Server) handleDatasetsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{"datasets": s.catalog.List()})
+}
+
+func (s *Server) handleDatasetsRegister(w http.ResponseWriter, r *http.Request) {
+	var spec DatasetSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	entry, err := s.catalog.Register(s.ctx, spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "register: %v", err)
+		return
+	}
+	writeJSON(w, entry.info())
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.resolveDataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"dataset": entry.info(),
+		"planner": entry.summary,
+	})
+}
+
+func (s *Server) handleDatasetDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.catalog.Drop(name) {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	writeJSON(w, map[string]string{"dropped": name})
+}
+
+// handleServiceStats reports the cache and admission state.
+func (s *Server) handleServiceStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"cache":     s.cache.Stats(),
+		"admission": s.adm.Stats(),
+		"datasets":  len(s.catalog.List()),
+	})
+}
+
+// handleQueryV1 executes a filter query against a named dataset and
+// streams the result as NDJSON, serving repeated queries from the
+// plan-fingerprint cache.
+func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
+	var req ServiceQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	entry, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
+		return
+	}
+	chain, err := buildFilterOn(entry.ds, req.QueryRequest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	fp, fpErr := chain.Fingerprint()
+	if fpErr == nil {
+		if body, rows, hit := s.cache.Get(fp); hit {
+			s.writeNDJSON(w, body, ndjsonSummary{
+				Dataset: entry.spec.Name, Count: rows, Cache: "hit", Fingerprint: fp,
+			})
+			return
+		}
+	}
+
+	if err := s.adm.Acquire(r.Context()); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, "server saturated: %v", err)
+		case errors.Is(err, ErrQueueTimeout):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "queue deadline exceeded: %v", err)
+		default:
+			// Client went away while queued; nothing useful to write.
+			log.Printf("server: admission aborted: %v", err)
+		}
+		return
+	}
+	defer s.adm.Release()
+
+	// Compile before committing the response status, so chain and
+	// planning errors still map to an HTTP error code.
+	if err := chain.Run(); err != nil {
+		httpError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Stark-Cache", "miss")
+	var (
+		buf       bytes.Buffer
+		cacheable = fpErr == nil
+		count     int64
+		rowErr    error
+	)
+	err = chain.StreamParallelContext(r.Context(), func(kv stark.Tuple[workload.Event]) bool {
+		line, err := json.Marshal(feature(kv, nil, nil))
+		if err != nil {
+			rowErr = err
+			return false
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			rowErr = err
+			return false
+		}
+		if cacheable {
+			if int64(buf.Len()+len(line)) > s.cache.MaxEntryBytes() {
+				cacheable = false
+				buf = bytes.Buffer{}
+			} else {
+				buf.Write(line)
+			}
+		}
+		count++
+		return true
+	})
+	if err == nil {
+		err = rowErr
+	}
+	if err != nil {
+		// The status line is committed; an abort can only be reported
+		// by logging and leaving the stream without a summary line.
+		log.Printf("server: aborting NDJSON stream after %d rows: %v", count, err)
+		return
+	}
+	writeSummaryLine(w, ndjsonSummary{
+		Dataset: entry.spec.Name, Count: count, Cache: "miss", Fingerprint: fp,
+	})
+	if cacheable {
+		// buf is dead after this call; Put takes ownership.
+		s.cache.Put(fp, buf.Bytes(), count)
+	}
+}
+
+// ndjsonSummary is the trailing line of an NDJSON response.
+type ndjsonSummary struct {
+	Dataset     string `json:"dataset"`
+	Count       int64  `json:"count"`
+	Cache       string `json:"cache"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+func writeSummaryLine(w io.Writer, sum ndjsonSummary) {
+	b, _ := json.Marshal(map[string]ndjsonSummary{"summary": sum})
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// writeNDJSON serves a cached body plus a fresh summary line.
+func (s *Server) writeNDJSON(w http.ResponseWriter, body []byte, sum ndjsonSummary) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Stark-Cache", sum.Cache)
+	if _, err := w.Write(body); err != nil {
+		log.Printf("server: aborting cached NDJSON stream: %v", err)
+		return
+	}
+	writeSummaryLine(w, sum)
+}
+
+// handleExplainV1 renders the plan for a query against a named
+// dataset, annotated with its fingerprint and cache state.
+func (s *Server) handleExplainV1(w http.ResponseWriter, r *http.Request) {
+	var req ServiceQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	entry, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
+		return
+	}
+	chain, err := buildFilterOn(entry.ds, req.QueryRequest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fp, fpErr := chain.Fingerprint()
+	node, err := chain.ExplainNode()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "explain failed: %v", err)
+		return
+	}
+	resp := map[string]interface{}{
+		"dataset": entry.spec.Name,
+		"plan":    node,
+		"text":    node.Render(),
+	}
+	if fpErr == nil {
+		resp["fingerprint"] = fp
+		resp["cached"] = s.cache.Contains(fp)
+	} else {
+		resp["fingerprintError"] = fpErr.Error()
+	}
+	writeJSON(w, resp)
+}
