@@ -7,9 +7,11 @@
 //	stark-bench -experiment indexing -n 10000 -json
 //
 // Experiments: figure4 (the paper's micro-benchmark), partitioning,
-// indexing, stfilter, knn, dbscan, joins, localindex, persist,
-// optimizer (cost-based planner vs naive execution), service (query
-// service latency and cache hit rate over HTTP), all.
+// indexing, stfilter, knn, dbscan, joins, join (physical join
+// strategies: auto/pairs/broadcast/copartition × layout ×
+// selectivity), localindex, persist, optimizer (cost-based planner
+// vs naive execution), service (query service latency and cache hit
+// rate over HTTP), all.
 //
 // With -json, every experiment additionally writes a machine-readable
 // BENCH_<experiment>.json (into -json-dir, default the working
@@ -77,7 +79,7 @@ func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|localindex|persist|optimizer|service|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|service|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -188,6 +190,14 @@ func main() {
 				fmt.Printf("%-20s %12.3f %12d\n", r.Predicate, r.Seconds, r.Results)
 			}
 			result = rows
+		case "join":
+			fmt.Println("== E10: join strategies (strategy × layout × selectivity) ==")
+			rows, err := bench.JoinStrategies(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatJoinStrategies(rows))
+			result = rows
 		case "localindex":
 			fmt.Println("== E7: partition-local index structures ==")
 			rows, err := bench.LocalIndexes(cfg)
@@ -264,7 +274,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "localindex", "persist", "optimizer", "service"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "service"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

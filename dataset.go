@@ -22,6 +22,7 @@ package stark
 // pays its shuffle and index build a single time.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -742,6 +743,16 @@ type Neighbor[V any] = core.NeighborResult[V]
 // either way partitions provably farther than the current k-th
 // neighbour are pruned.
 func (d *Dataset[V]) KNN(q STObject, k int, df ...DistanceFunc) ([]Neighbor[V], error) {
+	return d.KNNContext(context.Background(), q, k, df...)
+}
+
+// KNNContext is KNN with cooperative cancellation: per-partition
+// scans (or index probes) run through the task pool in bounded
+// rounds, and once ctx is done no further partition is scheduled and
+// running scans abort mid-stream — the action behind the query
+// service's kNN endpoint, which stops the search when the client
+// hangs up.
+func (d *Dataset[V]) KNNContext(ctx context.Context, q STObject, k int, df ...DistanceFunc) ([]Neighbor[V], error) {
 	var dist DistanceFunc
 	if len(df) > 0 {
 		dist = df[0]
@@ -751,13 +762,13 @@ func (d *Dataset[V]) KNN(q STObject, k int, df ...DistanceFunc) ([]Neighbor[V], 
 		return nil, err
 	}
 	if st.idx != nil {
-		nbrs, err := st.idx.KNN(q, k, dist)
+		nbrs, err := st.idx.KNNContext(ctx, q, k, dist)
 		if err != nil {
 			return nil, fmt.Errorf("stark: kNN: %w", err)
 		}
 		return nbrs, nil
 	}
-	nbrs, err := st.sds.KNN(q, k, dist)
+	nbrs, err := st.sds.KNNContext(ctx, q, k, dist)
 	if err != nil {
 		return nil, fmt.Errorf("stark: kNN: %w", err)
 	}

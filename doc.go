@@ -74,7 +74,38 @@
 //   - A cost model compares the fused scan against building
 //     transient per-partition R-trees (live indexing) and probes
 //     whichever is cheaper; a dataset that already carries trees is
-//     always probed. Joins index the smaller input (build side).
+//     always probed.
+//
+// # Join execution
+//
+// Join picks one of three physical strategies per join, costed from
+// both sides' statistics (JoinOptions.Strategy forces one; JoinAuto,
+// the default, lets the model choose — read the verdict back via
+// JoinOptions.Report):
+//
+//   - JoinBroadcast: a side whose estimated cardinality fits the
+//     broadcast row budget is materialised once into a single live
+//     R-tree; the other side's fused pipelines stream against it,
+//     one task per stream partition, no pair enumeration. Stream
+//     partitions that cannot reach the broadcast envelope are
+//     skipped.
+//   - JoinCoPartition: when the sides are partitioned differently
+//     (or one is unpartitioned), the smaller side is replicated onto
+//     the larger side's SpatialPartitioner by extent overlap
+//     (expanded by the probe distance), so every task joins exactly
+//     one aligned partition pair.
+//   - JoinPairs: the paper's partitioned join — pairs enumerated,
+//     disjoint extents pruned, the right partition of each surviving
+//     pair materialised and indexed exactly once behind a shared
+//     sync.Once slot that is released when its last task completes.
+//
+// Under JoinAuto the executor builds the smaller input (swapping
+// sides internally and swapping result rows back); a forced strategy
+// skips planning and builds the right input as given — force
+// JoinBroadcast with the side to materialise on the right. EXPLAIN
+// renders the decision as Join[broadcast|copartition|pairs] with
+// estimated and actual pair/task counts, through the DSL, Piglet
+// EXPLAIN and the server's explain endpoints alike.
 //
 // Explain returns the plan as an indented tree: each operator with
 // estimated cost and cardinality, the decisions taken (chosen index
@@ -118,9 +149,14 @@
 // 429/503 on overload), and NDJSON streaming straight off the fused
 // pipelines via Dataset.StreamParallelContext, which cancels the scan
 // when the client disconnects. A cache hit is served from stored
-// bytes with zero engine work. cmd/starkd is the executable;
-// stark-bench's `service` experiment measures p50/p99 latency and hit
-// rate through real HTTP.
+// bytes with zero engine work. A "join" clause on /api/v1/query
+// joins the (optionally filtered) dataset against another catalog
+// dataset with any strategy hint and streams the pairs; join results
+// bypass the cache, since each run materialises a fresh result
+// dataset whose fingerprint could never repeat. cmd/starkd is the
+// executable; stark-bench's `service` experiment measures p50/p99
+// latency and hit rate through real HTTP, and its `join` experiment
+// sweeps strategy × layout × selectivity into BENCH_join.json.
 //
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:

@@ -205,3 +205,58 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("eps = %v", c.Eps)
 	}
 }
+
+func TestJoinStrategiesExperiment(t *testing.T) {
+	cfg := smallCfg()
+	rows, err := JoinStrategies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 layouts × 2 selectivities × 4 strategies.
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(rows))
+	}
+	// All strategies must agree on the result count within each
+	// (layout, selectivity) cell — the bench doubles as a
+	// differential check at experiment scale.
+	counts := map[string]int64{}
+	for _, r := range rows {
+		key := r.Layout + "/" + r.Selectivity
+		if want, ok := counts[key]; ok {
+			if r.Results != want {
+				t.Errorf("%s %s: results = %d, other strategies found %d", key, r.Strategy, r.Results, want)
+			}
+		} else {
+			counts[key] = r.Results
+		}
+		if r.Results == 0 {
+			t.Errorf("%s %s: degenerate cell, no results", key, r.Strategy)
+		}
+		switch r.Strategy {
+		case "broadcast":
+			if r.Ran != "broadcast" {
+				t.Errorf("%s: forced broadcast ran %s", key, r.Ran)
+			}
+			if r.Tasks >= r.TotalPairs && r.TotalPairs > 1 {
+				t.Errorf("%s broadcast: %d tasks not fewer than %d enumerable pairs", key, r.Tasks, r.TotalPairs)
+			}
+		case "copartition":
+			if r.Layout == "none" {
+				if r.Ran != "pairs" {
+					t.Errorf("%s: copartition without partitioners ran %s", key, r.Ran)
+				}
+			} else if r.Ran != "copartition" {
+				t.Errorf("%s: forced copartition ran %s", key, r.Ran)
+			} else if r.Shuffled == 0 {
+				t.Errorf("%s copartition: no records shuffled", key)
+			}
+		case "auto":
+			if r.Ran == "auto" {
+				t.Errorf("%s: auto did not resolve to a concrete strategy", key)
+			}
+		}
+	}
+	if s := FormatJoinStrategies(rows); !strings.Contains(s, "broadcast") {
+		t.Errorf("format output missing strategies:\n%s", s)
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+// The join-strategy experiment behind `stark-bench -experiment join`:
+// every physical join strategy (auto, pairs, broadcast, copartition)
+// is timed over every left-side layout (unpartitioned, Grid, BSP) at
+// two predicate selectivities, joining N points against an N/10
+// overlapping right side. The JSON rows carry the actual task, pair,
+// tree and shuffle counters from the join report, so the artefact
+// shows not just that broadcast beats pair enumeration on ns/op but
+// *why* — fewer scheduled tasks than the L×R enumeration.
+
+import (
+	"fmt"
+
+	"stark/internal/core"
+	"stark/internal/engine"
+	"stark/internal/partition"
+	"stark/internal/stobject"
+)
+
+// JoinStrategyRow is one (layout, strategy, selectivity) cell of the
+// join experiment.
+type JoinStrategyRow struct {
+	Layout      string  // none | grid | bsp
+	Strategy    string  // requested strategy
+	Ran         string  // strategy that actually executed
+	Selectivity string  // low | high (the eps label)
+	Eps         float64 // the withinDistance eps
+	Seconds     float64
+	NsPerOp     int64
+	Results     int64
+	Tasks       int
+	TotalPairs  int
+	PairsPruned int
+	TreesBuilt  int64
+	Shuffled    int64
+}
+
+// JoinStrategies runs the join experiment.
+func JoinStrategies(cfg Config) ([]JoinStrategyRow, error) {
+	cfg = cfg.withDefaults()
+	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
+	leftT := cfg.tuples()
+	rightN := cfg.N / 10
+	if rightN < 10 {
+		rightN = 10
+	}
+	rightCfg := cfg
+	rightCfg.N = rightN
+	rightCfg.Seed = cfg.Seed + 1
+	rightT := rightCfg.tuples()
+
+	objs := make([]stobject.STObject, len(leftT))
+	for i, kv := range leftT {
+		objs[i] = kv.Key
+	}
+	layouts := []struct {
+		name  string
+		build func() (partition.SpatialPartitioner, error)
+	}{
+		{"none", func() (partition.SpatialPartitioner, error) { return nil, nil }},
+		{"grid", func() (partition.SpatialPartitioner, error) { return partition.NewGrid(8, objs) }},
+		{"bsp", func() (partition.SpatialPartitioner, error) {
+			return partition.NewBSP(partition.BSPConfig{MaxCost: cfg.N/32 + 1}, objs)
+		}},
+	}
+	strategies := []struct {
+		name     string
+		strategy core.JoinStrategy
+	}{
+		{"auto", core.JoinAuto},
+		{"pairs", core.JoinPairs},
+		{"broadcast", core.JoinBroadcast},
+		{"copartition", core.JoinCoPartition},
+	}
+	selectivities := []struct {
+		name string
+		eps  float64
+	}{
+		{"low", cfg.Eps},
+		{"high", cfg.Eps * 8},
+	}
+
+	right := core.Wrap(engine.Parallelize(ctx, rightT, ctx.Parallelism()))
+	var rows []JoinStrategyRow
+	for _, lay := range layouts {
+		sp, err := lay.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: join layout %s: %w", lay.name, err)
+		}
+		left := core.Wrap(engine.Parallelize(ctx, leftT, ctx.Parallelism()))
+		if sp != nil {
+			left, err = left.PartitionBy(sp)
+			if err != nil {
+				return nil, fmt.Errorf("bench: join layout %s: %w", lay.name, err)
+			}
+		}
+		left.Cache()
+		if _, err := left.Count(); err != nil { // warm the cache once
+			return nil, err
+		}
+		for _, sel := range selectivities {
+			pred := stobject.WithinDistancePredicate(sel.eps, nil)
+			for _, st := range strategies {
+				var (
+					rep core.JoinReport
+					n   int64
+				)
+				dur, err := timed(func() error {
+					var err error
+					n, err = core.JoinCount(left, right, core.JoinOptions{
+						Predicate:      pred,
+						IndexOrder:     -1,
+						ProbeExpansion: sel.eps,
+						Strategy:       st.strategy,
+						Report:         &rep,
+					})
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: join %s/%s/%s: %w", lay.name, st.name, sel.name, err)
+				}
+				rows = append(rows, JoinStrategyRow{
+					Layout:      lay.name,
+					Strategy:    st.name,
+					Ran:         rep.Strategy.String(),
+					Selectivity: sel.name,
+					Eps:         sel.eps,
+					Seconds:     dur.Seconds(),
+					NsPerOp:     dur.Nanoseconds(),
+					Results:     n,
+					Tasks:       rep.Tasks,
+					TotalPairs:  rep.TotalPairs,
+					PairsPruned: rep.PairsPruned,
+					TreesBuilt:  rep.TreesBuilt,
+					Shuffled:    rep.Shuffled,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatJoinStrategies renders the join experiment as a table.
+func FormatJoinStrategies(rows []JoinStrategyRow) string {
+	out := fmt.Sprintf("%-6s %-12s %-12s %-5s %12s %10s %8s %8s %8s\n",
+		"Layout", "Strategy", "Ran", "Sel", "Time [ms]", "Results", "Tasks", "Pairs", "Shuffle")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-6s %-12s %-12s %-5s %12.2f %10d %8d %8d %8d\n",
+			r.Layout, r.Strategy, r.Ran, r.Selectivity,
+			r.Seconds*1000, r.Results, r.Tasks, r.TotalPairs, r.Shuffled)
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"testing"
 
@@ -113,7 +115,9 @@ func TestJoinWithPartitionPruning(t *testing.T) {
 	}
 	pred := stobject.WithinDistancePredicate(2, nil)
 	ctx.Metrics().Reset()
-	got, err := Join(pl, pr, JoinOptions{Predicate: pred, ProbeExpansion: 2, IndexOrder: -1})
+	var rep JoinReport
+	got, err := Join(pl, pr, JoinOptions{Predicate: pred, ProbeExpansion: 2, IndexOrder: -1,
+		Strategy: JoinPairs, Report: &rep})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +128,12 @@ func TestJoinWithPartitionPruning(t *testing.T) {
 	if ctx.Metrics().Snapshot().TasksSkipped == 0 {
 		t.Error("expected pruned partition pairs")
 	}
-	// DisablePruning gives the same result with more work.
+	if rep.PairsPruned == 0 || rep.Tasks+rep.PairsPruned != rep.TotalPairs {
+		t.Errorf("report: tasks=%d pruned=%d total=%d", rep.Tasks, rep.PairsPruned, rep.TotalPairs)
+	}
+	// DisablePruning gives the same result with more work (and pins
+	// JoinAuto to the pairs strategy, so ablations measure the full
+	// enumeration).
 	ctx.Metrics().Reset()
 	got2, err := Join(pl, pr, JoinOptions{Predicate: pred, ProbeExpansion: 2, IndexOrder: -1, DisablePruning: true})
 	if err != nil {
@@ -402,5 +411,22 @@ func TestKNNSmallerThanK(t *testing.T) {
 	}
 	if len(got) != 5 {
 		t.Errorf("len = %d, want 5", len(got))
+	}
+}
+
+func TestKNNContextCancelled(t *testing.T) {
+	ctx := engine.NewContext(2)
+	s, _ := makeDataset(t, ctx, 2000, 8, 45)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.KNNContext(cctx, stobject.MustFromWKT("POINT (50 50)"), 5, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("scan kNN with cancelled ctx: err = %v", err)
+	}
+	idx, err := s.LiveIndex(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.KNNContext(cctx, stobject.MustFromWKT("POINT (50 50)"), 5, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("indexed kNN with cancelled ctx: err = %v", err)
 	}
 }

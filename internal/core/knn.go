@@ -2,9 +2,11 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/stobject"
 )
@@ -15,6 +17,17 @@ import (
 // partition's extent is farther than the current k-th neighbour — the
 // pruning that makes partitioned kNN sub-linear in the number of
 // partitions. Without a partitioner every partition is scanned.
+//
+// Partitions are processed in rounds of at most Parallelism tasks
+// through the engine's task pool: within a round the per-partition
+// scans (or index probes) run concurrently, and between rounds the
+// merged heap re-checks the distance bound, preserving the pruning
+// guarantee. Both variants take a context and stop mid-scan once it
+// is cancelled, so an abandoned /api query stops burning executors.
+
+// knnCheckEvery is how many records a kNN partition scan processes
+// between context cancellation checks.
+const knnCheckEvery = 1024
 
 // NeighborResult is one kNN result record with its distance.
 type NeighborResult[V any] struct {
@@ -23,119 +36,203 @@ type NeighborResult[V any] struct {
 	Distance float64
 }
 
+// partDist orders partitions by a lower bound of their distance to
+// the query point.
+type partDist struct {
+	idx  int
+	dist float64
+}
+
+// knnOrder returns the non-empty partitions ordered ascending by the
+// extent's distance to (x, y); with a nil extent func (no
+// partitioner) every partition sorts at distance 0.
+func knnOrder(extent func(i int) (geom.Envelope, bool), n int, x, y float64) []partDist {
+	order := make([]partDist, 0, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		if extent != nil {
+			ext, ok := extent(i)
+			if !ok {
+				continue // empty partition can never contribute
+			}
+			d = ext.DistanceToPoint(x, y)
+		}
+		order = append(order, partDist{idx: i, dist: d})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].dist < order[j].dist })
+	return order
+}
+
+// mergeNeighbors pushes nbrs through the bounded max-heap.
+func mergeNeighbors[V any](h *maxHeap[V], k int, nbrs []NeighborResult[V]) {
+	for _, nb := range nbrs {
+		if h.Len() < k {
+			heap.Push(h, nb)
+		} else if nb.Distance < (*h)[0].Distance {
+			(*h)[0] = nb
+			heap.Fix(h, 0)
+		}
+	}
+}
+
+// drainHeap empties the heap into an ascending-distance slice.
+func drainHeap[V any](h *maxHeap[V]) []NeighborResult[V] {
+	out := make([]NeighborResult[V], h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(NeighborResult[V])
+	}
+	return out
+}
+
+// knnRounds drives the shared round loop: partitions are taken from
+// order in rounds of the context's parallelism, each round's
+// partitions are scanned concurrently by scan (returning the
+// partition's local candidate list), and results merge into the heap
+// between rounds. canPrune reports whether pruning by the extent
+// lower bound is valid (Euclidean metric with a partitioner).
+func knnRounds[V any](ctx context.Context, ec *engine.Context, order []partDist, k int,
+	canPrune bool, scan func(p int) ([]NeighborResult[V], error)) ([]NeighborResult[V], error) {
+	h := &maxHeap[V]{}
+	heap.Init(h)
+	metrics := ec.Metrics()
+	width := ec.Parallelism()
+	if width < 1 {
+		width = 1
+	}
+	for start := 0; start < len(order); {
+		// Stop when even the extent lower bound of the next-nearest
+		// partition exceeds the current k-th distance: order is
+		// ascending, so every remaining partition prunes too.
+		if canPrune && h.Len() == k && order[start].dist > (*h)[0].Distance {
+			metrics.TasksSkipped.Add(int64(len(order) - start))
+			break
+		}
+		end := start + width
+		if end > len(order) {
+			end = len(order)
+		}
+		round := order[start:end]
+		start = end
+
+		locals := make([][]NeighborResult[V], len(round))
+		idx := make([]int, len(round))
+		for i := range idx {
+			idx[i] = i
+		}
+		err := ec.RunJobContext(ctx, idx, func(t int) error {
+			nbrs, err := scan(round[t].idx)
+			if err != nil {
+				return err
+			}
+			locals[t] = nbrs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, nbrs := range locals {
+			mergeNeighbors(h, k, nbrs)
+		}
+	}
+	return drainHeap(h), nil
+}
+
 // KNN returns the k records nearest to q under df (nil selects the
 // planar distance between q's geometry and each record's geometry).
 // Results are sorted by ascending distance. Fewer than k records are
 // returned when the dataset is smaller than k.
 func (s *SpatialDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
+	return s.KNNContext(context.Background(), q, k, df)
+}
+
+// KNNContext is KNN with cooperative cancellation: per-partition
+// scans run through the task pool, no further partition is scheduled
+// once ctx is done, and running scans abort within knnCheckEvery
+// records.
+func (s *SpatialDataset[V]) KNNContext(ctx context.Context, q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: kNN needs k >= 1, got %d", k)
 	}
 	qc := q.Centroid()
-
-	// Order partitions by a lower bound of their distance to q.
-	type partDist struct {
-		idx  int
-		dist float64
-	}
-	n := s.ds.NumPartitions()
-	order := make([]partDist, 0, n)
-	for i := 0; i < n; i++ {
-		d := 0.0
-		if s.sp != nil {
+	var extent func(i int) (geom.Envelope, bool)
+	if s.sp != nil {
+		extent = func(i int) (geom.Envelope, bool) {
 			ext := s.sp.Extent(i)
-			if ext.IsEmpty() {
-				continue // empty partition can never contribute
-			}
-			d = ext.DistanceToPoint(qc.X, qc.Y)
+			return ext, !ext.IsEmpty()
 		}
-		order = append(order, partDist{idx: i, dist: d})
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].dist < order[j].dist })
-
-	h := &maxHeap[V]{}
-	heap.Init(h)
+	order := knnOrder(extent, s.ds.NumPartitions(), qc.X, qc.Y)
 	metrics := s.Context().Metrics()
-	pruned := 0
-	for _, pd := range order {
-		// Stop when even the extent lower bound exceeds the current
-		// k-th distance. Only valid when df is consistent with the
-		// Euclidean lower bound; custom metrics scan everything.
-		if s.sp != nil && df == nil && h.Len() == k && pd.dist > (*h)[0].Distance {
-			pruned++
-			continue
-		}
-		// Stream the partition through the heap — the filter chain
-		// upstream (if any) fuses into this scan.
+	canPrune := s.sp != nil && df == nil
+	return knnRounds(ctx, s.Context(), order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
+		// Stream the partition through a local heap — the filter
+		// chain upstream (if any) fuses into this scan.
+		lh := &maxHeap[V]{}
+		heap.Init(lh)
 		var scanned int64
-		err := s.ds.EachPartition(pd.idx, func(kv Tuple[V]) bool {
+		var ctxErr error
+		err := s.ds.EachPartition(p, func(kv Tuple[V]) bool {
 			scanned++
+			if scanned%knnCheckEvery == 0 {
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					return false
+				}
+			}
 			d := q.Distance(kv.Key, df)
-			if h.Len() < k {
-				heap.Push(h, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d})
-			} else if d < (*h)[0].Distance {
-				(*h)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d}
-				heap.Fix(h, 0)
+			if lh.Len() < k {
+				heap.Push(lh, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d})
+			} else if d < (*lh)[0].Distance {
+				(*lh)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: d}
+				heap.Fix(lh, 0)
 			}
 			return true
 		})
 		metrics.ElementsScanned.Add(scanned)
+		if err == nil {
+			err = ctxErr
+		}
 		if err != nil {
 			return nil, err
 		}
-	}
-	if pruned > 0 {
-		metrics.TasksSkipped.Add(int64(pruned))
-	}
-
-	out := make([]NeighborResult[V], h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(NeighborResult[V])
-	}
-	return out, nil
+		return *lh, nil
+	})
 }
 
 // KNN on an indexed dataset probes each relevant partition's R-tree
 // with branch-and-bound and merges the per-partition results. The
 // same extent-distance pruning as the scan version applies.
 func (s *IndexedDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
+	return s.KNNContext(context.Background(), q, k, df)
+}
+
+// KNNContext is KNN with cooperative cancellation and pooled
+// per-partition index probes.
+func (s *IndexedDataset[V]) KNNContext(ctx context.Context, q stobject.STObject, k int, df geom.DistanceFunc) ([]NeighborResult[V], error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("core: kNN needs k >= 1, got %d", k)
 	}
 	qc := q.Centroid()
-
-	type partDist struct {
-		idx  int
-		dist float64
-	}
-	n := s.parts.NumPartitions()
-	order := make([]partDist, 0, n)
-	for i := 0; i < n; i++ {
-		d := 0.0
-		if s.sp != nil {
+	var extent func(i int) (geom.Envelope, bool)
+	if s.sp != nil {
+		extent = func(i int) (geom.Envelope, bool) {
 			ext := s.sp.Extent(i)
-			if ext.IsEmpty() {
-				continue
-			}
-			d = ext.DistanceToPoint(qc.X, qc.Y)
+			return ext, !ext.IsEmpty()
 		}
-		order = append(order, partDist{idx: i, dist: d})
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].dist < order[j].dist })
-
-	h := &maxHeap[V]{}
-	heap.Init(h)
+	order := knnOrder(extent, s.parts.NumPartitions(), qc.X, qc.Y)
 	metrics := s.Context().Metrics()
-	for _, pd := range order {
-		if s.sp != nil && df == nil && h.Len() == k && pd.dist > (*h)[0].Distance {
-			metrics.TasksSkipped.Add(1)
-			continue
-		}
-		ips, err := s.parts.ComputePartition(pd.idx)
+	canPrune := s.sp != nil && df == nil
+	return knnRounds(ctx, s.Context(), order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
+		ips, err := s.parts.ComputePartition(p)
 		if err != nil {
 			return nil, err
 		}
+		lh := &maxHeap[V]{}
+		heap.Init(lh)
 		for _, ip := range ips {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			metrics.IndexProbes.Add(1)
 			var nbrs []neighborRaw
 			if df == nil {
@@ -153,21 +250,16 @@ func (s *IndexedDataset[V]) KNN(q stobject.STObject, k int, df geom.DistanceFunc
 			metrics.CandidatesRefined.Add(int64(len(nbrs)))
 			for _, nb := range nbrs {
 				kv := ip.Items[nb.id]
-				if h.Len() < k {
-					heap.Push(h, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist})
-				} else if nb.dist < (*h)[0].Distance {
-					(*h)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist}
-					heap.Fix(h, 0)
+				if lh.Len() < k {
+					heap.Push(lh, NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist})
+				} else if nb.dist < (*lh)[0].Distance {
+					(*lh)[0] = NeighborResult[V]{Key: kv.Key, Value: kv.Value, Distance: nb.dist}
+					heap.Fix(lh, 0)
 				}
 			}
 		}
-	}
-
-	out := make([]NeighborResult[V], h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(NeighborResult[V])
-	}
-	return out, nil
+		return *lh, nil
+	})
 }
 
 type neighborRaw struct {

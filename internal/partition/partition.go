@@ -53,6 +53,27 @@ type Replicating interface {
 	PartitionsFor(o stobject.STObject) []int
 }
 
+// OverlapAssigner adapts any SpatialPartitioner into a Replicating
+// assigner over the partitioner's *extents*: an object is assigned to
+// every partition whose extent intersects the object's envelope
+// expanded by Expand. The co-partitioned join uses it to replicate
+// the moving side onto the stationary side's layout — extents (not
+// bounds) because centroid-assigned non-point objects can stick out
+// of their nominal cell, and Expand because distance predicates match
+// across partition borders.
+type OverlapAssigner struct {
+	SP     SpatialPartitioner
+	Expand float64
+}
+
+// PartitionsFor implements Replicating via the same extent scan
+// queries prune with, so replication and pruning can never disagree.
+func (a OverlapAssigner) PartitionsFor(o stobject.STObject) []int {
+	return PruneByEnvelope(a.SP, o.Envelope().ExpandBy(a.Expand))
+}
+
+var _ Replicating = OverlapAssigner{}
+
 // PruneByEnvelope returns the indexes of partitions whose extent
 // intersects q — the partitions a query with envelope q must visit.
 func PruneByEnvelope(sp SpatialPartitioner, q geom.Envelope) []int {
@@ -181,12 +202,24 @@ func (g *Grid) PartitionFor(o stobject.STObject) int {
 	return row*g.ppd + col
 }
 
-// Bounds implements SpatialPartitioner.
+// Bounds implements SpatialPartitioner. Every edge is computed as the
+// same integer multiple of the cell size that the neighbouring cell
+// uses, and the last row/column snaps to the data-space envelope —
+// so adjacent cells share their edge exactly and the cells tile the
+// space with no float-error gap at MaxX/MaxY.
 func (g *Grid) Bounds(i int) geom.Envelope {
 	row, col := i/g.ppd, i%g.ppd
 	minX := g.space.MinX + float64(col)*g.cellW
 	minY := g.space.MinY + float64(row)*g.cellH
-	return geom.Envelope{MinX: minX, MinY: minY, MaxX: minX + g.cellW, MaxY: minY + g.cellH}
+	maxX := g.space.MinX + float64(col+1)*g.cellW
+	if col == g.ppd-1 {
+		maxX = g.space.MaxX
+	}
+	maxY := g.space.MinY + float64(row+1)*g.cellH
+	if row == g.ppd-1 {
+		maxY = g.space.MaxY
+	}
+	return geom.Envelope{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
 }
 
 // Extent implements SpatialPartitioner: the cell bounds expanded by

@@ -400,3 +400,74 @@ func TestPropTileReplicationCoversEnvelope(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGridBoundsTileExactly: adjacent cells must share their edge
+// bit-for-bit and the last row/column must reach exactly
+// space.MaxX/MaxY — accumulated float error in minX + cellW used to
+// leave the edge cells short of the data-space envelope.
+func TestGridBoundsTileExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ppd := range []int{1, 3, 7, 13} {
+		// Awkward, non-representable spans to provoke float error.
+		objs := []stobject.STObject{
+			stPoint(0.1, 0.2),
+			stPoint(0.1+101.3/3, 0.2+73.7/7),
+		}
+		objs = append(objs, uniformObjs(rng, 50, 30, 9)...)
+		g, err := NewGrid(ppd, objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := dataEnvelope(objs)
+		for row := 0; row < ppd; row++ {
+			for col := 0; col < ppd; col++ {
+				b := g.Bounds(row*ppd + col)
+				if col+1 < ppd {
+					next := g.Bounds(row*ppd + col + 1)
+					if b.MaxX != next.MinX {
+						t.Fatalf("ppd=%d cell (%d,%d): MaxX %v != next MinX %v", ppd, row, col, b.MaxX, next.MinX)
+					}
+				} else if b.MaxX != space.MaxX {
+					t.Fatalf("ppd=%d last col MaxX = %v, want %v", ppd, b.MaxX, space.MaxX)
+				}
+				if row+1 < ppd {
+					above := g.Bounds((row+1)*ppd + col)
+					if b.MaxY != above.MinY {
+						t.Fatalf("ppd=%d cell (%d,%d): MaxY %v != above MinY %v", ppd, row, col, b.MaxY, above.MinY)
+					}
+				} else if b.MaxY != space.MaxY {
+					t.Fatalf("ppd=%d last row MaxY = %v, want %v", ppd, b.MaxY, space.MaxY)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapAssignerCoversMatches: the extent-overlap assigner must
+// assign an object to every partition holding records it could match
+// within the expansion distance.
+func TestOverlapAssignerCoversMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	objs := uniformObjs(rng, 400, 100, 100)
+	g, err := NewGrid(4, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 3.0
+	a := OverlapAssigner{SP: g, Expand: eps}
+	probe := stPoint(50, 50)
+	assigned := make(map[int]bool)
+	for _, p := range a.PartitionsFor(probe) {
+		assigned[p] = true
+	}
+	if len(assigned) == 0 {
+		t.Fatal("no partitions assigned")
+	}
+	for _, o := range objs {
+		if probe.WithinDistance(o, eps, nil) {
+			if p := g.PartitionFor(o); !assigned[p] {
+				t.Fatalf("match in partition %d not covered by assignment %v", p, assigned)
+			}
+		}
+	}
+}

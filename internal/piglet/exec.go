@@ -546,10 +546,11 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 	}
 }
 
-// evalJoin executes a JOIN with planner-chosen build side: the
-// execution core indexes the right input of every partition pair, so
-// the smaller relation is swapped onto the right (replacing the
-// predicate with its converse) and the result rows are swapped back.
+// evalJoin executes a JOIN through the cost-selected join engine:
+// the executor picks broadcast, co-partitioned or pruned pair-wise
+// execution (and the build side, swapping internally as needed) from
+// dataset statistics; the EXPLAIN node renders the decision and the
+// actual task/pair counters.
 func (ex *executor) evalJoin(st Assign, op JoinOp) (*Relation, error) {
 	left, err := ex.relation(op.Left, st.Line)
 	if err != nil {
@@ -565,60 +566,30 @@ func (ex *executor) evalJoin(st Assign, op JoinOp) (*Relation, error) {
 	}
 	kind := predKind(op.Pred.Kind)
 
-	lstats, err := left.ds.Stats()
-	if err != nil {
-		return nil, fmt.Errorf("piglet: line %d: join stats (left): %w", st.Line, err)
-	}
-	rstats, err := right.ds.Stats()
-	if err != nil {
-		return nil, fmt.Errorf("piglet: line %d: join stats (right): %w", st.Line, err)
-	}
-	dec := plan.PlanJoin(lstats, rstats, plan.Pred{Kind: kind, Expand: expand})
-
-	lds, rds := left.ds, right.ds
-	swapped := false
-	if !dec.BuildRight {
-		if ck, ok := plan.Converse(kind); ok {
-			swapped = true
-			lds, rds = right.ds, left.ds
-			// Symmetric predicates (intersects, withindistance) keep
-			// their compiled form — recompiling would lose parameters
-			// like the distance. Only contains/containedby actually
-			// change under the swap, and those carry none.
-			if ck != kind {
-				cp, _, cerr := compileJoinPredicate(Predicate{Kind: ck.String()}, st.Line)
-				if cerr != nil {
-					return nil, cerr
-				}
-				pred = cp
-			}
-		}
-	}
-	joined, err := stark.Join(lds, rds, stark.JoinOptions{
+	var rep stark.JoinReport
+	joined, err := stark.Join(left.ds, right.ds, stark.JoinOptions{
 		Predicate:      pred,
 		IndexOrder:     -1,
 		ProbeExpansion: expand,
+		Report:         &rep,
 	}).Collect()
 	if err != nil {
 		return nil, fmt.Errorf("piglet: line %d: %w", st.Line, err)
 	}
 	// The joined relation keeps the script-level left row; the event
-	// ID pair is recorded in the group field for inspection. When the
-	// planner swapped the inputs, swap each row back so the output is
-	// oriented as written.
+	// ID pair is recorded in the group field for inspection.
 	rows := make([]stark.Tuple[Row], len(joined))
 	for i, kv := range joined {
-		leftRow, rightRow := kv.Value.Left, kv.Value.Right
-		key := kv.Key
-		if swapped {
-			leftRow, rightRow = kv.Value.Right, kv.Value.Left
-			key = kv.Value.RightKey
-		}
-		row := leftRow
-		row.Group = fmt.Sprintf("%d/%d", leftRow.Event.ID, rightRow.Event.ID)
-		rows[i] = stark.NewTuple(key, row)
+		row := kv.Value.Left
+		row.Group = fmt.Sprintf("%d/%d", kv.Value.Left.Event.ID, kv.Value.Right.Event.ID)
+		rows[i] = stark.NewTuple(kv.Key, row)
 	}
-	node := plan.JoinNode(dec, plan.Pred{Kind: kind, Expand: expand}, swapped, left.base, right.base)
+	dec := rep.Decision
+	if dec == nil {
+		dec = &plan.JoinDecision{Strategy: rep.Strategy, BuildRight: !rep.Swapped, EstRows: -1}
+	}
+	node := plan.JoinNode(*dec, plan.Pred{Kind: kind, Expand: expand}, rep.Swapped, left.base, right.base)
+	node.Prop("actual: %s", rep.Summary())
 	return ex.fresh(rows, node, st.Line), nil
 }
 

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -196,18 +197,46 @@ func NaiveFilterNode(preds []Pred, child *Node) *Node {
 	return n.Add(child)
 }
 
-// JoinNode builds the EXPLAIN node of a planned join.
+// JoinNode builds the EXPLAIN node of a planned join. The node detail
+// leads with the chosen strategy, so the rendered line reads
+// Join[broadcast ...], Join[copartition ...] or Join[pairs ...].
 func JoinNode(d JoinDecision, pred Pred, swapped bool, left, right *Node) *Node {
-	n := NewNode("Join", pred.String())
-	n.EstRows = d.EstRows
-	side := "right"
-	if !d.BuildRight {
-		side = "left"
+	// Custom marks a caller-supplied predicate closure the planner
+	// cannot name (the DSL's Join); the strategy alone is the detail.
+	detail := d.Strategy.String()
+	if pred.Kind != Custom {
+		detail += " " + pred.String()
 	}
-	n.Prop("build_side=%s (left_rows=%d right_rows=%d, index the smaller input)",
-		side, d.LeftRows, d.RightRows)
+	n := NewNode("Join", detail)
+	n.EstRows = d.EstRows
+	if d.LeftRows > 0 || d.RightRows > 0 {
+		side := "right"
+		if !d.BuildRight {
+			side = "left"
+		}
+		n.Prop("build_side=%s (left_rows=%d right_rows=%d, build the smaller input)",
+			side, d.LeftRows, d.RightRows)
+	} else {
+		// No cost-model decision ran (forced strategy): the executor
+		// built the right input as given.
+		n.Prop("strategy forced (no cost-model decision, right input built as given)")
+	}
+	if d.TotalPairs > 0 {
+		n.Prop("est_pairs=%d of %d enumerable, est_tasks=%d (budget=%d rows)",
+			d.EstPairs, d.TotalPairs, d.EstTasks, d.Budget)
+		n.Prop("costs: pairs=%s broadcast=%s copartition=%s",
+			costString(d.PairsCost), costString(d.BroadcastCost), costString(d.CoPartCost))
+	}
 	if swapped {
 		n.Prop("inputs swapped to put the build side on the right")
 	}
 	return n.Add(left, right)
+}
+
+// costString renders a strategy cost, naming inapplicable ones.
+func costString(c float64) string {
+	if math.IsInf(c, 1) {
+		return "n/a"
+	}
+	return trimFloat(c)
 }

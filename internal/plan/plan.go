@@ -122,6 +122,14 @@ const (
 	CostBuild = 2.5
 	// CostProbe is the fixed cost of one per-partition tree descent.
 	CostProbe = 16.0
+	// CostProbeRecord is the per-record cost of one join-side tree
+	// descent (cheaper than CostProbe because the descent is amortised
+	// over a streaming probe loop with a reused candidate buffer).
+	CostProbeRecord = 4.0
+	// CostShuffle is the per-record cost of replicating a record onto
+	// another partitioner during a co-partitioned join (extent overlap
+	// scan + bucket append).
+	CostShuffle = 3.0
 )
 
 // evalCost returns the cost of one exact evaluation of p.
@@ -249,12 +257,74 @@ func PlanFilter(sum *stats.Summary, preds []Pred, opt FilterOptions) FilterDecis
 
 // ---- Join planning ----
 
+// JoinStrategy names a physical join execution strategy.
+type JoinStrategy int
+
+const (
+	// JoinAuto defers the choice to the cost model (the default of
+	// the public DSL join builder).
+	JoinAuto JoinStrategy = iota
+	// JoinPairs enumerates (left, right) partition pairs, prunes the
+	// disjoint ones and indexes the right partition of each surviving
+	// pair — the paper's partitioned join.
+	JoinPairs
+	// JoinBroadcast materialises the build side once into a single
+	// R-tree (the smaller side, when the cost model chose; the right
+	// input, when forced) and streams the other side's partitions
+	// against it; no pair enumeration at all.
+	JoinBroadcast
+	// JoinCoPartition replicates the build side onto the other
+	// side's spatial partitioner so every task joins exactly one
+	// aligned partition pair.
+	JoinCoPartition
+)
+
+// String returns the lower-case strategy name used in EXPLAIN output.
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinAuto:
+		return "auto"
+	case JoinPairs:
+		return "pairs"
+	case JoinBroadcast:
+		return "broadcast"
+	case JoinCoPartition:
+		return "copartition"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// DefaultBroadcastRows is the default broadcast row budget: a side
+// whose estimated cardinality is at or below it may be materialised
+// whole on every simulated executor.
+const DefaultBroadcastRows = 100_000
+
+// JoinPlanInput feeds PlanJoinStrategy: the statistics of both
+// inputs plus the physical layout facts the cost model needs.
+type JoinPlanInput struct {
+	Left, Right *stats.Summary
+	// Expand is the probe expansion of the join predicate (the
+	// distance for withinDistance joins, 0 otherwise).
+	Expand float64
+	// LeftPartitioned/RightPartitioned report whether the side
+	// carries a spatial partitioner; SamePartitioner reports that
+	// both sides share the identical partitioner instance (already
+	// aligned).
+	LeftPartitioned, RightPartitioned bool
+	SamePartitioner                   bool
+	// BroadcastBudget caps the rows of a broadcast side; <= 0 selects
+	// DefaultBroadcastRows.
+	BroadcastBudget int64
+}
+
 // JoinDecision is the planner's verdict for a spatio-temporal join.
 type JoinDecision struct {
-	// BuildRight is true when the right input should be indexed (the
-	// build side); when false the caller should swap the inputs so
-	// the smaller side is built. Converse reports whether the
-	// predicate must be replaced by its converse after a swap.
+	// Strategy is the chosen physical strategy (never JoinAuto).
+	Strategy JoinStrategy
+	// BuildRight is true when the right input should be the build
+	// side (indexed / broadcast / shuffled); when false the executor
+	// swaps the inputs internally and swaps result rows back.
 	BuildRight bool
 	// LeftRows/RightRows are the input cardinalities the choice was
 	// made from.
@@ -262,45 +332,177 @@ type JoinDecision struct {
 	// EstRows estimates the join cardinality from the overlap of the
 	// two datasets' envelopes.
 	EstRows float64
+	// TotalPairs is the size of the naive L×R partition-pair
+	// enumeration; EstPairs the pairs surviving MBR pruning (the task
+	// count of the pairs strategy); EstTasks the task count of the
+	// chosen strategy.
+	TotalPairs int
+	EstPairs   int
+	EstTasks   int
+	// Budget is the broadcast row budget the decision used.
+	Budget int64
+	// PairsCost/BroadcastCost/CoPartCost are the compared cost
+	// estimates; +Inf marks an inapplicable strategy.
+	PairsCost, BroadcastCost, CoPartCost float64
 }
 
-// PlanJoin chooses the build side of a join whose execution builds a
-// live R-tree over the right input of every partition pair: the
-// smaller input belongs on the right. Cardinality is estimated from
-// the envelope overlap of the two summaries.
-func PlanJoin(left, right *stats.Summary, pred Pred) JoinDecision {
+// estJoinRows estimates the join cardinality from the envelope
+// overlap of the two summaries: records outside the overlap cannot
+// match; within it, assume the larger population dominates the result
+// (each record of the smaller side matches a handful of nearby
+// records), bounded by the cross product of the overlap populations.
+func estJoinRows(left, right *stats.Summary, expand float64) float64 {
+	overlap := left.MBR.Intersection(right.MBR.ExpandBy(expand))
+	if overlap.IsEmpty() || left.Count == 0 || right.Count == 0 {
+		return 0
+	}
+	lin := float64(left.Count) * left.Selectivity(overlap)
+	rin := float64(right.Count) * right.Selectivity(overlap)
+	return math.Min(lin*rin, math.Max(lin, rin))
+}
+
+// estSurvivingPairs counts the partition pairs whose MBRs (expanded
+// by the probe expansion) intersect — the tasks the pairs strategy
+// would actually schedule after pruning. Empty partitions never pair.
+func estSurvivingPairs(left, right *stats.Summary, expand float64) int {
+	pairs := 0
+	for _, lp := range left.Parts {
+		if lp.Count == 0 {
+			continue
+		}
+		le := lp.MBR.ExpandBy(expand)
+		for _, rp := range right.Parts {
+			if rp.Count == 0 {
+				continue
+			}
+			if le.Intersects(rp.MBR) {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
+
+// PlanJoinStrategy selects the cheapest physical join strategy:
+//
+//   - broadcast, when the smaller side's estimated cardinality fits
+//     the row budget — one R-tree build, one task per stream-side
+//     partition, no pair enumeration;
+//   - co-partition, when at least one side is spatially partitioned
+//     and the sides are not already aligned — the smaller side is
+//     replicated onto the larger side's partitioner so each task
+//     joins exactly one aligned pair;
+//   - pairs, the pruned partition-pair enumeration, always
+//     applicable.
+//
+// Costs are in the package's abstract per-record units; the decision
+// records all three estimates for EXPLAIN.
+func PlanJoinStrategy(in JoinPlanInput) JoinDecision {
+	left, right := in.Left, in.Right
+	budget := in.BroadcastBudget
+	if budget <= 0 {
+		budget = DefaultBroadcastRows
+	}
+	lParts, rParts := len(left.Parts), len(right.Parts)
 	d := JoinDecision{
+		Strategy:   JoinPairs,
 		BuildRight: right.Count <= left.Count,
 		LeftRows:   left.Count,
 		RightRows:  right.Count,
+		EstRows:    estJoinRows(left, right, in.Expand),
+		TotalPairs: lParts * rParts,
+		EstPairs:   estSurvivingPairs(left, right, in.Expand),
+		Budget:     budget,
 	}
-	// Records outside the envelope overlap cannot match. Within it,
-	// assume the larger population dominates the result (each record
-	// of the smaller side matches a handful of nearby records),
-	// bounded by the cross product of the overlap populations.
-	overlap := left.MBR.Intersection(right.MBR.ExpandBy(pred.Expand))
-	if !overlap.IsEmpty() && left.Count > 0 && right.Count > 0 {
-		lin := float64(left.Count) * left.Selectivity(overlap)
-		rin := float64(right.Count) * right.Selectivity(overlap)
-		d.EstRows = math.Min(lin*rin, math.Max(lin, rin))
+	smallRows := math.Min(float64(left.Count), float64(right.Count))
+	bigRows := math.Max(float64(left.Count), float64(right.Count))
+	lAvg, rAvg := 0.0, 0.0
+	if lParts > 0 {
+		lAvg = float64(left.Count) / float64(lParts)
+	}
+	if rParts > 0 {
+		rAvg = float64(right.Count) / float64(rParts)
+	}
+
+	// Pairs: every surviving pair streams an average left partition
+	// against the right partition's tree; trees are built (and right
+	// partitions materialised) once per distinct right partition.
+	distinctRight := math.Min(float64(rParts), float64(d.EstPairs))
+	if !d.BuildRight {
+		distinctRight = math.Min(float64(lParts), float64(d.EstPairs))
+		lAvg, rAvg = rAvg, lAvg
+	}
+	d.PairsCost = distinctRight*rAvg*CostBuild +
+		float64(d.EstPairs)*lAvg*CostProbeRecord
+
+	// Broadcast: build the smaller side once, stream every partition
+	// of the larger side against it. Only within the row budget.
+	d.BroadcastCost = math.Inf(1)
+	if int64(smallRows) <= budget {
+		d.BroadcastCost = smallRows*CostBuild + bigRows*CostProbeRecord
+	}
+
+	// Co-partition: replicate the moving side onto the staying side's
+	// partitioner (shuffle + per-target build), then stream each
+	// target partition against its aligned bucket. Needs a
+	// partitioner to align onto, and is pointless when the sides
+	// already share one. The moving side is the smaller one — except
+	// when only one side is partitioned, where the executor has no
+	// choice but to move the unpartitioned side, whatever its size;
+	// the cost must describe the plan that actually runs.
+	d.CoPartCost = math.Inf(1)
+	if (in.LeftPartitioned || in.RightPartitioned) && !in.SamePartitioner {
+		moveRows, stayRows := smallRows, bigRows
+		if in.LeftPartitioned != in.RightPartitioned {
+			if in.LeftPartitioned {
+				moveRows, stayRows = float64(right.Count), float64(left.Count)
+			} else {
+				moveRows, stayRows = float64(left.Count), float64(right.Count)
+			}
+		}
+		const replication = 1.2 // extent-overlap duplication estimate
+		d.CoPartCost = moveRows*replication*(CostShuffle+CostBuild) +
+			stayRows*CostProbeRecord
+	}
+
+	// Pick the cheapest; ties resolve broadcast < copartition < pairs
+	// (fewer tasks, simpler schedule).
+	d.Strategy = JoinPairs
+	best := d.PairsCost
+	if d.CoPartCost <= best {
+		d.Strategy, best = JoinCoPartition, d.CoPartCost
+	}
+	if d.BroadcastCost <= best {
+		d.Strategy, best = JoinBroadcast, d.BroadcastCost
+	}
+
+	// Build-side and task-count bookkeeping per strategy.
+	switch d.Strategy {
+	case JoinBroadcast:
+		d.BuildRight = float64(right.Count) <= smallRows
+		streamParts := lParts
+		if !d.BuildRight {
+			streamParts = rParts
+		}
+		d.EstTasks = streamParts
+	case JoinCoPartition:
+		// The moving (build) side is the smaller one, unless only one
+		// side carries a partitioner — then the partitioned side must
+		// stay put and the other moves.
+		d.BuildRight = float64(right.Count) <= smallRows
+		if in.LeftPartitioned && !in.RightPartitioned {
+			d.BuildRight = true
+		} else if in.RightPartitioned && !in.LeftPartitioned {
+			d.BuildRight = false
+		}
+		if d.BuildRight {
+			d.EstTasks = lParts
+		} else {
+			d.EstTasks = rParts
+		}
+	default:
+		d.EstTasks = d.EstPairs
 	}
 	return d
 }
 
-// Converse returns the predicate kind with its operands swapped, and
-// whether a converse exists (symmetric predicates are their own
-// converse).
-func Converse(k PredKind) (PredKind, bool) {
-	switch k {
-	case Intersects, WithinDistance:
-		return k, true
-	case Contains:
-		return ContainedBy, true
-	case ContainedBy:
-		return Contains, true
-	default:
-		// CoveredBy's converse (Covers) is not in the predicate
-		// algebra; the caller keeps the original side order.
-		return k, false
-	}
-}

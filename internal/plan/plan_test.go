@@ -90,7 +90,7 @@ func TestPlanFilterIndexChoice(t *testing.T) {
 	}
 }
 
-func TestPlanJoinBuildSide(t *testing.T) {
+func TestPlanJoinStrategyBuildSide(t *testing.T) {
 	big := clustered(t)
 	ctx := engine.NewContext(2)
 	few := make([]engine.Pair[stobject.STObject, int], 10)
@@ -102,19 +102,13 @@ func TestPlanJoinBuildSide(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d := PlanJoin(big, small, Pred{Kind: Intersects})
+	d := PlanJoinStrategy(JoinPlanInput{Left: big, Right: small})
 	if !d.BuildRight {
 		t.Error("smaller right input should be the build side")
 	}
-	d = PlanJoin(small, big, Pred{Kind: Intersects})
+	d = PlanJoinStrategy(JoinPlanInput{Left: small, Right: big})
 	if d.BuildRight {
 		t.Error("larger right input should be swapped to probe side")
-	}
-	if k, ok := Converse(Contains); !ok || k != ContainedBy {
-		t.Errorf("Converse(Contains) = %v, %v", k, ok)
-	}
-	if _, ok := Converse(CoveredBy); ok {
-		t.Error("CoveredBy has no converse in the algebra")
 	}
 }
 
@@ -149,5 +143,85 @@ func TestNodeRenderAndGraft(t *testing.T) {
 	})
 	if !found {
 		t.Error("graft did not splice the load node")
+	}
+}
+
+// uniformSum builds a summary of `parts` partitions whose records
+// spread uniformly over [0,100)² — every partition MBR overlaps
+// every other, so pair pruning cannot help.
+func uniformSum(t *testing.T, n, parts int) *stats.Summary {
+	t.Helper()
+	ctx := engine.NewContext(4)
+	recs := make([]engine.Pair[stobject.STObject, int], n)
+	for i := range recs {
+		x := float64(i%100) + 0.1
+		y := float64((i*37)%100) + 0.1
+		recs[i] = engine.NewPair(stobject.New(geom.Point{X: x, Y: y}), i)
+	}
+	sum, err := stats.Collect(engine.Parallelize(ctx, recs, parts), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestPlanJoinStrategySelection(t *testing.T) {
+	big := uniformSum(t, 5000, 8)
+	small := uniformSum(t, 50, 2)
+
+	// Small overlapping side within budget: broadcast, fewer tasks
+	// than the enumeration.
+	d := PlanJoinStrategy(JoinPlanInput{Left: big, Right: small,
+		LeftPartitioned: true, RightPartitioned: true})
+	if d.Strategy != JoinBroadcast {
+		t.Errorf("strategy = %v, want broadcast (costs pairs=%v broadcast=%v copart=%v)",
+			d.Strategy, d.PairsCost, d.BroadcastCost, d.CoPartCost)
+	}
+	if !d.BuildRight {
+		t.Error("broadcast must build the smaller (right) side")
+	}
+	if d.EstTasks >= d.TotalPairs {
+		t.Errorf("est_tasks = %d, want fewer than total pairs %d", d.EstTasks, d.TotalPairs)
+	}
+
+	// Same shape but a budget below the small side: broadcast is out;
+	// with differing partitioners and no pruning opportunity the
+	// co-partitioned join wins over pair enumeration.
+	d = PlanJoinStrategy(JoinPlanInput{Left: big, Right: small,
+		LeftPartitioned: true, RightPartitioned: true, BroadcastBudget: 10})
+	if d.Strategy != JoinCoPartition {
+		t.Errorf("strategy = %v, want copartition (costs pairs=%v broadcast=%v copart=%v)",
+			d.Strategy, d.PairsCost, d.BroadcastCost, d.CoPartCost)
+	}
+
+	// Aligned sides (same partitioner) with the budget exceeded:
+	// copartition is pointless, pairs is the fallback.
+	d = PlanJoinStrategy(JoinPlanInput{Left: big, Right: small,
+		LeftPartitioned: true, RightPartitioned: true, SamePartitioner: true,
+		BroadcastBudget: 10})
+	if d.Strategy != JoinPairs {
+		t.Errorf("strategy = %v, want pairs", d.Strategy)
+	}
+
+	// Disjoint clusters (heavy pruning) with the budget exceeded:
+	// pairs beats moving rows around.
+	clusteredSum := clustered(t)
+	d = PlanJoinStrategy(JoinPlanInput{Left: clusteredSum, Right: clusteredSum,
+		LeftPartitioned: true, RightPartitioned: true, SamePartitioner: true,
+		BroadcastBudget: 10})
+	if d.Strategy != JoinPairs {
+		t.Errorf("strategy = %v, want pairs", d.Strategy)
+	}
+	if d.EstPairs >= d.TotalPairs {
+		t.Errorf("est_pairs = %d of %d: clustered MBRs should prune", d.EstPairs, d.TotalPairs)
+	}
+
+	// Only one side partitioned, budget exceeded: the moving side is
+	// the unpartitioned one regardless of size.
+	d = PlanJoinStrategy(JoinPlanInput{Left: big, Right: small,
+		LeftPartitioned: false, RightPartitioned: true, BroadcastBudget: 10})
+	if d.Strategy != JoinCoPartition || d.BuildRight {
+		t.Errorf("strategy = %v buildRight = %v, want copartition moving the left side",
+			d.Strategy, d.BuildRight)
 	}
 }

@@ -354,7 +354,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbrs, err := entry.ds.KNN(q, req.K)
+	nbrs, err := entry.ds.KNNContext(r.Context(), q, req.K)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "knn failed: %v", err)
 		return

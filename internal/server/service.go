@@ -27,9 +27,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strings"
 
 	"stark"
 	"stark/internal/workload"
@@ -40,10 +42,198 @@ import (
 const DefaultDataset = "default"
 
 // ServiceQueryRequest is a QueryRequest addressed to a named catalog
-// dataset ("" selects DefaultDataset).
+// dataset ("" selects DefaultDataset). A non-nil Join turns the
+// request into a spatio-temporal join: the (optionally filtered)
+// dataset is joined against another catalog dataset and the matching
+// pairs stream back as NDJSON.
 type ServiceQueryRequest struct {
 	Dataset string `json:"dataset"`
 	QueryRequest
+	Join *JoinSpec `json:"join,omitempty"`
+}
+
+// JoinSpec describes the join clause of a service query.
+type JoinSpec struct {
+	// With names the right-side catalog dataset ("" selects
+	// DefaultDataset).
+	With string `json:"with"`
+	// Predicate is one of intersects (default), contains,
+	// containedby, coveredby, withindistance.
+	Predicate string `json:"predicate"`
+	// Distance parameterises withindistance.
+	Distance float64 `json:"distance"`
+	// Strategy forces a physical join strategy: auto (default),
+	// pairs, broadcast, copartition.
+	Strategy string `json:"strategy"`
+}
+
+// joinRow is the record type of a service join result.
+type joinRow = stark.JoinRow[workload.Event, workload.Event]
+
+// buildJoinOn compiles a JoinSpec into a join chain over the two
+// datasets, returning the chain and the report its execution fills.
+func buildJoinOn(left *stark.Dataset[workload.Event], right *stark.Dataset[workload.Event], spec *JoinSpec) (*stark.Dataset[joinRow], *stark.JoinReport, error) {
+	var (
+		pred   stark.Predicate
+		expand float64
+	)
+	switch strings.ToLower(spec.Predicate) {
+	case "intersects", "":
+		pred = stark.Intersects
+	case "contains":
+		pred = stark.Contains
+	case "containedby":
+		pred = stark.ContainedBy
+	case "coveredby":
+		pred = stark.CoveredBy
+	case "withindistance":
+		if spec.Distance <= 0 {
+			return nil, nil, fmt.Errorf("join withindistance needs distance > 0")
+		}
+		pred = stark.WithinDistancePredicate(spec.Distance, nil)
+		expand = spec.Distance
+	default:
+		return nil, nil, fmt.Errorf("unknown join predicate %q", spec.Predicate)
+	}
+	var strategy stark.JoinStrategy
+	switch strings.ToLower(spec.Strategy) {
+	case "auto", "":
+		strategy = stark.JoinAuto
+	case "pairs":
+		strategy = stark.JoinPairs
+	case "broadcast":
+		strategy = stark.JoinBroadcast
+	case "copartition":
+		strategy = stark.JoinCoPartition
+	default:
+		return nil, nil, fmt.Errorf("unknown join strategy %q", spec.Strategy)
+	}
+	rep := &stark.JoinReport{}
+	ds := stark.Join(left, right, stark.JoinOptions{
+		Predicate:      pred,
+		IndexOrder:     -1,
+		ProbeExpansion: expand,
+		Strategy:       strategy,
+		Report:         rep,
+	})
+	return ds, rep, nil
+}
+
+// joinChain resolves both sides of a join request and builds the
+// chain: the request's filter (when present) applies to the left
+// side before the join.
+func (s *Server) joinChain(w http.ResponseWriter, req ServiceQueryRequest) (*stark.Dataset[joinRow], *stark.JoinReport, *catalogEntry, bool) {
+	entry, ok := s.resolveDataset(w, req.Dataset)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	rightEntry, ok := s.resolveDataset(w, req.Join.With)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	left := entry.ds
+	// Apply the request's filter whenever any filter field is set —
+	// a constraint the non-join path would reject (temporal window
+	// without a geometry) must error here too, not be dropped.
+	if req.WKT != "" || req.Predicate != "" || req.HasTime || req.Distance != 0 {
+		var err error
+		left, err = buildFilterOn(entry.ds, req.QueryRequest)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return nil, nil, nil, false
+		}
+	}
+	chain, rep, err := buildJoinOn(left, rightEntry.ds, req.Join)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, nil, false
+	}
+	return chain, rep, entry, true
+}
+
+// acquireAdmission passes the request through the admission-control
+// worker pool, writing the overload response (429 saturated / 503
+// queue deadline) on failure. On true the caller owns a slot and
+// must s.adm.Release() it.
+func (s *Server) acquireAdmission(w http.ResponseWriter, r *http.Request) bool {
+	err := s.adm.Acquire(r.Context())
+	if err == nil {
+		return true
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "server saturated: %v", err)
+	case errors.Is(err, ErrQueueTimeout):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "queue deadline exceeded: %v", err)
+	default:
+		// Client went away while queued; nothing useful to write.
+		log.Printf("server: admission aborted: %v", err)
+	}
+	return false
+}
+
+// handleJoinQuery executes the join clause of a service query and
+// streams the matching pairs as NDJSON: one GeoJSON feature per line
+// (the left record's geometry) with the right record folded into the
+// properties. Join results are not result-cached — a join
+// materialises a fresh result dataset per request, so its
+// fingerprint could never hit. That materialisation also means the
+// full pair set lives in memory before the first byte streams
+// (unlike the filter path, which streams straight off the fused
+// pipelines); admission control bounds how many such requests run
+// at once.
+func (s *Server) handleJoinQuery(w http.ResponseWriter, r *http.Request, req ServiceQueryRequest) {
+	chain, rep, entry, ok := s.joinChain(w, req)
+	if !ok {
+		return
+	}
+	if !s.acquireAdmission(w, r) {
+		return
+	}
+	defer s.adm.Release()
+
+	if err := chain.Run(); err != nil {
+		httpError(w, http.StatusInternalServerError, "join failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Stark-Cache", "bypass")
+	var (
+		count  int64
+		rowErr error
+	)
+	err := chain.StreamParallelContext(r.Context(), func(kv stark.Tuple[joinRow]) bool {
+		f := feature(stark.NewTuple(kv.Key, kv.Value.Left), nil, nil)
+		f["properties"].(map[string]interface{})["right"] = map[string]interface{}{
+			"id":       kv.Value.Right.ID,
+			"category": kv.Value.Right.Category,
+			"time":     kv.Value.Right.Time,
+		}
+		line, err := json.Marshal(f)
+		if err != nil {
+			rowErr = err
+			return false
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			rowErr = err
+			return false
+		}
+		count++
+		return true
+	})
+	if err == nil {
+		err = rowErr
+	}
+	if err != nil {
+		log.Printf("server: aborting join NDJSON stream after %d rows: %v", count, err)
+		return
+	}
+	writeSummaryLine(w, ndjsonSummary{
+		Dataset: entry.spec.Name, Count: count, Cache: "bypass",
+		Strategy: rep.Strategy.String(),
+	})
 }
 
 // resolveDataset returns the catalog entry a service request
@@ -118,6 +308,10 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	if req.Join != nil {
+		s.handleJoinQuery(w, r, req)
+		return
+	}
 	entry, ok := s.resolveDataset(w, req.Dataset)
 	if !ok {
 		return
@@ -138,17 +332,7 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if err := s.adm.Acquire(r.Context()); err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			httpError(w, http.StatusTooManyRequests, "server saturated: %v", err)
-		case errors.Is(err, ErrQueueTimeout):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "queue deadline exceeded: %v", err)
-		default:
-			// Client went away while queued; nothing useful to write.
-			log.Printf("server: admission aborted: %v", err)
-		}
+	if !s.acquireAdmission(w, r) {
 		return
 	}
 	defer s.adm.Release()
@@ -214,6 +398,9 @@ type ndjsonSummary struct {
 	Count       int64  `json:"count"`
 	Cache       string `json:"cache"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Strategy is the physical join strategy that ran (join queries
+	// only).
+	Strategy string `json:"strategy,omitempty"`
 }
 
 func writeSummaryLine(w io.Writer, sum ndjsonSummary) {
@@ -238,6 +425,33 @@ func (s *Server) handleExplainV1(w http.ResponseWriter, r *http.Request) {
 	var req ServiceQueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Join != nil {
+		chain, rep, entry, ok := s.joinChain(w, req)
+		if !ok {
+			return
+		}
+		// Explaining a join executes it (ExplainNode runs the chain
+		// for the actual counters) — that work must pass through the
+		// same admission gate as the query path, or the explain
+		// endpoint becomes an unbounded side door to full joins.
+		if !s.acquireAdmission(w, r) {
+			return
+		}
+		defer s.adm.Release()
+		node, err := chain.ExplainNode()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "explain failed: %v", err)
+			return
+		}
+		writeJSON(w, map[string]interface{}{
+			"dataset":  entry.spec.Name,
+			"plan":     node,
+			"text":     node.Render(),
+			"strategy": rep.Strategy.String(),
+			"cache":    "bypass",
+		})
 		return
 	}
 	entry, ok := s.resolveDataset(w, req.Dataset)

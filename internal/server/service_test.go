@@ -479,3 +479,82 @@ func TestParseDatasetFlag(t *testing.T) {
 		t.Errorf("trailing comma rejected: %v", err)
 	}
 }
+
+func TestJoinThroughQueryV1(t *testing.T) {
+	s, _ := testService(t, 300, Options{})
+	// Register two fresh sides with a degenerate time range (all
+	// instants equal) so the combined spatio-temporal predicate is
+	// decided spatially; the right side is small enough that the
+	// cost model broadcasts it.
+	left := workload.Events(workload.Config{N: 300, Seed: 13, Width: 100, Height: 100, TimeRange: 1})
+	if err := s.catalog.RegisterEvents(s.ctx, DatasetSpec{Name: "left"}, left); err != nil {
+		t.Fatal(err)
+	}
+	small := workload.Events(workload.Config{N: 40, Seed: 12, Width: 100, Height: 100, TimeRange: 1})
+	if err := s.catalog.RegisterEvents(s.ctx, DatasetSpec{Name: "small"}, small); err != nil {
+		t.Fatal(err)
+	}
+	req := ServiceQueryRequest{
+		Dataset: "left",
+		Join:    &JoinSpec{With: "small", Predicate: "withindistance", Distance: 5},
+	}
+	rec := postV1Query(t, s, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("join query status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Stark-Cache"); got != "bypass" {
+		t.Errorf("X-Stark-Cache = %q, want bypass", got)
+	}
+	features, sum := ndjsonResponse(t, rec.Body.Bytes())
+	if sum.Cache != "bypass" || sum.Strategy == "" || sum.Strategy == "auto" {
+		t.Errorf("summary = %+v", sum)
+	}
+	if int64(len(features)) != sum.Count {
+		t.Errorf("streamed %d rows, summary says %d", len(features), sum.Count)
+	}
+	if len(features) == 0 {
+		t.Fatal("degenerate test: join returned no rows")
+	}
+	// Every row must carry the folded right record.
+	props, _ := features[0]["properties"].(map[string]interface{})
+	if props == nil || props["right"] == nil {
+		t.Errorf("join feature missing right record: %v", features[0])
+	}
+
+	// The same join through EXPLAIN renders the strategy decision.
+	body, _ := json.Marshal(req)
+	erec := httptest.NewRecorder()
+	s.ServeHTTP(erec, httptest.NewRequest(http.MethodPost, "/api/v1/explain", bytes.NewReader(body)))
+	if erec.Code != http.StatusOK {
+		t.Fatalf("join explain status = %d: %s", erec.Code, erec.Body.String())
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(erec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	text, _ := out["text"].(string)
+	if !strings.Contains(text, "Join[") {
+		t.Errorf("explain text missing Join node:\n%s", text)
+	}
+	if out["strategy"] == "" || out["cache"] != "bypass" {
+		t.Errorf("explain response = %v", out)
+	}
+}
+
+func TestJoinQueryV1BadRequests(t *testing.T) {
+	s, _ := testService(t, 50, Options{})
+	for _, req := range []ServiceQueryRequest{
+		{Join: &JoinSpec{With: "missing"}},
+		{Join: &JoinSpec{Predicate: "bogus"}},
+		{Join: &JoinSpec{Strategy: "bogus"}},
+		{Join: &JoinSpec{Predicate: "withindistance"}}, // no distance
+		// A temporal window without a geometry must be rejected (as
+		// the non-join path rejects it), not silently dropped.
+		{QueryRequest: QueryRequest{HasTime: true, End: 5}, Join: &JoinSpec{}},
+	} {
+		rec := postV1Query(t, s, req)
+		if rec.Code != http.StatusBadRequest && rec.Code != http.StatusNotFound {
+			t.Errorf("join %+v: status = %d", req.Join, rec.Code)
+		}
+	}
+}

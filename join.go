@@ -15,10 +15,35 @@ import (
 )
 
 // JoinOptions configures a spatial join: the predicate (nil selects
-// Intersects), the per-partition-pair R-tree order (0 = nested loop,
+// Intersects), the build-side R-tree order (0 = nested loop,
 // negative = default order), the probe expansion for distance
-// predicates, and a pruning kill switch for ablations.
+// predicates, the physical Strategy hint (JoinAuto, the zero value,
+// lets the cost model choose), the BroadcastBudget row cap, an
+// optional Report out-parameter, and a pruning kill switch for
+// ablations.
 type JoinOptions = core.JoinOptions
+
+// JoinStrategy selects the physical join execution strategy; the
+// cost model chooses one on JoinAuto (the default).
+type JoinStrategy = core.JoinStrategy
+
+// Join strategy values: JoinAuto defers to the cost model;
+// JoinBroadcast materialises the smaller side into one R-tree and
+// streams the other side against it; JoinCoPartition replicates the
+// smaller side onto the other side's spatial partitioner so each
+// task joins one aligned pair; JoinPairs is the pruned
+// partition-pair enumeration of the paper's Figure 4.
+const (
+	JoinAuto        = core.JoinAuto
+	JoinPairs       = core.JoinPairs
+	JoinBroadcast   = core.JoinBroadcast
+	JoinCoPartition = core.JoinCoPartition
+)
+
+// JoinReport describes how a join actually executed: the chosen
+// strategy, the cost-model decision behind it, and the actual task /
+// pair / tree / shuffle counters EXPLAIN renders.
+type JoinReport = core.JoinReport
 
 // JoinRow is one result row of Join: the right record folded into the
 // left record's payload. The row's key is the left key.
@@ -29,12 +54,15 @@ type JoinRow[V, W any] struct {
 }
 
 // Join computes the spatio-temporal join of l and r: every pair of
-// records whose keys satisfy the predicate. When both sides are
-// spatially partitioned, partition pairs with disjoint extents are
-// pruned — the execution strategy of the paper's Figure 4. The result
-// is a Dataset keyed by the left record's STObject, so further
-// operators chain; errors from either input surface at the action
-// (the left input's error wins when both failed).
+// records whose keys satisfy the predicate. The physical strategy —
+// broadcast, co-partitioned, or the pruned partition-pair join of
+// the paper's Figure 4 — is chosen by the cost model from dataset
+// statistics unless opts.Strategy forces one; Explain() on the
+// result renders the decision as Join[broadcast|copartition|pairs]
+// with estimated vs actual pair counts. The result is a Dataset
+// keyed by the left record's STObject, so further operators chain;
+// errors from either input surface at the action (the left input's
+// error wins when both failed).
 func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[JoinRow[V, W]] {
 	return newDataset(l.ctx, func() (state[JoinRow[V, W]], error) {
 		ls, err := l.forceFlushed()
@@ -44,6 +72,9 @@ func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[Joi
 		rs, err := r.forceFlushed()
 		if err != nil {
 			return state[JoinRow[V, W]]{}, err
+		}
+		if opts.Report == nil {
+			opts.Report = &JoinReport{}
 		}
 		pairs, err := core.Join(ls.sds, rs.sds, opts)
 		if err != nil {
@@ -55,14 +86,29 @@ func Join[V, W any](l *Dataset[V], r *Dataset[W], opts JoinOptions) *Dataset[Joi
 				Left: jp.LeftVal, RightKey: jp.RightKey, Right: jp.RightVal,
 			})
 		}
-		node := plan.NewNode("Join", "spatio-temporal")
+		node := joinPlanNode(opts, ls.base, rs.base)
 		node.ActRows = int64(len(rows))
-		node.Add(ls.base, rs.base)
 		return state[JoinRow[V, W]]{
 			sds:  core.Wrap(engine.Parallelize(l.ctx, rows, 0)),
 			base: node,
 		}, nil
 	})
+}
+
+// joinPlanNode builds the EXPLAIN node of an executed join from its
+// report: the cost-model decision (when the strategy was chosen
+// automatically) plus the actual execution counters.
+func joinPlanNode(opts JoinOptions, left, right *plan.Node) *plan.Node {
+	rep := opts.Report
+	dec := rep.Decision
+	if dec == nil {
+		// Forced strategy: no cost-model verdict to render.
+		dec = &plan.JoinDecision{Strategy: rep.Strategy, BuildRight: !rep.Swapped, EstRows: -1}
+	}
+	pred := plan.Pred{Kind: plan.Custom, Expand: opts.ProbeExpansion}
+	node := plan.JoinNode(*dec, pred, rep.Swapped, left, right)
+	node.Prop("actual: %s", rep.Summary())
+	return node
 }
 
 // SelfJoin joins the dataset with itself (identity pairs included,

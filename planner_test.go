@@ -197,3 +197,57 @@ func TestDatasetStats(t *testing.T) {
 		t.Errorf("filtered stats count = %d (base %d)", filtered.Count, sum.Count)
 	}
 }
+
+// TestJoinExplainShowsStrategy: the acceptance shape of the join
+// engine — with one side far under the broadcast budget and both
+// sides overlapping, EXPLAIN must render Join[broadcast] with the
+// cost comparison and the actual task counters, and the report must
+// prove fewer tasks than the L×R pair enumeration.
+func TestJoinExplainShowsStrategy(t *testing.T) {
+	ctx := stark.NewContext(4)
+	left := stark.Parallelize(ctx, clusteredTuples(4000), 8)
+	right := stark.Parallelize(ctx, clusteredTuples(160), 4)
+	var rep stark.JoinReport
+	joined := stark.Join(left, right, stark.JoinOptions{
+		IndexOrder: -1,
+		Report:     &rep,
+	})
+	text, err := joined.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Join[broadcast]",
+		"costs: pairs=",
+		"actual: strategy=broadcast",
+		"build_side=right",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, text)
+		}
+	}
+	if rep.Strategy != stark.JoinBroadcast {
+		t.Fatalf("strategy = %v, want broadcast", rep.Strategy)
+	}
+	if rep.Tasks >= rep.TotalPairs {
+		t.Errorf("tasks = %d, want fewer than the %d-pair enumeration", rep.Tasks, rep.TotalPairs)
+	}
+
+	// Forcing each strategy returns identical results.
+	want, err := stark.Join(left, right, stark.JoinOptions{IndexOrder: -1, Strategy: stark.JoinPairs}).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("degenerate test: no join results")
+	}
+	for _, s := range []stark.JoinStrategy{stark.JoinBroadcast, stark.JoinCoPartition, stark.JoinAuto} {
+		got, err := stark.Join(left, right, stark.JoinOptions{IndexOrder: -1, Strategy: s}).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("strategy %v: count = %d, want %d", s, got, want)
+		}
+	}
+}
