@@ -11,7 +11,8 @@
 // strategies: auto/pairs/broadcast/copartition × layout ×
 // selectivity), localindex, persist, optimizer (cost-based planner
 // vs naive execution), service (query service latency and cache hit
-// rate over HTTP), all.
+// rate over HTTP), mutation (mutable live dataset: ingest throughput
+// and snapshot query latency over HTTP), all.
 //
 // With -json, every experiment additionally writes a machine-readable
 // BENCH_<experiment>.json (into -json-dir, default the working
@@ -79,7 +80,7 @@ func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|service|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|service|mutation|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -209,6 +210,19 @@ func main() {
 				fmt.Printf("%-8s %-10s %12.3f %14.6f %12d\n", r.Structure, r.Dist, r.BuildSecs, r.QuerySecs, r.Results)
 			}
 			result = rows
+		case "mutation":
+			fmt.Println("== E11: mutable live dataset — ingest throughput × snapshot query latency ==")
+			rows, err := bench.Mutation(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %8s %10s %12s %10s %10s %10s %10s %6s %10s\n",
+				"Phase", "Batches", "Mutations", "Ops/s", "bP50 [ms]", "bP99 [ms]", "qP50 [ms]", "qP99 [ms]", "Gen", "Live")
+			for _, r := range rows {
+				fmt.Printf("%-14s %8d %10d %12.0f %10.2f %10.2f %10.2f %10.2f %6d %10d\n",
+					r.Phase, r.Batches, r.Mutations, r.OpsPerSec, r.BatchP50Ms, r.BatchP99Ms, r.QueryP50Ms, r.QueryP99Ms, r.Generation, r.LiveCount)
+			}
+			result = rows
 		case "service":
 			fmt.Println("== E9: query service — latency and cache hit rate over HTTP ==")
 			rows, err := bench.Service(cfg)
@@ -274,7 +288,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "service"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "service", "mutation"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

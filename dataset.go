@@ -55,6 +55,14 @@ type state[V any] struct {
 	// base is the EXPLAIN lineage of everything below the pending
 	// filters.
 	base *plan.Node
+	// liveProbe, when set, probes the concurrent R-link trees of a
+	// mutable-dataset snapshot (see MutableDataset.Snapshot): the
+	// planner treats the chain as already indexed and answers filters
+	// straight from the live trees instead of building a transient
+	// R-tree over the streamed rows. It describes the UNFILTERED
+	// snapshot, so flush drops it as soon as a predicate is folded
+	// into the lineage.
+	liveProbe func(pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error)
 }
 
 // pendingPred is one deferred scan filter: the execution closure plus
@@ -328,6 +336,12 @@ func vertexCount(g Geometry) int {
 func (st state[V]) flush(ctx *Context) (state[V], error) {
 	pending := st.pending
 	st.pending = nil
+	if len(pending) > 0 {
+		// The probe hook describes the unfiltered snapshot; once a
+		// predicate folds into the lineage it would answer with too
+		// many rows.
+		st.liveProbe = nil
+	}
 	for _, p := range pending {
 		pruneEnv := p.info.PruneEnv()
 		if st.idx != nil {

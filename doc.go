@@ -158,6 +158,44 @@
 // latency and hit rate through real HTTP, and its `join` experiment
 // sweeps strategy × layout × selectivity into BENCH_join.json.
 //
+// # Mutable live datasets
+//
+// MutableDataset (backed by internal/live) lifts the
+// immutable-after-registration restriction: Insert, Upsert and
+// Delete batches land while queries run. Each partition holds a
+// concurrency-safe R-tree in the R-link style — per-node locks with
+// right-sibling pointers, so a reader that arrives mid-split chases
+// the sibling pointer instead of restarting — and every entry
+// carries the generations it was added and deleted at, so a reader
+// pinned to generation G sees exactly the records live at G.
+//
+// The mutation lifecycle:
+//
+//   - a batch is validated first (duplicate IDs, inserting a live ID,
+//     empty geometry reject the whole batch with nothing applied),
+//     then applied and published atomically as the next generation;
+//   - Snapshot() pins the latest generation as an ordinary Dataset:
+//     repeatable reads regardless of later batches, planner-driven
+//     filters over incrementally maintained statistics (exact counts,
+//     grow-only MBR/temporal extents — no rescan per batch), direct
+//     probes of the concurrent trees for index-eligible predicates,
+//     and a LiveScan[name gen=N] leaf in EXPLAIN;
+//   - snapshots of one generation share one view, so plan
+//     fingerprints are stable and result caches keep hitting; a new
+//     generation yields a fresh lineage, making every older
+//     fingerprint unmatchable. Cache and statistics invalidation are
+//     structural, never timed.
+//
+// Deletes are tombstones; a vacuum rebuilds a partition tree when
+// dead entries outweigh live ones, invisibly to pinned snapshots.
+// The server exposes the whole lifecycle over HTTP: register with
+// "mutable": true, POST NDJSON mutation batches to /api/v1/ingest
+// (one request = one atomic batch = one generation; a bad line
+// rejects the whole batch), DELETE single records by ID, and read
+// generation-fresh statistics from the catalog endpoints. The
+// `mutation` bench experiment measures ingest throughput, the
+// ingest+query blend and batched deletes into BENCH_mutation.json.
+//
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:
 //
@@ -173,6 +211,9 @@
 //     spatial partitioners with extent bookkeeping;
 //   - internal/index     — the STR-packed R-tree with kNN and
 //     persistence;
+//   - internal/live      — the mutable-dataset substrate: concurrent
+//     R-link trees, generation-tagged visibility, snapshots and
+//     batch application;
 //   - internal/core      — the eager operator layer the DSL drives
 //     (filters, joins, kNN, the indexing modes, DBSCAN entry point);
 //   - internal/stats     — one-pass dataset statistics for the

@@ -90,7 +90,10 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		return compiled[V]{}, fmt.Errorf("stark: plan: stats: %w", err)
 	}
 	dec := plan.PlanFilter(sum, preds, plan.FilterOptions{
-		AlreadyIndexed: st.idx != nil,
+		// A mutable-dataset snapshot counts as already indexed: its
+		// concurrent partition trees exist and probing them is free of
+		// build cost, exactly like a persistent index.
+		AlreadyIndexed: st.idx != nil || st.liveProbe != nil,
 		IndexOrder:     st.autoIndexOrder(),
 	})
 
@@ -127,16 +130,17 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		ctx.Metrics().TasksSkipped.Add(int64(dec.Pruned))
 	}
 
-	root := plan.FilterNode(dec, preds, st.idx != nil, st.base)
+	root := plan.FilterNode(dec, preds, st.idx != nil || st.liveProbe != nil, st.base)
 
-	if st.idx != nil || dec.UseIndex {
-		// Index probe: an existing index is reused; otherwise a live
-		// R-tree is built because the cost model priced build+probe
-		// below the scan. The trees are probed with the most selective
-		// predicate's envelope and candidates are refined with every
-		// predicate, cheapest-surviving order.
+	if st.idx != nil || st.liveProbe != nil || dec.UseIndex {
+		// Index probe: an existing index (persistent trees or the
+		// concurrent trees of a mutable-dataset snapshot) is reused;
+		// otherwise a live R-tree is built because the cost model
+		// priced build+probe below the scan. The trees are probed with
+		// the most selective predicate's envelope and candidates are
+		// refined with every predicate, cheapest-surviving order.
 		idx := st.idx
-		if idx == nil {
+		if idx == nil && st.liveProbe == nil {
 			live, err := st.sds.LiveIndex(dec.IndexOrder, nil)
 			if err != nil {
 				return compiled[V]{}, fmt.Errorf("stark: plan: live index: %w", err)
@@ -157,7 +161,15 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		}
 		first := ordered[0]
 		before := ctx.Metrics().Snapshot()
-		rows, err := idx.FilterPartitions(first.q, first.info.PruneEnv(), refineAll, visit)
+		var rows []Tuple[V]
+		var err error
+		if st.liveProbe != nil {
+			rows, err = st.liveProbe(first.info.PruneEnv(), func(key STObject) bool {
+				return refineAll(key, first.q)
+			}, visit)
+		} else {
+			rows, err = idx.FilterPartitions(first.q, first.info.PruneEnv(), refineAll, visit)
+		}
 		if err != nil {
 			return compiled[V]{}, fmt.Errorf("stark: plan: index probe: %w", err)
 		}

@@ -125,7 +125,7 @@ func localIndexedSelfJoin(items []Tuple, eps float64, order int, emit func(i, j 
 	}
 	tree := index.New(order)
 	for i, kv := range items {
-		tree.Insert(kv.Key.Envelope(), int32(i))
+		_ = tree.Insert(kv.Key.Envelope(), int32(i))
 	}
 	tree.Build()
 	var buf []int32
@@ -250,7 +250,7 @@ func replicate(ctx *engine.Context, tuples []Tuple, cfg SelfJoinConfig) ([][]rep
 		extTree := index.New(index.DefaultOrder)
 		for i := 0; i < numParts; i++ {
 			if ext := vor.Extent(i); !ext.IsEmpty() {
-				extTree.Insert(ext, int32(i))
+				_ = extTree.Insert(ext, int32(i))
 			}
 		}
 		extTree.Build()
@@ -400,7 +400,7 @@ func spatialSparkUnpartitioned(ctx *engine.Context, tuples []Tuple, cfg SelfJoin
 		// inefficiency.
 		tree := index.New(cfg.IndexOrder)
 		for i, kv := range rp {
-			tree.Insert(kv.Key.Envelope(), int32(i))
+			_ = tree.Insert(kv.Key.Envelope(), int32(i))
 		}
 		tree.Build()
 		var n int64

@@ -1,0 +1,279 @@
+package bench
+
+// The mutation experiment measures mutable live datasets end to end
+// over HTTP: NDJSON batches against POST /api/v1/ingest, with
+// concurrent queries reading snapshot-pinned generations. Three
+// phases:
+//
+//   - ingest:       sequential insert batches into an empty mutable
+//     dataset — the write path's baseline throughput (R-link tree
+//     inserts + incremental stats + generation publish per batch).
+//   - ingest+query: upsert batches land while concurrent clients
+//     query the latest snapshot — the serving-shaped blend. Every
+//     batch bumps the generation, so queries re-plan instead of
+//     hitting the result cache; their latency prices the snapshot
+//     machinery, not cached bytes.
+//   - delete:       batch deletes of half the records — tombstoning
+//     plus the vacuum rebuilds it triggers.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"stark/internal/engine"
+	"stark/internal/server"
+	"stark/internal/workload"
+)
+
+// MutationRow is one phase of the mutation experiment.
+type MutationRow struct {
+	Phase     string  `json:"phase"`
+	Batches   int     `json:"batches"`
+	BatchSize int     `json:"batchSize"`
+	Mutations int     `json:"mutations"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	// Batch latency of the ingest requests.
+	BatchP50Ms float64 `json:"batchP50Ms"`
+	BatchP99Ms float64 `json:"batchP99Ms"`
+	// Concurrent query latency (ingest+query phase only).
+	Queries    int     `json:"queries,omitempty"`
+	QueryP50Ms float64 `json:"queryP50Ms,omitempty"`
+	QueryP99Ms float64 `json:"queryP99Ms,omitempty"`
+	// Dataset state after the phase.
+	Generation uint64 `json:"generation"`
+	LiveCount  int64  `json:"liveCount"`
+}
+
+// mutationBatchNDJSON renders one ingest batch over events[lo:hi].
+func mutationBatchNDJSON(events []workload.Event, lo, hi int, op string) []byte {
+	var b bytes.Buffer
+	for _, ev := range events[lo:hi] {
+		line, _ := json.Marshal(map[string]interface{}{
+			"op": op, "id": ev.ID, "category": ev.Category, "time": ev.Time, "wkt": ev.WKT,
+		})
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// mutationDeleteNDJSON renders one delete batch for events[lo:hi].
+func mutationDeleteNDJSON(events []workload.Event, lo, hi int) []byte {
+	var b bytes.Buffer
+	for _, ev := range events[lo:hi] {
+		fmt.Fprintf(&b, `{"op":"delete","id":%d}`+"\n", ev.ID)
+	}
+	return b.Bytes()
+}
+
+type mutationIngestResult struct {
+	Generation uint64 `json:"generation"`
+	Count      int64  `json:"count"`
+}
+
+func postIngest(client *http.Client, base string, body []byte) (mutationIngestResult, error) {
+	resp, err := client.Post(base+"/api/v1/ingest?dataset=live", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		return mutationIngestResult{}, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return mutationIngestResult{}, fmt.Errorf("ingest status %d: %s", resp.StatusCode, msg)
+	}
+	var r mutationIngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return mutationIngestResult{}, err
+	}
+	return r, nil
+}
+
+// percentiles summarises a latency sample as (p50, p99).
+func percentiles(ds []time.Duration) (p50, p99 float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return ms(sorted[len(sorted)/2]), ms(sorted[len(sorted)*99/100])
+}
+
+// Mutation runs the mutable-dataset experiment and returns one row
+// per phase.
+func Mutation(cfg Config) ([]MutationRow, error) {
+	cfg = cfg.withDefaults()
+	ctx := engine.NewContext(cfg.Parallelism)
+	if cfg.Observe != nil {
+		cfg.Observe(ctx)
+	}
+	srv := server.NewService(ctx, server.Options{})
+	if err := srv.Register(server.DatasetSpec{
+		Name: "live", Mutable: true, Partitioner: "grid:8", Width: 1000, Height: 1000,
+	}); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	batchSize := 500
+	if cfg.N < 4*batchSize {
+		batchSize = cfg.N/4 + 1
+	}
+	batches := cfg.N / batchSize
+	if batches < 2 {
+		batches = 2
+	}
+	events := workload.Events(workload.Config{
+		N: batches * batchSize, Seed: cfg.Seed, Dist: cfg.Dist,
+		Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	// Upsert payload: the same IDs at fresh positions, so the second
+	// phase replaces every record it touches.
+	moved := workload.Events(workload.Config{
+		N: batches * batchSize, Seed: cfg.Seed + 1, Dist: cfg.Dist,
+		Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	for i := range moved {
+		moved[i].ID = events[i].ID
+	}
+
+	var rows []MutationRow
+	runBatches := func(phase string, bodies [][]byte) (MutationRow, error) {
+		lat := make([]time.Duration, len(bodies))
+		var last mutationIngestResult
+		start := time.Now()
+		for i, body := range bodies {
+			t0 := time.Now()
+			res, err := postIngest(client, ts.URL, body)
+			if err != nil {
+				return MutationRow{}, fmt.Errorf("%s batch %d: %w", phase, i, err)
+			}
+			lat[i] = time.Since(t0)
+			last = res
+		}
+		wall := time.Since(start).Seconds()
+		p50, p99 := percentiles(lat)
+		muts := 0
+		for _, b := range bodies {
+			muts += bytes.Count(b, []byte("\n"))
+		}
+		return MutationRow{
+			Phase: phase, Batches: len(bodies), BatchSize: batchSize,
+			Mutations: muts, OpsPerSec: float64(muts) / wall,
+			BatchP50Ms: p50, BatchP99Ms: p99,
+			Generation: last.Generation, LiveCount: last.Count,
+		}, nil
+	}
+
+	// Phase 1: sequential inserts into the empty dataset.
+	bodies := make([][]byte, batches)
+	for k := range bodies {
+		bodies[k] = mutationBatchNDJSON(events, k*batchSize, (k+1)*batchSize, "insert")
+	}
+	row, err := runBatches("ingest", bodies)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	// Phase 2: upsert batches with concurrent snapshot queries.
+	for k := range bodies {
+		bodies[k] = mutationBatchNDJSON(moved, k*batchSize, (k+1)*batchSize, "upsert")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	queryBodies := make([][]byte, 16)
+	for i := range queryBodies {
+		q := queryWindow(rng)
+		q.Dataset = "live"
+		b, err := json.Marshal(q)
+		if err != nil {
+			return nil, err
+		}
+		queryBodies[i] = b
+	}
+	var (
+		done     bool
+		doneMu   sync.Mutex
+		qwg      sync.WaitGroup
+		qmu      sync.Mutex
+		qlat     []time.Duration
+		firstErr error
+	)
+	readers := ctx.Parallelism()
+	for r := 0; r < readers; r++ {
+		qwg.Add(1)
+		go func(r int) {
+			defer qwg.Done()
+			for i := r; ; i++ {
+				doneMu.Lock()
+				stop := done
+				doneMu.Unlock()
+				if stop {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/api/v1/query", "application/json",
+					bytes.NewReader(queryBodies[i%len(queryBodies)]))
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					if resp.StatusCode != http.StatusOK &&
+						resp.StatusCode != http.StatusTooManyRequests &&
+						resp.StatusCode != http.StatusServiceUnavailable {
+						err = fmt.Errorf("query status %d", resp.StatusCode)
+					}
+				}
+				qmu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					qmu.Unlock()
+					return
+				}
+				qlat = append(qlat, time.Since(t0))
+				qmu.Unlock()
+			}
+		}(r)
+	}
+	row, err = runBatches("ingest+query", bodies)
+	doneMu.Lock()
+	done = true
+	doneMu.Unlock()
+	qwg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	row.Queries = len(qlat)
+	row.QueryP50Ms, row.QueryP99Ms = percentiles(qlat)
+	rows = append(rows, row)
+
+	// Phase 3: delete the first half, batch by batch (the dead/live
+	// crossover triggers vacuum rebuilds along the way).
+	half := batches / 2
+	if half == 0 {
+		half = 1
+	}
+	bodies = bodies[:0]
+	for k := 0; k < half; k++ {
+		bodies = append(bodies, mutationDeleteNDJSON(events, k*batchSize, (k+1)*batchSize))
+	}
+	row, err = runBatches("delete", bodies)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}

@@ -82,7 +82,7 @@ func dbscanWithCore(points []geom.Point, eps float64, minPts int) (Result, []boo
 
 	tree := index.New(16)
 	for i, p := range points {
-		tree.Insert(p.Envelope(), int32(i))
+		_ = tree.Insert(p.Envelope(), int32(i))
 	}
 	tree.Build()
 	epsSq := eps * eps

@@ -134,6 +134,22 @@ func (s *SpatialDataset[V]) Stats(gridN int) (*stats.Summary, error) {
 	return sum, nil
 }
 
+// SeedStats primes the statistics cache with a pre-computed summary
+// (stored under the default grid resolution). Mutable datasets use it
+// to hand their incrementally maintained statistics to the planner,
+// so compiling a query against a snapshot never rescans the data.
+func (s *SpatialDataset[V]) SeedStats(sum *stats.Summary) {
+	if sum == nil {
+		return
+	}
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if s.statsCache == nil {
+		s.statsCache = make(map[int]*stats.Summary, 1)
+	}
+	s.statsCache[stats.DefaultGridSize] = sum
+}
+
 // relevantPartitions returns the partitions a query with the given
 // envelope must visit, counting pruned partitions in the metrics.
 // Without a partitioner every partition is visited.

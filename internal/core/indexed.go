@@ -85,7 +85,7 @@ func (s *SpatialDataset[V]) Index(order int, p sp) (*IndexedDataset[V], error) {
 func buildIndexedPartition[V any](in []Tuple[V], order int, metrics *engine.Metrics) IndexedPartition[V] {
 	tree := index.New(order)
 	for i, kv := range in {
-		tree.Insert(kv.Key.Envelope(), int32(i))
+		_ = tree.Insert(kv.Key.Envelope(), int32(i))
 	}
 	tree.Build()
 	_ = metrics // build cost is measured by wall time, not a counter

@@ -271,7 +271,7 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 	if order > 0 {
 		tree = index.New(order)
 		for i, kv := range right {
-			tree.Insert(kv.Key.Envelope(), int32(i))
+			_ = tree.Insert(kv.Key.Envelope(), int32(i))
 		}
 		tree.Build()
 		rep.TreesBuilt = 1
@@ -435,7 +435,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 			if tree == nil {
 				tree = index.New(order)
 				for i, kv := range bucket {
-					tree.Insert(kv.Key.Envelope(), int32(i))
+					_ = tree.Insert(kv.Key.Envelope(), int32(i))
 				}
 				tree.Build()
 				treesBuilt.Add(1)
@@ -484,7 +484,7 @@ func (s *rightSlot[W]) load(r *SpatialDataset[W], ri, order int, treesBuilt *ato
 		}
 		t := index.New(order)
 		for i, kv := range s.items {
-			t.Insert(kv.Key.Envelope(), int32(i))
+			_ = t.Insert(kv.Key.Envelope(), int32(i))
 		}
 		t.Build()
 		s.tree = t

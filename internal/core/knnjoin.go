@@ -53,7 +53,7 @@ func KNNJoin[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], k int) ([]KNN
 		ext := geom.EmptyEnvelope()
 		for i, kv := range items {
 			env := kv.Key.Envelope()
-			tree.Insert(env, int32(i))
+			_ = tree.Insert(env, int32(i))
 			ext = ext.ExpandToInclude(env)
 		}
 		tree.Build()

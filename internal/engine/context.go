@@ -40,6 +40,8 @@ type Metrics struct {
 	IndexProbes       atomic.Int64 // R-tree queries issued
 	CandidatesRefined atomic.Int64 // index candidates checked exactly
 	StatsRecords      atomic.Int64 // records summarised by planner statistics passes
+	LiveBatches       atomic.Int64 // mutation batches applied to live datasets
+	LiveMutations     atomic.Int64 // individual insert/upsert/delete operations applied
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -52,6 +54,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		IndexProbes:       m.IndexProbes.Load(),
 		CandidatesRefined: m.CandidatesRefined.Load(),
 		StatsRecords:      m.StatsRecords.Load(),
+		LiveBatches:       m.LiveBatches.Load(),
+		LiveMutations:     m.LiveMutations.Load(),
 	}
 }
 
@@ -64,6 +68,8 @@ func (m *Metrics) Reset() {
 	m.IndexProbes.Store(0)
 	m.CandidatesRefined.Store(0)
 	m.StatsRecords.Store(0)
+	m.LiveBatches.Store(0)
+	m.LiveMutations.Store(0)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -75,6 +81,8 @@ type MetricsSnapshot struct {
 	IndexProbes       int64
 	CandidatesRefined int64
 	StatsRecords      int64
+	LiveBatches       int64
+	LiveMutations     int64
 }
 
 // NewContext returns a context with the given executor parallelism;

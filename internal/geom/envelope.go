@@ -1,6 +1,8 @@
 package geom
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -31,6 +33,33 @@ func NewEnvelope(x1, y1, x2, y2 float64) Envelope {
 
 // IsEmpty reports whether the envelope contains no points.
 func (e Envelope) IsEmpty() bool { return e.MinX > e.MaxX || e.MinY > e.MaxY }
+
+// MarshalJSON encodes the empty envelope as null: its ±Inf sentinel
+// bounds are not representable in JSON, and without this every
+// structure embedding an envelope (planner summaries with empty
+// partitions, most visibly) fails to serialise.
+func (e Envelope) MarshalJSON() ([]byte, error) {
+	if e.IsEmpty() {
+		return []byte("null"), nil
+	}
+	type env Envelope // plain struct encoding, no marshaler recursion
+	return json.Marshal(env(e))
+}
+
+// UnmarshalJSON decodes null back to the canonical empty envelope.
+func (e *Envelope) UnmarshalJSON(data []byte) error {
+	if bytes.Equal(bytes.TrimSpace(data), []byte("null")) {
+		*e = EmptyEnvelope()
+		return nil
+	}
+	type env Envelope
+	var v env
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*e = Envelope(v)
+	return nil
+}
 
 // Width returns the horizontal extent (0 when empty).
 func (e Envelope) Width() float64 {

@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -213,5 +214,38 @@ func TestMultiPoint(t *testing.T) {
 	env := mp.Envelope()
 	if env.MinX != 0 || env.MaxX != 2 {
 		t.Errorf("envelope = %v", env)
+	}
+}
+
+func TestEnvelopeJSONRoundTrip(t *testing.T) {
+	// The empty envelope's ±Inf bounds are not valid JSON numbers; it
+	// must round-trip through null (planner summaries with empty
+	// partitions embed it).
+	b, err := json.Marshal(EmptyEnvelope())
+	if err != nil {
+		t.Fatalf("marshal empty: %v", err)
+	}
+	if string(b) != "null" {
+		t.Fatalf("empty envelope marshals as %s, want null", b)
+	}
+	var e Envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatalf("unmarshal null: %v", err)
+	}
+	if !e.IsEmpty() {
+		t.Fatalf("null did not decode to the empty envelope: %+v", e)
+	}
+
+	orig := NewEnvelope(1, 2, 3, 4)
+	b, err = json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip %+v != %+v", got, orig)
 	}
 }

@@ -122,11 +122,14 @@ func Load(fs *dfs.FileSystem, path string) (*RTree, error) {
 
 // BuildFromEnvelopes bulk-loads a tree over envs, using the slice
 // index as entry ID — the "live indexing" constructor: a partition's
-// contents are put into an R-tree before evaluating a predicate.
+// contents are put into an R-tree before evaluating a predicate. Like
+// Unmarshal it fills the entry table directly: the tree is fresh by
+// construction, so Insert's post-Build error path cannot apply.
 func BuildFromEnvelopes(order int, envs []geom.Envelope) *RTree {
 	t := New(order)
+	t.entries = make([]Entry, len(envs))
 	for i, e := range envs {
-		t.Insert(e, int32(i))
+		t.entries[i] = Entry{Env: e, ID: int32(i)}
 	}
 	t.Build()
 	return t

@@ -63,13 +63,21 @@ func (t *RTree) Len() int { return len(t.entries) }
 // Built reports whether Build has run.
 func (t *RTree) Built() bool { return t.built }
 
-// Insert adds an entry. It panics when called after Build, matching
-// the build-once STRtree contract.
-func (t *RTree) Insert(env geom.Envelope, id int32) {
+// ErrBuilt reports an Insert on a tree that Build has already packed.
+// The STR layout is computed from the complete entry set, so a packed
+// tree cannot absorb additions; datasets that mutate after indexing
+// belong in the concurrent live tree (internal/live).
+var ErrBuilt = errors.New("index: Insert after Build (bulk-loaded STR trees are immutable; use internal/live for mutable data)")
+
+// Insert adds an entry. It returns ErrBuilt when called after Build:
+// the build-once STRtree contract is kept, but misuse is recoverable
+// instead of panicking.
+func (t *RTree) Insert(env geom.Envelope, id int32) error {
 	if t.built {
-		panic("index: Insert after Build")
+		return ErrBuilt
 	}
 	t.entries = append(t.entries, Entry{Env: env, ID: id})
+	return nil
 }
 
 // Build packs the inserted entries into the tree using the STR

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -73,14 +74,28 @@ func TestBuildIdempotentAndGuards(t *testing.T) {
 	if !tr.Built() {
 		t.Error("must be built")
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("Insert after Build must panic")
-			}
-		}()
-		tr.Insert(geom.NewEnvelope(0, 0, 1, 1), 1)
-	}()
+	if err := tr.Insert(geom.NewEnvelope(0, 0, 1, 1), 1); !errors.Is(err, ErrBuilt) {
+		t.Errorf("Insert after Build = %v, want ErrBuilt", err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("rejected Insert changed Len to %d", tr.Len())
+	}
+	// Round trip through the persist format after a rejected Insert:
+	// the marshalled entry table must be unaffected.
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Errorf("round trip Len = %d, want 1", back.Len())
+	}
+	if err := back.Insert(geom.NewEnvelope(2, 2, 3, 3), 9); !errors.Is(err, ErrBuilt) {
+		t.Errorf("Insert after Unmarshal = %v, want ErrBuilt", err)
+	}
 	unbuilt := New(5)
 	func() {
 		defer func() {

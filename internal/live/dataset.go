@@ -1,0 +1,363 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stark/internal/engine"
+	"stark/internal/geom"
+	"stark/internal/partition"
+	"stark/internal/stats"
+	"stark/internal/stobject"
+)
+
+// vacuumFloor is the minimum tombstone count before a partition tree
+// is considered for rebuilding.
+const vacuumFloor = 64
+
+// Record is one mutable-dataset record: a caller-chosen ID, the
+// spatio-temporal key, and the payload.
+type Record[V any] struct {
+	ID    int64
+	Key   stobject.STObject
+	Value V
+}
+
+// OpKind selects what a mutation operation does.
+type OpKind uint8
+
+const (
+	// OpInsert adds a record; the ID must not be live.
+	OpInsert OpKind = iota + 1
+	// OpUpsert replaces the record with the same ID, or inserts it.
+	OpUpsert
+	// OpDelete removes the record by ID; a missing ID is counted, not
+	// an error.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one mutation in a batch.
+type Op[V any] struct {
+	Kind OpKind
+	Rec  Record[V]
+}
+
+// Insert builds an insert op.
+func Insert[V any](id int64, key stobject.STObject, v V) Op[V] {
+	return Op[V]{Kind: OpInsert, Rec: Record[V]{ID: id, Key: key, Value: v}}
+}
+
+// Upsert builds an upsert op.
+func Upsert[V any](id int64, key stobject.STObject, v V) Op[V] {
+	return Op[V]{Kind: OpUpsert, Rec: Record[V]{ID: id, Key: key, Value: v}}
+}
+
+// Delete builds a delete op.
+func Delete[V any](id int64) Op[V] {
+	return Op[V]{Kind: OpDelete, Rec: Record[V]{ID: id}}
+}
+
+// BatchResult reports what one Apply did. Gen is the generation the
+// batch published; snapshots taken at Gen or later see every effect.
+type BatchResult struct {
+	Inserted int    `json:"inserted"`
+	Replaced int    `json:"replaced"`
+	Deleted  int    `json:"deleted"`
+	Missing  int    `json:"missing"`
+	Gen      uint64 `json:"generation"`
+}
+
+// viewState is the published, immutable snapshot state: the
+// generation, the partition trees as of that generation, and the
+// statistics summary. Swapped atomically as one value so a reader can
+// never pair the generation of one batch with the trees or stats of
+// another.
+type viewState[V any] struct {
+	gen   uint64
+	trees []*tree[V]
+	stats *stats.Summary
+}
+
+// Dataset is a mutable spatio-temporal dataset: records keyed by
+// int64 ID, spatially partitioned, each partition indexed by a
+// concurrent R-link tree. Mutations arrive in batches; each batch
+// publishes a new generation atomically, and Snapshot pins a
+// generation so readers stream a consistent view while later batches
+// land.
+type Dataset[V any] struct {
+	name  string
+	ctx   *engine.Context
+	sp    partition.SpatialPartitioner // nil = single partition
+	order int
+
+	mu     sync.Mutex // serialises writer batches and vacuum
+	trees  []*tree[V]
+	partOf map[int64]int // live ID -> partition; writer-only
+	inc    *stats.Incremental
+
+	view atomic.Pointer[viewState[V]]
+}
+
+// NewDataset returns an empty mutable dataset. sp selects the spatial
+// layout (nil = one partition); order is the live-tree node capacity
+// (<= 0 selects DefaultOrder).
+func NewDataset[V any](ctx *engine.Context, name string, sp partition.SpatialPartitioner, order int) *Dataset[V] {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	n := 1
+	if sp != nil {
+		n = sp.NumPartitions()
+	}
+	d := &Dataset[V]{
+		name:   name,
+		ctx:    ctx,
+		sp:     sp,
+		order:  order,
+		trees:  make([]*tree[V], n),
+		partOf: make(map[int64]int),
+		inc:    stats.NewIncremental(n, 0),
+	}
+	for i := range d.trees {
+		d.trees[i] = newTree[V](order)
+	}
+	d.view.Store(&viewState[V]{gen: 0, trees: append([]*tree[V](nil), d.trees...), stats: d.inc.Summary()})
+	return d
+}
+
+// Name returns the dataset name.
+func (d *Dataset[V]) Name() string { return d.name }
+
+// Context returns the owning execution context.
+func (d *Dataset[V]) Context() *engine.Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[V]) NumPartitions() int { return len(d.view.Load().trees) }
+
+// Order returns the live-tree node capacity.
+func (d *Dataset[V]) Order() int { return d.order }
+
+// Generation returns the latest published generation.
+func (d *Dataset[V]) Generation() uint64 { return d.view.Load().gen }
+
+// Count returns the live record count at the latest generation.
+func (d *Dataset[V]) Count() int64 { return d.view.Load().stats.Count }
+
+func (d *Dataset[V]) partitionFor(key stobject.STObject) int {
+	if d.sp == nil {
+		return 0
+	}
+	return d.sp.PartitionFor(key)
+}
+
+// Apply validates and applies one mutation batch, publishing a new
+// generation. The batch is atomic: validation runs BEFORE any
+// mutation (so a rejected batch changes nothing), and the generation
+// is published after every op landed (so concurrent snapshots see all
+// of the batch or none of it). Returns what happened per op kind.
+func (d *Dataset[V]) Apply(ops []Op[V]) (BatchResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	gen := d.view.Load().gen + 1
+	res := BatchResult{Gen: gen}
+
+	// Validation pass: after this loop the apply loop cannot fail, so
+	// a batch can never be half-applied.
+	seen := make(map[int64]struct{}, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert, OpUpsert:
+			if op.Rec.Key.IsEmpty() {
+				return BatchResult{}, fmt.Errorf("live: op %d (%s id=%d): empty geometry", i, op.Kind, op.Rec.ID)
+			}
+		case OpDelete:
+		default:
+			return BatchResult{}, fmt.Errorf("live: op %d: unknown kind %d", i, op.Kind)
+		}
+		if _, dup := seen[op.Rec.ID]; dup {
+			return BatchResult{}, fmt.Errorf("live: op %d: duplicate id %d in batch", i, op.Rec.ID)
+		}
+		seen[op.Rec.ID] = struct{}{}
+		if op.Kind == OpInsert {
+			if _, exists := d.partOf[op.Rec.ID]; exists {
+				return BatchResult{}, fmt.Errorf("live: op %d: insert of existing id %d (use upsert)", i, op.Rec.ID)
+			}
+		}
+	}
+
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			d.applyInsert(op.Rec, gen)
+			res.Inserted++
+		case OpUpsert:
+			if d.applyDelete(op.Rec.ID, gen) {
+				res.Replaced++
+			} else {
+				res.Inserted++
+			}
+			d.applyInsert(op.Rec, gen)
+		case OpDelete:
+			if d.applyDelete(op.Rec.ID, gen) {
+				res.Deleted++
+			} else {
+				res.Missing++
+			}
+		}
+	}
+
+	d.vacuum()
+	d.publish(gen)
+
+	m := d.ctx.Metrics()
+	m.LiveBatches.Add(1)
+	m.LiveMutations.Add(int64(len(ops)))
+	return res, nil
+}
+
+func (d *Dataset[V]) applyInsert(rec Record[V], gen uint64) {
+	p := d.partitionFor(rec.Key)
+	d.trees[p].insert(Entry[V]{ID: rec.ID, Key: rec.Key, Value: rec.Value, addGen: gen})
+	d.partOf[rec.ID] = p
+	d.inc.ApplyInsert(p, rec.Key)
+}
+
+func (d *Dataset[V]) applyDelete(id int64, gen uint64) bool {
+	p, ok := d.partOf[id]
+	if !ok {
+		return false
+	}
+	old, ok := d.trees[p].delete(id, gen)
+	if ok {
+		d.inc.ApplyDelete(p, old.Key)
+	}
+	delete(d.partOf, id)
+	return ok
+}
+
+// vacuum rebuilds partition trees whose tombstones outnumber their
+// live entries (past a floor). The rebuilt tree replaces the old one
+// only in the writer's working set and the NEXT published view; the
+// old structure is never touched again, so snapshots holding it keep
+// reading exactly what they pinned.
+func (d *Dataset[V]) vacuum() {
+	for p, t := range d.trees {
+		if t.dead >= vacuumFloor && t.dead > t.live {
+			d.trees[p] = t.rebuild()
+		}
+	}
+}
+
+// publish swaps in the new view: generation, tree set and a
+// deep-copied stats summary, as one atomic pointer store.
+func (d *Dataset[V]) publish(gen uint64) {
+	d.view.Store(&viewState[V]{
+		gen:   gen,
+		trees: append([]*tree[V](nil), d.trees...),
+		stats: d.inc.Summary(),
+	})
+}
+
+// ---- Snapshots ----
+
+// Snapshot is a pinned, immutable view of the dataset at one
+// generation. Reads through a snapshot are repeatable: batches
+// published after the pin are invisible, including structural
+// replacement by vacuum.
+type Snapshot[V any] struct {
+	d *Dataset[V]
+	v *viewState[V]
+}
+
+// Snapshot pins the latest published generation.
+func (d *Dataset[V]) Snapshot() *Snapshot[V] {
+	return &Snapshot[V]{d: d, v: d.view.Load()}
+}
+
+// Gen returns the pinned generation.
+func (s *Snapshot[V]) Gen() uint64 { return s.v.gen }
+
+// Count returns the live record count at the pinned generation.
+func (s *Snapshot[V]) Count() int64 { return s.v.stats.Count }
+
+// NumPartitions returns the partition count.
+func (s *Snapshot[V]) NumPartitions() int { return len(s.v.trees) }
+
+// Stats returns the statistics summary as of the pinned generation.
+// The summary is immutable once published; callers must not modify
+// it.
+func (s *Snapshot[V]) Stats() *stats.Summary { return s.v.stats }
+
+// everything is an envelope no finite envelope fails to intersect.
+var everything = geom.Envelope{MinX: -1e308, MinY: -1e308, MaxX: 1e308, MaxY: 1e308}
+
+// Tuples materialises the snapshot as a streaming engine dataset: one
+// partition per tree, each scanned through the pinned generation
+// filter. Every call creates a NEW engine dataset (fresh lineage ID),
+// which is what turns generation bumps into plan-fingerprint changes;
+// callers that want a stable fingerprint for an unchanged generation
+// must memoise the result per generation (the public DSL does).
+func (s *Snapshot[V]) Tuples() *engine.Dataset[engine.Pair[stobject.STObject, V]] {
+	v := s.v
+	name := fmt.Sprintf("%s@g%d", s.d.name, v.gen)
+	return engine.NewStream(s.d.ctx, name, len(v.trees), func(p int, yield func(engine.Pair[stobject.STObject, V]) bool) error {
+		v.trees[p].search(everything, v.gen, true, func(e Entry[V]) bool {
+			return yield(engine.NewPair(e.Key, e.Value))
+		})
+		return nil
+	})
+}
+
+// FilterPartitions probes the live trees of the given partitions with
+// the prune envelope, refines candidates with the exact predicate,
+// and returns the surviving tuples per visited partition (aligned
+// with visit). It is the live counterpart of the persistent
+// LiveIndex probe path and charges the same engine metrics.
+func (s *Snapshot[V]) FilterPartitions(
+	pruneEnv geom.Envelope,
+	refine func(key stobject.STObject, value V) bool,
+	visit []int,
+) ([][]engine.Pair[stobject.STObject, V], error) {
+	v := s.v
+	rows := make([][]engine.Pair[stobject.STObject, V], len(visit))
+	metrics := s.d.ctx.Metrics()
+	tasks := make([]int, len(visit))
+	for i := range visit {
+		tasks[i] = i
+	}
+	err := s.d.ctx.RunJob(tasks, func(i int) error {
+		p := visit[i]
+		var out []engine.Pair[stobject.STObject, V]
+		var probed, refined int64
+		v.trees[p].search(pruneEnv, v.gen, false, func(e Entry[V]) bool {
+			refined++
+			if refine(e.Key, e.Value) {
+				out = append(out, engine.NewPair(e.Key, e.Value))
+			}
+			return true
+		})
+		probed++
+		metrics.IndexProbes.Add(probed)
+		metrics.CandidatesRefined.Add(refined)
+		rows[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

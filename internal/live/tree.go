@@ -1,0 +1,423 @@
+// Package live implements mutable datasets: a concurrency-safe R-tree
+// that absorbs inserts, upserts and deletes in batches while queries
+// stream a consistent snapshot, plus the MutableDataset that wires the
+// tree into the engine, the statistics layer and the planner.
+//
+// The tree adapts the B-link-tree technique of Lehman and Yao (and its
+// R-tree variant by Kornacker and Banks) so that readers never block
+// on — and never restart because of — node splits:
+//
+//   - every node carries a right-sibling pointer and a node sequence
+//     number (NSN);
+//   - a parent's reference to a child records the NSN the child had
+//     when the reference was written;
+//   - a split keeps the original node in place, moves the upper half
+//     of its contents into a new right sibling, hands the sibling the
+//     node's OLD sequence number and stamps the node itself with a
+//     fresh one.
+//
+// A reader that followed a reference expecting sequence number E and
+// finds a node stamped differently knows the node has split since the
+// reference was written: the moved contents live somewhere to the
+// right. It keeps walking right pointers, visiting each node once,
+// and stops after the first node stamped E — because the old number
+// propagates to the rightmost node of any split chain, that node is
+// always the end of the moved run. Readers therefore hold at most one
+// read latch at a time and never revisit or miss an entry, no matter
+// how many splits land mid-flight.
+//
+// Visibility is decided per entry, not per node: every entry records
+// the generation that added it and (once deleted) the generation that
+// removed it, so a reader pinned to generation g filters to
+// addGen <= g < delGen. Deletes are tombstones; space is reclaimed by
+// rebuilding a partition's tree wholesale (see Dataset), never by
+// mutating structure a snapshot may still be reading.
+//
+// Concurrency contract: any number of readers, ONE writer at a time
+// (the Dataset serialises batches with a mutex). The writer descends
+// latch-free — it is the only mutator — and takes a node's write
+// latch only while changing that node, so readers are excluded
+// exactly from the nodes being restructured.
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stark/internal/geom"
+	"stark/internal/stobject"
+)
+
+// DefaultOrder is the default node capacity of the live tree.
+const DefaultOrder = 16
+
+// Entry is one record version stored in the tree.
+type Entry[V any] struct {
+	ID    int64
+	Key   stobject.STObject
+	Value V
+
+	env geom.Envelope // cached Key.Envelope()
+
+	// addGen is the generation whose batch inserted the entry; delGen
+	// is the generation that tombstoned it (0 while live). An entry is
+	// visible at generation g iff addGen <= g && (delGen == 0 || delGen > g).
+	addGen uint64
+	delGen uint64
+}
+
+func (e *Entry[V]) visibleAt(gen uint64) bool {
+	return e.addGen <= gen && (e.delGen == 0 || e.delGen > gen)
+}
+
+// childRef is a parent's latch-protected reference to a child: the
+// pointer, the child's envelope, and the sequence number the child
+// carried when the reference was last written. env and nsn are
+// updated together under the parent's write latch, so a reader sees a
+// consistent (possibly stale) pair and the nsn tells it how stale.
+type childRef[V any] struct {
+	ptr *node[V]
+	env geom.Envelope
+	nsn uint64
+}
+
+type node[V any] struct {
+	mu  sync.RWMutex
+	nsn uint64
+	env geom.Envelope
+	// right links a node to the sibling its last split created,
+	// forming the chase chain readers follow. At the leaf level the
+	// pointers additionally chain ALL leaves left to right, because
+	// every leaf except the first is born from a split.
+	right   *node[V]
+	refs    []childRef[V] // internal nodes; nil for leaves
+	entries []Entry[V]    // leaves; nil for internal nodes
+}
+
+func (n *node[V]) isLeaf() bool { return n.refs == nil }
+
+// rootRef pairs the root pointer with its expected sequence number so
+// readers enter the tree with the same (ptr, nsn) contract they use
+// for every other node. Swapped atomically on root splits.
+type rootRef[V any] struct {
+	n   *node[V]
+	nsn uint64
+}
+
+// tree is one partition's concurrent R-link tree. All exported-like
+// mutating methods assume the caller holds the dataset writer mutex.
+type tree[V any] struct {
+	order int
+	nsn   uint64 // writer-only sequence counter
+
+	root     atomic.Pointer[rootRef[V]]
+	leftLeaf *node[V] // head of the leaf chain; never changes
+
+	// owners maps a live (non-tombstoned) entry ID to the leaf holding
+	// it, so delete/upsert find their target without a tree descent.
+	// Writer-only.
+	owners map[int64]*node[V]
+
+	live int // entries with delGen == 0
+	dead int // tombstones awaiting vacuum
+}
+
+func newTree[V any](order int) *tree[V] {
+	if order < 4 {
+		order = DefaultOrder
+	}
+	t := &tree[V]{order: order, owners: make(map[int64]*node[V])}
+	leaf := &node[V]{nsn: t.nextNSN(), env: geom.EmptyEnvelope()}
+	t.leftLeaf = leaf
+	t.root.Store(&rootRef[V]{n: leaf, nsn: leaf.nsn})
+	return t
+}
+
+func (t *tree[V]) nextNSN() uint64 {
+	t.nsn++
+	return t.nsn
+}
+
+// ---- Reader side ----
+
+// search streams every entry visible at gen whose envelope intersects
+// q to yield, stopping early when yield returns false (the return
+// value reports whether the walk ran to completion). all == true
+// bypasses the envelope test and streams the whole partition. Entries
+// are copied out of a leaf under its read latch and yielded after the
+// latch is released, so yield may do arbitrary work.
+func (t *tree[V]) search(q geom.Envelope, gen uint64, all bool, yield func(e Entry[V]) bool) bool {
+	rr := t.root.Load()
+	type frame struct {
+		n   *node[V]
+		nsn uint64
+	}
+	stack := []frame{{rr.n, rr.nsn}}
+	var out []Entry[V]
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur, expected := f.n, f.nsn
+		for cur != nil {
+			cur.mu.RLock()
+			// The stop decision and the node's contents are read under
+			// the SAME latch hold: if the node splits after we release,
+			// the entries that moved right were already seen here.
+			last := cur.nsn == expected
+			next := cur.right
+			if cur.isLeaf() {
+				for i := range cur.entries {
+					e := &cur.entries[i]
+					if !e.visibleAt(gen) {
+						continue
+					}
+					if all || e.env.Intersects(q) {
+						out = append(out, *e)
+					}
+				}
+			} else {
+				for i := range cur.refs {
+					r := &cur.refs[i]
+					if all || r.env.Intersects(q) {
+						stack = append(stack, frame{r.ptr, r.nsn})
+					}
+				}
+			}
+			cur.mu.RUnlock()
+			for i := range out {
+				if !yield(out[i]) {
+					return false
+				}
+			}
+			out = out[:0]
+			if last {
+				break
+			}
+			cur = next
+		}
+	}
+	return true
+}
+
+// ---- Writer side (caller holds the dataset writer mutex) ----
+
+// insert adds an entry (addGen already stamped) and registers its
+// owning leaf.
+func (t *tree[V]) insert(e Entry[V]) {
+	e.env = e.Key.Envelope()
+
+	// Latch-free descent: this goroutine is the only mutator, so the
+	// path it reads cannot change under it.
+	n := t.root.Load().n
+	var path []*node[V]
+	for !n.isLeaf() {
+		path = append(path, n)
+		n = n.refs[t.chooseSubtree(n, e.env)].ptr
+	}
+
+	leaf := n
+	leaf.mu.Lock()
+	leaf.entries = append(leaf.entries, e)
+	leaf.env = leaf.env.ExpandToInclude(e.env)
+	var sib *node[V]
+	if len(leaf.entries) > t.order {
+		sib = t.splitLeaf(leaf)
+	}
+	leaf.mu.Unlock()
+
+	t.owners[e.ID] = leaf
+	if sib != nil {
+		for i := range sib.entries {
+			if sib.entries[i].delGen == 0 {
+				t.owners[sib.entries[i].ID] = sib
+			}
+		}
+	}
+	t.live++
+	t.adjustUp(path, leaf, sib)
+}
+
+// delete tombstones the live entry with the given ID at generation
+// gen, returning the entry (for stat deltas). The second result is
+// false when the ID is not live.
+func (t *tree[V]) delete(id int64, gen uint64) (Entry[V], bool) {
+	leaf, ok := t.owners[id]
+	if !ok {
+		return Entry[V]{}, false
+	}
+	var out Entry[V]
+	leaf.mu.Lock()
+	for i := range leaf.entries {
+		e := &leaf.entries[i]
+		if e.ID == id && e.delGen == 0 {
+			e.delGen = gen
+			out = *e
+			break
+		}
+	}
+	leaf.mu.Unlock()
+	delete(t.owners, id)
+	t.live--
+	t.dead++
+	return out, true
+}
+
+// chooseSubtree picks the child needing least area enlargement to
+// absorb env (ties: smaller area, then first).
+func (t *tree[V]) chooseSubtree(n *node[V], env geom.Envelope) int {
+	best, bestEnl, bestArea := 0, -1.0, 0.0
+	for i := range n.refs {
+		ce := n.refs[i].env
+		area := ce.Area()
+		enl := ce.ExpandToInclude(env).Area() - area
+		if bestEnl < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitLeaf halves an overflowing leaf while the caller holds its
+// write latch: the upper half (along the leaf envelope's longer axis)
+// moves to a new right sibling, the sibling inherits the leaf's OLD
+// sequence number and splices into the chain, and the leaf is stamped
+// fresh. Readers chasing the old number find the sibling — the last
+// node of the chain carrying it.
+func (t *tree[V]) splitLeaf(n *node[V]) *node[V] {
+	mid := splitPoint(len(n.entries))
+	sortByAxis(n.entries, longerAxisX(n.env), func(e *Entry[V]) geom.Envelope { return e.env })
+	sib := &node[V]{
+		nsn:     n.nsn,
+		right:   n.right,
+		entries: append([]Entry[V](nil), n.entries[mid:]...),
+		env:     geom.EmptyEnvelope(),
+	}
+	for i := range sib.entries {
+		sib.env = sib.env.ExpandToInclude(sib.entries[i].env)
+	}
+	n.entries = n.entries[:mid:mid]
+	n.env = geom.EmptyEnvelope()
+	for i := range n.entries {
+		n.env = n.env.ExpandToInclude(n.entries[i].env)
+	}
+	n.nsn = t.nextNSN()
+	n.right = sib
+	return sib
+}
+
+// splitInternal is splitLeaf for internal nodes; caller holds the
+// node's write latch.
+func (t *tree[V]) splitInternal(n *node[V]) *node[V] {
+	mid := splitPoint(len(n.refs))
+	sortByAxis(n.refs, longerAxisX(n.env), func(r *childRef[V]) geom.Envelope { return r.env })
+	sib := &node[V]{
+		nsn:   n.nsn,
+		right: n.right,
+		refs:  append([]childRef[V](nil), n.refs[mid:]...),
+		env:   geom.EmptyEnvelope(),
+	}
+	for i := range sib.refs {
+		sib.env = sib.env.ExpandToInclude(sib.refs[i].env)
+	}
+	n.refs = n.refs[:mid:mid]
+	n.env = geom.EmptyEnvelope()
+	for i := range n.refs {
+		n.env = n.env.ExpandToInclude(n.refs[i].env)
+	}
+	n.nsn = t.nextNSN()
+	n.right = sib
+	return sib
+}
+
+// adjustUp walks the descent path bottom-up after an insert: refresh
+// the parent's reference to the child (envelope and sequence number
+// together, under the parent's write latch), splice in the reference
+// to a new sibling, and cascade splits. A sibling left over at the
+// top means the root split: a new root is built off to the side and
+// swapped in atomically.
+func (t *tree[V]) adjustUp(path []*node[V], child, sib *node[V]) {
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		parent.mu.Lock()
+		for j := range parent.refs {
+			if parent.refs[j].ptr == child {
+				parent.refs[j].env = child.env
+				parent.refs[j].nsn = child.nsn
+				if sib != nil {
+					ref := childRef[V]{ptr: sib, env: sib.env, nsn: sib.nsn}
+					parent.refs = append(parent.refs, childRef[V]{})
+					copy(parent.refs[j+2:], parent.refs[j+1:])
+					parent.refs[j+1] = ref
+				}
+				break
+			}
+		}
+		parent.env = parent.env.ExpandToInclude(child.env)
+		if sib != nil {
+			parent.env = parent.env.ExpandToInclude(sib.env)
+		}
+		var parentSib *node[V]
+		if len(parent.refs) > t.order {
+			parentSib = t.splitInternal(parent)
+		}
+		parent.mu.Unlock()
+		child, sib = parent, parentSib
+	}
+	if sib != nil {
+		newRoot := &node[V]{
+			nsn: t.nextNSN(),
+			env: child.env.ExpandToInclude(sib.env),
+			refs: []childRef[V]{
+				{ptr: child, env: child.env, nsn: child.nsn},
+				{ptr: sib, env: sib.env, nsn: sib.nsn},
+			},
+		}
+		t.root.Store(&rootRef[V]{n: newRoot, nsn: newRoot.nsn})
+	}
+}
+
+// rebuild returns a fresh tree holding only the live entries —
+// tombstone reclamation by wholesale replacement. The old tree is
+// never mutated again, so snapshots that captured it keep reading a
+// frozen (and still correct) structure; every tombstone here has
+// delGen <= the published generation, so no future snapshot can need
+// one. Entries keep their addGen.
+func (t *tree[V]) rebuild() *tree[V] {
+	nt := newTree[V](t.order)
+	for n := t.leftLeaf; n != nil; {
+		n.mu.RLock()
+		for i := range n.entries {
+			if n.entries[i].delGen == 0 {
+				e := n.entries[i]
+				nt.insert(e)
+			}
+		}
+		next := n.right
+		n.mu.RUnlock()
+		n = next
+	}
+	return nt
+}
+
+// ---- split helpers ----
+
+func splitPoint(n int) int { return n / 2 }
+
+func longerAxisX(env geom.Envelope) bool { return env.Width() >= env.Height() }
+
+// sortByAxis orders items by envelope center along x (byX) or y —
+// insertion sort, since slices are at most order+1 long.
+func sortByAxis[T any](items []T, byX bool, env func(*T) geom.Envelope) {
+	center := func(i int) float64 {
+		c := env(&items[i]).Center()
+		if byX {
+			return c.X
+		}
+		return c.Y
+	}
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && center(j) < center(j-1); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}

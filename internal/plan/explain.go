@@ -185,6 +185,20 @@ func FilterNode(d FilterDecision, preds []Pred, alreadyIndexed bool, child *Node
 	return n.Add(child)
 }
 
+// LiveScanNode builds the EXPLAIN leaf of a mutable-dataset snapshot:
+// the dataset name pinned to the generation the snapshot reads, plus
+// the live-index access path. Because the detail carries the
+// generation, every mutation batch changes the canonical plan — and
+// with it the plan fingerprint — so result-cache entries for older
+// generations can never be returned for newer data.
+func LiveScanNode(name string, gen uint64, partitions, order int, rows int64) *Node {
+	n := NewNode("LiveScan", fmt.Sprintf("%s gen=%d", name, gen))
+	n.EstRows = float64(rows)
+	n.Prop("access=concurrent R-link tree (order=%d), snapshot-pinned", order)
+	n.Prop("partitions=%d live_rows=%d", partitions, rows)
+	return n
+}
+
 // NaiveFilterNode builds the EXPLAIN node of an unplanned filter
 // (Optimize(false)): predicates in caller order, no cost estimates.
 func NaiveFilterNode(preds []Pred, child *Node) *Node {

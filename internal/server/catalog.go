@@ -45,6 +45,12 @@ type DatasetSpec struct {
 	// Partitioner is the partitioner recipe: "" (no spatial
 	// partitioning), "grid:ppd", "bsp:maxCost" or "voronoi:seeds".
 	Partitioner string `json:"partitioner,omitempty"`
+	// Mutable registers a live dataset that accepts mutation batches
+	// after registration (POST /api/v1/ingest). A mutable dataset may
+	// start empty (N == 0, no events); any generator or inline events
+	// become its first insert batch. The "persistent" index recipe is
+	// rejected — bulk-loaded STR trees are immutable.
+	Mutable bool `json:"mutable,omitempty"`
 }
 
 // EventSpec is one inline event of a registration request.
@@ -63,17 +69,65 @@ type DatasetInfo struct {
 	Generation  int64  `json:"generation"`
 	Index       string `json:"index"`
 	Partitioner string `json:"partitioner"`
+	// Mutable marks a live dataset; LiveGeneration is its latest
+	// published mutation generation (0 = no batch applied yet).
+	Mutable        bool   `json:"mutable,omitempty"`
+	LiveGeneration uint64 `json:"liveGeneration,omitempty"`
 }
 
-// catalogEntry is one published dataset. Entries are immutable after
-// Register returns them: a re-registration publishes a new entry
-// value, never mutates an old one.
+// catalogEntry is one published dataset. The identity of an entry is
+// immutable after Register returns it — a re-registration publishes a
+// new entry value, never mutates an old one — but a mutable entry's
+// dataset accepts ingest batches, so its summary is recomputed lazily
+// off the live generation rather than frozen at registration.
 type catalogEntry struct {
 	spec    DatasetSpec
-	ds      *stark.Dataset[workload.Event]
+	ds      *stark.Dataset[workload.Event]        // immutable entries
+	mds     *stark.MutableDataset[workload.Event] // mutable entries
 	events  int64
 	summary *stark.DatasetStats
 	gen     int64
+
+	// sumMu guards the lazy summary cache of a mutable entry.
+	sumMu     sync.Mutex
+	sumGen    uint64
+	sumCached *stark.DatasetStats
+	sumEvents int64
+}
+
+// dataset returns the queryable view of the entry: the staged dataset
+// for immutable entries, the latest snapshot (pinned generation) for
+// mutable ones. Snapshots of an unchanged generation are shared, so
+// repeated queries keep identical plan fingerprints and the result
+// cache keeps hitting until a mutation batch lands.
+func (e *catalogEntry) dataset() *stark.Dataset[workload.Event] {
+	if e.mds != nil {
+		return e.mds.Snapshot()
+	}
+	return e.ds
+}
+
+// stats returns the planner summary and the event count. Immutable
+// entries answer from the values computed at registration; mutable
+// entries recompute lazily when the live generation has moved — the
+// incrementally maintained summary makes that a copy, not a rescan —
+// so /api/stats and the catalog listing always reflect mutations.
+func (e *catalogEntry) stats() (*stark.DatasetStats, int64) {
+	if e.mds == nil {
+		return e.summary, e.events
+	}
+	e.sumMu.Lock()
+	defer e.sumMu.Unlock()
+	// Read the generation before the summary: if a batch lands in
+	// between, a newer summary is cached under an older label and the
+	// next call refreshes again — never the other way around, so a
+	// stale summary is never pinned under a newer generation.
+	if g := e.mds.Generation(); e.sumCached == nil || g != e.sumGen {
+		e.sumCached = e.mds.Stats()
+		e.sumEvents = e.mds.Count()
+		e.sumGen = g
+	}
+	return e.sumCached, e.sumEvents
 }
 
 func (e *catalogEntry) info() DatasetInfo {
@@ -81,14 +135,20 @@ func (e *catalogEntry) info() DatasetInfo {
 	if idx == "" {
 		idx = "none"
 	}
-	return DatasetInfo{
+	sum, events := e.stats()
+	info := DatasetInfo{
 		Name:        e.spec.Name,
-		Events:      e.events,
-		Partitions:  len(e.summary.Parts),
+		Events:      events,
+		Partitions:  len(sum.Parts),
 		Generation:  e.gen,
 		Index:       idx,
 		Partitioner: e.spec.Partitioner,
 	}
+	if e.mds != nil {
+		info.Mutable = true
+		info.LiveGeneration = e.mds.Generation()
+	}
+	return info
 }
 
 // Catalog is the concurrent registry of named datasets.
@@ -138,6 +198,12 @@ func (c *Catalog) Drop(name string) bool {
 // (staging, shuffle, index, statistics) runs outside the catalog
 // lock.
 func (c *Catalog) Register(ctx *stark.Context, spec DatasetSpec) (*catalogEntry, error) {
+	// A mutable dataset may start empty — its payload arrives through
+	// POST /api/v1/ingest; anything the spec does provide becomes the
+	// seed batch.
+	if spec.Mutable && spec.N <= 0 && len(spec.Events) == 0 {
+		return c.register(ctx, spec, nil)
+	}
 	events, err := spec.buildEvents()
 	if err != nil {
 		return nil, err
@@ -156,15 +222,24 @@ func (c *Catalog) register(ctx *stark.Context, spec DatasetSpec, events []worklo
 	if strings.TrimSpace(spec.Name) == "" {
 		return nil, fmt.Errorf("dataset name must not be empty")
 	}
-	ds, err := stageDataset(ctx, events, spec)
-	if err != nil {
-		return nil, err
+	var e *catalogEntry
+	if spec.Mutable {
+		mds, err := stageMutable(ctx, events, spec)
+		if err != nil {
+			return nil, err
+		}
+		e = &catalogEntry{spec: spec, mds: mds}
+	} else {
+		ds, err := stageDataset(ctx, events, spec)
+		if err != nil {
+			return nil, err
+		}
+		summary, err := ds.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("collecting stats: %w", err)
+		}
+		e = &catalogEntry{spec: spec, ds: ds, events: summary.Count, summary: summary}
 	}
-	summary, err := ds.Stats()
-	if err != nil {
-		return nil, fmt.Errorf("collecting stats: %w", err)
-	}
-	e := &catalogEntry{spec: spec, ds: ds, events: summary.Count, summary: summary}
 	c.mu.Lock()
 	c.gen++
 	e.gen = c.gen
@@ -232,6 +307,89 @@ func stageDataset(ctx *stark.Context, events []workload.Event, spec DatasetSpec)
 	return ds, nil
 }
 
+// stageMutable builds a mutable catalog dataset. The spatial layout
+// is fixed up front: the spec's partitioner recipe is built over the
+// seed events' keys, or over the corners of the declared data space
+// when the dataset starts empty (the generator's default 1000×1000
+// when no width/height is given). Seed events, if any, land as one
+// initial insert batch — generation 1 — using each event's ID as the
+// live record ID, so they can be upserted and deleted over HTTP later.
+func stageMutable(ctx *stark.Context, events []workload.Event, spec DatasetSpec) (*stark.MutableDataset[workload.Event], error) {
+	order, err := parseLiveOrder(spec)
+	if err != nil {
+		return nil, err
+	}
+	tuples, dropped := workload.EventTuples(events)
+	if dropped > 0 {
+		return nil, fmt.Errorf("%d events with invalid WKT", dropped)
+	}
+
+	var sp stark.SpatialPartitioner
+	if spec.Partitioner != "" {
+		p, err := parsePartitioner(spec.Partitioner)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]stark.STObject, 0, len(tuples))
+		for _, kv := range tuples {
+			keys = append(keys, kv.Key)
+		}
+		if len(keys) == 0 {
+			w, h := spec.Width, spec.Height
+			if w <= 0 {
+				w = 1000
+			}
+			if h <= 0 {
+				h = 1000
+			}
+			keys = []stark.STObject{
+				stark.NewSTObject(stark.NewPoint(0, 0)),
+				stark.NewSTObject(stark.NewPoint(w, h)),
+			}
+		}
+		sp, err = p.Build(keys)
+		if err != nil {
+			return nil, fmt.Errorf("building partitioner: %w", err)
+		}
+	}
+
+	mds := stark.NewMutableDataset[workload.Event](ctx, spec.Name, sp, order)
+	if len(tuples) > 0 {
+		recs := make([]stark.LiveRecord[workload.Event], len(tuples))
+		for i, kv := range tuples {
+			recs[i] = stark.LiveRecord[workload.Event]{ID: int64(kv.Value.ID), Key: kv.Key, Value: kv.Value}
+		}
+		if _, err := mds.Insert(recs...); err != nil {
+			return nil, fmt.Errorf("seeding events: %w", err)
+		}
+	}
+	return mds, nil
+}
+
+// parseLiveOrder extracts the concurrent-tree node order from a
+// mutable dataset's index recipe. Only "" / "none" (default order)
+// and "live[:order]" are valid: a mutable dataset's partition trees
+// are always its live index, and "persistent" (bulk-loaded STR,
+// immutable by construction) cannot back one.
+func parseLiveOrder(spec DatasetSpec) (int, error) {
+	kind, arg, _ := strings.Cut(strings.ToLower(strings.TrimSpace(spec.Index)), ":")
+	switch kind {
+	case "", "none", "live":
+	case "persistent":
+		return 0, fmt.Errorf("mutable dataset %q: persistent indexes are bulk-loaded and immutable; use live[:order]", spec.Name)
+	default:
+		return 0, fmt.Errorf("unknown index recipe %q (mutable datasets take none or live[:order])", spec.Index)
+	}
+	if arg == "" {
+		return 0, nil
+	}
+	order, err := strconv.Atoi(arg)
+	if err != nil || order <= 0 {
+		return 0, fmt.Errorf("index recipe %q: bad order %q", spec.Index, arg)
+	}
+	return order, nil
+}
+
 // parseIndexMode parses an index recipe: "", "none", "live[:order]",
 // "persistent[:order]".
 func parseIndexMode(s string) (stark.IndexMode, error) {
@@ -293,8 +451,11 @@ func parsePartitioner(s string) (stark.Partitioner, error) {
 //
 //	name:key=value,key=value,...
 //
-// with keys n, seed, dist, width, height, timerange, index, part.
-// Example: "hotels:n=50000,seed=7,dist=uniform,index=live:8,part=grid:8".
+// with keys n, seed, dist, width, height, timerange, index, part,
+// mutable. Example:
+// "hotels:n=50000,seed=7,dist=uniform,index=live:8,part=grid:8";
+// "fleet:mutable=true,part=grid:8" registers an empty mutable dataset
+// fed over POST /api/v1/ingest.
 func ParseDatasetFlag(s string) (DatasetSpec, error) {
 	name, rest, ok := strings.Cut(s, ":")
 	if !ok || strings.TrimSpace(name) == "" {
@@ -328,6 +489,8 @@ func ParseDatasetFlag(s string) (DatasetSpec, error) {
 			spec.Index = val
 		case "part", "partitioner":
 			spec.Partitioner = val
+		case "mutable":
+			spec.Mutable, err = strconv.ParseBool(val)
 		default:
 			return DatasetSpec{}, fmt.Errorf("dataset flag %q: unknown key %q", s, key)
 		}
@@ -335,8 +498,8 @@ func ParseDatasetFlag(s string) (DatasetSpec, error) {
 			return DatasetSpec{}, fmt.Errorf("dataset flag %q: bad value for %s: %v", s, key, err)
 		}
 	}
-	if spec.N <= 0 {
-		return DatasetSpec{}, fmt.Errorf("dataset flag %q: need n=<count>", s)
+	if spec.N <= 0 && !spec.Mutable {
+		return DatasetSpec{}, fmt.Errorf("dataset flag %q: need n=<count> (or mutable=true to start empty)", s)
 	}
 	return spec, nil
 }

@@ -84,6 +84,8 @@ func NewService(ctx *stark.Context, opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/datasets/{name}", s.handleDatasetDrop)
 	s.mux.HandleFunc("POST /api/v1/query", s.handleQueryV1)
 	s.mux.HandleFunc("POST /api/v1/explain", s.handleExplainV1)
+	s.mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("DELETE /api/v1/datasets/{name}/records/{id}", s.handleRecordDelete)
 	s.mux.HandleFunc("GET /api/service", s.handleServiceStats)
 	return s
 }
@@ -207,7 +209,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	filtered, err := buildFilterOn(entry.ds, req)
+	filtered, err := buildFilterOn(entry.dataset(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -267,7 +269,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	filtered, err := buildFilterOn(entry.ds, req)
+	filtered, err := buildFilterOn(entry.dataset(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -354,7 +356,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nbrs, err := entry.ds.KNNContext(r.Context(), q, req.K)
+	nbrs, err := entry.dataset().KNNContext(r.Context(), q, req.K)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "knn failed: %v", err)
 		return
@@ -382,7 +384,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	recs, n, err := entry.ds.Cluster(stark.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
+	recs, n, err := entry.dataset().Cluster(stark.ClusterOptions{Eps: req.Eps, MinPts: req.MinPts})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "cluster failed: %v", err)
 		return
@@ -399,23 +401,25 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// The dataset is immutable once registered: its count and planner
-	// statistics were computed at registration, so this handler never
-	// rescans.
+	// Immutable datasets answer from the count and planner statistics
+	// computed at registration; mutable ones recompute lazily off the
+	// live generation (a copy of the incrementally maintained summary,
+	// never a rescan), so this endpoint reflects every ingest batch.
 	entry, ok := s.defaultEntry(w)
 	if !ok {
 		return
 	}
+	summary, events := entry.stats()
 	snap := s.ctx.Metrics().Snapshot()
 	writeJSON(w, map[string]interface{}{
-		"events":          entry.events,
-		"partitions":      len(entry.summary.Parts),
+		"events":          events,
+		"partitions":      len(summary.Parts),
 		"parallelism":     s.ctx.Parallelism(),
 		"tasksLaunched":   snap.TasksLaunched,
 		"tasksSkipped":    snap.TasksSkipped,
 		"elementsScanned": snap.ElementsScanned,
 		"statsRecords":    snap.StatsRecords,
-		"planner":         entry.summary,
+		"planner":         summary,
 		"cache":           s.cache.Stats(),
 		"admission":       s.adm.Stats(),
 	})

@@ -131,19 +131,19 @@ func (s *Server) joinChain(w http.ResponseWriter, req ServiceQueryRequest) (*sta
 	if !ok {
 		return nil, nil, nil, false
 	}
-	left := entry.ds
+	left := entry.dataset()
 	// Apply the request's filter whenever any filter field is set —
 	// a constraint the non-join path would reject (temporal window
 	// without a geometry) must error here too, not be dropped.
 	if req.WKT != "" || req.Predicate != "" || req.HasTime || req.Distance != 0 {
 		var err error
-		left, err = buildFilterOn(entry.ds, req.QueryRequest)
+		left, err = buildFilterOn(left, req.QueryRequest)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return nil, nil, nil, false
 		}
 	}
-	chain, rep, err := buildJoinOn(left, rightEntry.ds, req.Join)
+	chain, rep, err := buildJoinOn(left, rightEntry.dataset(), req.Join)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return nil, nil, nil, false
@@ -275,9 +275,10 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	summary, _ := entry.stats()
 	writeJSON(w, map[string]interface{}{
 		"dataset": entry.info(),
-		"planner": entry.summary,
+		"planner": summary,
 	})
 }
 
@@ -316,7 +317,7 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	chain, err := buildFilterOn(entry.ds, req.QueryRequest)
+	chain, err := buildFilterOn(entry.dataset(), req.QueryRequest)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -458,7 +459,7 @@ func (s *Server) handleExplainV1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	chain, err := buildFilterOn(entry.ds, req.QueryRequest)
+	chain, err := buildFilterOn(entry.dataset(), req.QueryRequest)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

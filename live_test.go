@@ -1,0 +1,240 @@
+package stark
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func livePoint(x, y float64) STObject { return NewSTObject(NewPoint(x, y)) }
+
+func liveGrid(t testing.TB, ppd int) SpatialPartitioner {
+	t.Helper()
+	sp, err := Grid(ppd).build(func() ([]STObject, error) {
+		return []STObject{livePoint(0, 0), livePoint(100, 100)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestMutableDatasetQueryAfterMutations(t *testing.T) {
+	ctx := NewContext(4)
+	md := NewMutableDataset[int](ctx, "fleet", liveGrid(t, 3), 8)
+
+	rng := rand.New(rand.NewSource(42))
+	type rec struct{ x, y float64 }
+	recs := make(map[int64]rec)
+	var batch []LiveRecord[int]
+	for i := int64(0); i < 800; i++ {
+		r := rec{rng.Float64() * 100, rng.Float64() * 100}
+		recs[i] = r
+		batch = append(batch, LiveRecord[int]{ID: i, Key: livePoint(r.x, r.y), Value: int(i)})
+	}
+	if _, err := md.Insert(batch...); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: move some, delete some.
+	var ups []LiveRecord[int]
+	for i := int64(0); i < 100; i++ {
+		r := rec{rng.Float64() * 100, rng.Float64() * 100}
+		recs[i] = r
+		ups = append(ups, LiveRecord[int]{ID: i, Key: livePoint(r.x, r.y), Value: int(i)})
+	}
+	if _, err := md.Upsert(ups...); err != nil {
+		t.Fatal(err)
+	}
+	var dels []int64
+	for i := int64(100); i < 200; i++ {
+		delete(recs, i)
+		dels = append(dels, i)
+	}
+	if _, err := md.Delete(dels...); err != nil {
+		t.Fatal(err)
+	}
+	if md.Generation() != 3 {
+		t.Fatalf("generation = %d, want 3", md.Generation())
+	}
+	if int(md.Count()) != len(recs) {
+		t.Fatalf("count = %d, want %d", md.Count(), len(recs))
+	}
+
+	q := NewSTObject(NewEnvelope(25, 25, 75, 60).ToPolygon())
+	got, err := md.Snapshot().Intersects(q).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotIDs []int64
+	for _, kv := range got {
+		gotIDs = append(gotIDs, int64(kv.Value))
+	}
+	var wantIDs []int64
+	for id, r := range recs {
+		if r.x >= 25 && r.x <= 75 && r.y >= 25 && r.y <= 60 {
+			wantIDs = append(wantIDs, id)
+		}
+	}
+	sort.Slice(gotIDs, func(i, j int) bool { return gotIDs[i] < gotIDs[j] })
+	sort.Slice(wantIDs, func(i, j int) bool { return wantIDs[i] < wantIDs[j] })
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("query matched %d records, want %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range gotIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("result diverges at %d: %d != %d", i, gotIDs[i], wantIDs[i])
+		}
+	}
+
+	// Differential gate: the mutated dataset must equal one built from
+	// scratch over the surviving records.
+	var tuples []Tuple[int]
+	for id, r := range recs {
+		tuples = append(tuples, NewTuple(livePoint(r.x, r.y), int(id)))
+	}
+	want2, err := Parallelize(ctx, tuples).Intersects(q).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want2) != len(got) {
+		t.Fatalf("mutated snapshot matched %d, rebuilt-from-scratch %d", len(got), len(want2))
+	}
+}
+
+func TestMutableDatasetExplainShowsGenerationAndLivePath(t *testing.T) {
+	ctx := NewContext(2)
+	md := NewMutableDataset[int](ctx, "live-ds", liveGrid(t, 2), 8)
+	var batch []LiveRecord[int]
+	for i := int64(0); i < 200; i++ {
+		batch = append(batch, LiveRecord[int]{ID: i, Key: livePoint(float64(i%20)*5, float64(i/20)*10), Value: int(i)})
+	}
+	if _, err := md.Insert(batch...); err != nil {
+		t.Fatal(err)
+	}
+
+	q := NewSTObject(NewEnvelope(0, 0, 50, 50).ToPolygon())
+	out, err := md.Snapshot().Intersects(q).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"LiveScan[live-ds gen=1]",
+		"concurrent R-link tree",
+		"index=probe (existing partition trees)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	if _, err := md.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	out, err = md.Snapshot().Intersects(q).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "LiveScan[live-ds gen=2]") {
+		t.Fatalf("explain after mutation does not show new generation:\n%s", out)
+	}
+}
+
+func TestMutableDatasetFingerprintTracksGeneration(t *testing.T) {
+	ctx := NewContext(2)
+	md := NewMutableDataset[int](ctx, "fp", nil, 8)
+	if _, err := md.Insert(LiveRecord[int]{ID: 1, Key: livePoint(5, 5), Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := NewSTObject(NewEnvelope(0, 0, 10, 10).ToPolygon())
+
+	fp1, err := md.Snapshot().Intersects(q).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := md.Snapshot().Intersects(q).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("same generation, different fingerprints: %s vs %s (cache could never hit)", fp1, fp2)
+	}
+
+	if _, err := md.Insert(LiveRecord[int]{ID: 2, Key: livePoint(6, 6), Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fp3, err := md.Snapshot().Intersects(q).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatalf("generation bump kept fingerprint %s (stale cache hits possible)", fp1)
+	}
+}
+
+func TestMutableDatasetSnapshotPinned(t *testing.T) {
+	ctx := NewContext(2)
+	md := NewMutableDataset[int](ctx, "pin", nil, 8)
+	if _, err := md.Insert(
+		LiveRecord[int]{ID: 1, Key: livePoint(1, 1), Value: 1},
+		LiveRecord[int]{ID: 2, Key: livePoint(2, 2), Value: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	pinned := md.Snapshot()
+	if _, err := md.Delete(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := pinned.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("pinned snapshot counts %d after delete, want 2", n)
+	}
+	n, err = md.Snapshot().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh snapshot counts %d, want 0", n)
+	}
+}
+
+func TestMutableDatasetEmptyAndChaining(t *testing.T) {
+	ctx := NewContext(2)
+	md := NewMutableDataset[int](ctx, "empty", liveGrid(t, 2), 8)
+	q := NewSTObject(NewEnvelope(0, 0, 100, 100).ToPolygon())
+	n, err := md.Snapshot().Intersects(q).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("empty dataset matched %d records", n)
+	}
+
+	var batch []LiveRecord[int]
+	for i := int64(0); i < 50; i++ {
+		batch = append(batch, LiveRecord[int]{ID: i, Key: livePoint(float64(i), float64(i)), Value: int(i % 5)})
+	}
+	if _, err := md.Insert(batch...); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot composes with the rest of the DSL (payload filter after
+	// the spatial filter drops the live probe path safely).
+	got, err := md.Snapshot().Intersects(q).FilterValues(func(v int) bool { return v == 0 }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("chained query matched %d, want 10", len(got))
+	}
+
+	// Error surfaces, dataset unchanged.
+	if _, err := md.Insert(LiveRecord[int]{ID: 3, Key: livePoint(1, 1), Value: 9}); err == nil {
+		t.Fatal("insert of live ID did not error")
+	}
+	if md.Generation() != 1 || md.Count() != 50 {
+		t.Fatalf("rejected batch mutated state: gen=%d count=%d", md.Generation(), md.Count())
+	}
+}

@@ -74,6 +74,19 @@ func Voronoi(numSeeds int, seed int64) Partitioner {
 		})
 }
 
+// Build materialises the recipe over the given sample keys — the
+// out-of-chain constructor for callers that must fix a spatial layout
+// before a dataset exists. A mutable dataset is the canonical case:
+// its partitioning cannot be derived from data that has not been
+// ingested yet, so the layout is built up front from seed keys (or
+// from the corners of the intended data space).
+func (p Partitioner) Build(keys []STObject) (SpatialPartitioner, error) {
+	if p.build == nil {
+		return nil, fmt.Errorf("stark: zero Partitioner recipe (use Grid, BSP, Voronoi or WithPartitioner)")
+	}
+	return p.build(func() ([]STObject, error) { return keys, nil })
+}
+
 // WithPartitioner adapts an already-built spatial partitioner, for
 // callers that construct or tune one outside the chain.
 func WithPartitioner(sp SpatialPartitioner) Partitioner {
