@@ -10,9 +10,11 @@
 // indexing, stfilter, knn, dbscan, joins, join (physical join
 // strategies: auto/pairs/broadcast/copartition × layout ×
 // selectivity), localindex, persist, optimizer (cost-based planner
-// vs naive execution), service (query service latency and cache hit
-// rate over HTTP), mutation (mutable live dataset: ingest throughput
-// and snapshot query latency over HTTP), all.
+// vs naive execution), layout (row scan vs columnar kernels ×
+// Hilbert sort × distribution × selectivity), service (query service
+// latency and cache hit rate over HTTP), mutation (mutable live
+// dataset: ingest throughput and snapshot query latency over HTTP),
+// all.
 //
 // With -json, every experiment additionally writes a machine-readable
 // BENCH_<experiment>.json (into -json-dir, default the working
@@ -74,13 +76,17 @@ func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
 		total.IndexProbes += s.IndexProbes
 		total.CandidatesRefined += s.CandidatesRefined
 		total.StatsRecords += s.StatsRecords
+		total.LiveBatches += s.LiveBatches
+		total.LiveMutations += s.LiveMutations
+		total.KernelBatches += s.KernelBatches
+		total.KernelSurvivors += s.KernelSurvivors
 	}
 	return total
 }
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|service|mutation|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|service|mutation|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -236,6 +242,14 @@ func main() {
 					r.Phase, r.Requests, r.Concurrency, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheMisses, r.HitRate)
 			}
 			result = rows
+		case "layout":
+			fmt.Println("== E12: scan layouts — row vs columnar kernels, Hilbert vs unsorted ==")
+			rows, err := bench.Layout(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatLayout(rows))
+			result = rows
 		case "optimizer":
 			fmt.Println("== E8: cost-based planner vs naive execution ==")
 			rows, err := bench.Optimizer(cfg)
@@ -288,7 +302,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "service", "mutation"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "layout", "service", "mutation"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

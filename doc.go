@@ -76,6 +76,28 @@
 //     whichever is cheaper; a dataset that already carries trees is
 //     always probed.
 //
+// # Columnar scan engine
+//
+// Dataset.Columnar builds a per-partition struct-of-arrays sidecar —
+// envelope bounds and time intervals as flat float64/int64 columns,
+// rows sorted by the Hilbert key of their envelope — that branch-free
+// kernels sweep in 4096-row batches, ANDing coarse spatio-temporal
+// survivors into a bitset; only survivors reach the exact predicate.
+// Like Cache, it marks a point in the chain and materialises at the
+// first action, and transformations return fresh instances without
+// the sidecar, so it can never describe stale data (mutable datasets
+// rebuild it lazily per published generation). The planner costs the
+// kernel sweep against the plain scan and any index and uses it only
+// when cheapest — Optimize(false) opts out — and EXPLAIN shows the
+// path as a ColumnarScan leaf with actual kernel_batches and
+// kernel_survivors counts. ColumnarLayout(false) skips the Hilbert
+// sort (the layout bench's A/B knob), and Partitioner.HilbertOrdered
+// renumbers any recipe's partitions along the same curve so
+// consecutive partition IDs are spatially adjacent. The kernels
+// implement the paper's combined predicate semantics exactly (a
+// timed query never matches an untimed record); opaque closures fall
+// back to their pruning-envelope contract.
+//
 // # Join execution
 //
 // Join picks one of three physical strategies per join, costed from
@@ -211,6 +233,9 @@
 //     spatial partitioners with extent bookkeeping;
 //   - internal/index     — the STR-packed R-tree with kNN and
 //     persistence;
+//   - internal/colstore  — the columnar scan sidecar: SoA
+//     envelope/interval columns, Hilbert row order, batched
+//     branch-free filter kernels over survivor bitsets;
 //   - internal/live      — the mutable-dataset substrate: concurrent
 //     R-link trees, generation-tagged visibility, snapshots and
 //     batch application;

@@ -14,6 +14,8 @@ package stark
 import (
 	"fmt"
 
+	"stark/internal/colstore"
+	"stark/internal/core"
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/index"
@@ -95,6 +97,7 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		// build cost, exactly like a persistent index.
 		AlreadyIndexed: st.idx != nil || st.liveProbe != nil,
 		IndexOrder:     st.autoIndexOrder(),
+		Columnar:       st.sds.HasColumnar(),
 	})
 
 	// Partitioner-extent pruning composes with stats pruning: both
@@ -128,6 +131,23 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 	dec.InputRows = sum.RowsIn(visit)
 	if dec.Pruned > 0 {
 		ctx.Metrics().TasksSkipped.Add(int64(dec.Pruned))
+	}
+
+	if dec.UseColumnar {
+		// Columnar kernel scan: the coarse envelope/interval kernels
+		// sweep the sidecar columns in planned predicate order, and only
+		// the surviving rows are refined with the exact predicates.
+		kps := make([]core.KernelPred, len(dec.Order))
+		for i, pi := range dec.Order {
+			kps[i] = kernelPred(st.pending[pi])
+		}
+		colDS := st.sds.ColumnarFilter(kps)
+		if colDS == nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: columnar sidecar vanished")
+		}
+		scan := plan.ColumnarScanNode(st.sds.NumPartitions(), dec.InputRows, st.sds.ColumnarHilbert(), st.base)
+		root := plan.FilterNode(dec, preds, false, scan)
+		return compiled[V]{ds: colDS, visit: visit, root: root}, nil
 	}
 
 	root := plan.FilterNode(dec, preds, st.idx != nil || st.liveProbe != nil, st.base)
@@ -188,6 +208,36 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		cur = cur.Where(p.q, p.pred)
 	}
 	return compiled[V]{ds: cur.Dataset(), visit: visit, root: root}, nil
+}
+
+// kernelPred compiles one pending predicate into its columnar form:
+// the coarse kernel query plus the exact predicate for refinement.
+// Built-in predicates map to their envelope necessary condition and
+// the combined-semantics temporal mode; opaque ones fall back to the
+// pruning-envelope sweep (an opaque distance function keeps the
+// temporal overlap mode — WithinDistance always combines with
+// interval intersection — but its spatial test is only the prune
+// contract, because the envelope-gap bound is unsound under a custom
+// metric; a fully custom predicate gets no temporal kernel at all).
+func kernelPred(p pendingPred) core.KernelPred {
+	kp := core.KernelPred{Q: p.q, Pred: p.pred}
+	switch {
+	case p.info.Kind == plan.Intersects && !p.opaque:
+		kp.Query = core.KernelQueryFor(colstore.OpIntersects, colstore.TimeOverlap, p.q, 0)
+	case p.info.Kind == plan.Contains && !p.opaque:
+		kp.Query = core.KernelQueryFor(colstore.OpContains, colstore.TimeContains, p.q, 0)
+	case (p.info.Kind == plan.ContainedBy || p.info.Kind == plan.CoveredBy) && !p.opaque:
+		kp.Query = core.KernelQueryFor(colstore.OpContainedBy, colstore.TimeWithin, p.q, 0)
+	case p.info.Kind == plan.WithinDistance && !p.opaque:
+		kp.Query = core.KernelQueryFor(colstore.OpWithinDistance, colstore.TimeOverlap, p.q, p.info.Expand)
+	case p.info.Kind == plan.WithinDistance:
+		env := p.info.PruneEnv()
+		kp.Query = core.KernelPrune(env.MinX, env.MinY, env.MaxX, env.MaxY, colstore.TimeOverlap, p.q)
+	default:
+		env := p.info.PruneEnv()
+		kp.Query = core.KernelPrune(env.MinX, env.MinY, env.MaxX, env.MaxY, colstore.TimeNone, p.q)
+	}
+	return kp
 }
 
 // autoIndexOrder returns the R-tree order an auto-built live index
@@ -256,7 +306,30 @@ func (d *Dataset[V]) ExplainNode() (*PlanNode, error) {
 		after.ElementsScanned-before.ElementsScanned,
 		after.IndexProbes-before.IndexProbes,
 		after.CandidatesRefined-before.CandidatesRefined)
+	if kb := after.KernelBatches - before.KernelBatches; kb > 0 {
+		// Kernel actuals only when a columnar sweep actually ran, so
+		// non-columnar plans (and their golden files) are unchanged.
+		attachColumnarActuals(root,
+			after.ElementsScanned-before.ElementsScanned,
+			kb,
+			after.KernelSurvivors-before.KernelSurvivors)
+	}
 	return root, nil
+}
+
+// attachColumnarActuals annotates every ColumnarScan node of the tree
+// with the executed kernel counters.
+func attachColumnarActuals(n *PlanNode, scanned, batches, survivors int64) {
+	if n == nil {
+		return
+	}
+	if n.Op == "ColumnarScan" {
+		n.Prop("actual: elements_scanned=%d kernel_batches=%d kernel_survivors=%d",
+			scanned, batches, survivors)
+	}
+	for _, c := range n.Children {
+		attachColumnarActuals(c, scanned, batches, survivors)
+	}
 }
 
 // Stats resolves the chain (folding any pending filters) and returns

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+func TestLayoutAblation(t *testing.T) {
+	rows, err := Layout(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 layouts × 2 distributions × 2 windows.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	want := map[string]int64{}
+	for _, r := range rows {
+		key := r.Dist + "/" + r.Window
+		if prev, ok := want[key]; !ok {
+			want[key] = r.Results
+		} else if r.Results != prev {
+			t.Errorf("%s on %s returned %d results, others %d", r.Layout, key, r.Results, prev)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s on %s has non-positive ns/op", r.Layout, key)
+		}
+		if r.Layout == "row" && (r.KernelBatches != 0 || r.KernelSurvivors != 0) {
+			t.Errorf("row layout on %s reports kernel metrics: %+v", key, r)
+		}
+		if r.Layout != "row" && r.KernelBatches == 0 {
+			t.Errorf("%s on %s ran no kernel batches — columnar path not taken", r.Layout, key)
+		}
+	}
+	// The low-selectivity cells must actually be selective, and every
+	// cell must have found data (the windows are data-centred).
+	for key, n := range want {
+		if n == 0 {
+			t.Errorf("window %s matched nothing", key)
+		}
+	}
+	if out := FormatLayout(rows); len(out) == 0 {
+		t.Error("FormatLayout returned empty output")
+	}
+}

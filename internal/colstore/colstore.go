@@ -1,0 +1,239 @@
+// Package colstore implements the columnar sidecar of the scan
+// engine: per-partition structure-of-arrays columns holding every
+// record's envelope bounds and temporal interval, Hilbert-sorted so
+// spatially-near records are cache-near, plus branch-free batched
+// kernels that evaluate the coarse (envelope/interval) part of a
+// spatio-temporal predicate over column chunks into a survivor bitset.
+//
+// The row scan evaluates one closure per record over []Tuple[V] —
+// pointer-chasing through interface geometries for a test that, for
+// the overwhelming majority of records, only needs four float64
+// compares. The sidecar re-lays exactly those floats as parallel
+// slices: a filter sweeps the columns in chunks (the kernels), and the
+// exact geometry predicate runs only on the few rows whose envelopes
+// survive. Correctness never depends on the kernels being tight —
+// they are conservative (a survivor may still fail the exact check,
+// a rejected row provably cannot match) — so the exact refinement
+// keeps results identical to the row scan, element for element.
+package colstore
+
+import (
+	"math/bits"
+	"sync"
+
+	"stark/internal/geom"
+	"stark/internal/partition"
+)
+
+// ChunkRows is the kernel batch size: 64 bitset words per chunk, small
+// enough that a chunk's four float64 columns stay L1/L2-resident while
+// the kernel sweeps them.
+const ChunkRows = 4096
+
+// Partition holds the SoA columns of one partition, in Hilbert (or
+// insertion) row order. The row index of every column refers to the
+// reordered row slice the builder returns alongside.
+type Partition struct {
+	n int
+	// Envelope bounds, one entry per row. Empty envelopes keep their
+	// ±Inf sentinel bounds, which fail every kernel comparison — an
+	// empty-geometry record is rejected coarse, matching the exact
+	// predicates, which never match empty geometries.
+	MinX, MinY, MaxX, MaxY []float64
+	// Temporal interval bounds; meaningful only where the timed bitset
+	// is set.
+	TStart, TEnd []int64
+	// timed marks rows that carry a temporal component.
+	timed []uint64
+}
+
+// Len returns the row count.
+func (p *Partition) Len() int { return p.n }
+
+// TimedWords exposes the timed bitset words (read-only; for tests).
+func (p *Partition) TimedWords() []uint64 { return p.timed }
+
+// Builder accumulates rows and finishes into a Partition. Not safe for
+// concurrent use; build one per partition task.
+type Builder struct {
+	p    Partition
+	mbr  geom.Envelope
+	keys []uint64 // scratch for the Hilbert sort
+}
+
+// NewBuilder returns a builder preallocated for capacity rows
+// (capacity <= 0 starts empty).
+func NewBuilder(capacity int) *Builder {
+	b := &Builder{mbr: geom.EmptyEnvelope()}
+	if capacity > 0 {
+		b.p.MinX = make([]float64, 0, capacity)
+		b.p.MinY = make([]float64, 0, capacity)
+		b.p.MaxX = make([]float64, 0, capacity)
+		b.p.MaxY = make([]float64, 0, capacity)
+		b.p.TStart = make([]int64, 0, capacity)
+		b.p.TEnd = make([]int64, 0, capacity)
+	}
+	return b
+}
+
+// Add appends one row: the record's envelope and, when timed, its
+// interval bounds.
+func (b *Builder) Add(env geom.Envelope, tstart, tend int64, timed bool) {
+	i := b.p.n
+	b.p.MinX = append(b.p.MinX, env.MinX)
+	b.p.MinY = append(b.p.MinY, env.MinY)
+	b.p.MaxX = append(b.p.MaxX, env.MaxX)
+	b.p.MaxY = append(b.p.MaxY, env.MaxY)
+	b.p.TStart = append(b.p.TStart, tstart)
+	b.p.TEnd = append(b.p.TEnd, tend)
+	if i%64 == 0 {
+		b.p.timed = append(b.p.timed, 0)
+	}
+	if timed {
+		b.p.timed[i/64] |= 1 << uint(i%64)
+	}
+	b.mbr = b.mbr.ExpandToInclude(env)
+	b.p.n++
+}
+
+// Finish seals the builder into a Partition. With hilbert true the
+// rows are sorted by the Hilbert key of their envelope centers over
+// the partition's MBR, and perm maps the new row order back to the
+// insertion order (perm[newRow] = oldRow) so the caller can reorder
+// its record slice identically; with hilbert false (or nothing to
+// sort) perm is nil and insertion order is kept. The builder must not
+// be used afterwards.
+func (b *Builder) Finish(hilbert bool) (p *Partition, perm []int32) {
+	n := b.p.n
+	if !hilbert || n < 2 {
+		return &b.p, nil
+	}
+	enc := partition.NewHilbertEncoder(b.mbr, 0)
+	b.keys = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		env := geom.Envelope{MinX: b.p.MinX[i], MinY: b.p.MinY[i], MaxX: b.p.MaxX[i], MaxY: b.p.MaxY[i]}
+		b.keys[i] = enc.KeyEnvelope(env)
+	}
+	perm = make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	// Stable on the insertion index so equal keys keep their relative
+	// order — the sort is then deterministic for differential tests.
+	sortPermByKey(perm, b.keys)
+
+	sorted := &Partition{
+		n:    n,
+		MinX: make([]float64, n), MinY: make([]float64, n),
+		MaxX: make([]float64, n), MaxY: make([]float64, n),
+		TStart: make([]int64, n), TEnd: make([]int64, n),
+		timed: make([]uint64, (n+63)/64),
+	}
+	for newRow, oldRow := range perm {
+		sorted.MinX[newRow] = b.p.MinX[oldRow]
+		sorted.MinY[newRow] = b.p.MinY[oldRow]
+		sorted.MaxX[newRow] = b.p.MaxX[oldRow]
+		sorted.MaxY[newRow] = b.p.MaxY[oldRow]
+		sorted.TStart[newRow] = b.p.TStart[oldRow]
+		sorted.TEnd[newRow] = b.p.TEnd[oldRow]
+		if b.p.timed[oldRow/64]&(1<<uint(oldRow%64)) != 0 {
+			sorted.timed[newRow/64] |= 1 << uint(newRow%64)
+		}
+	}
+	return sorted, perm
+}
+
+// sortPermByKey stable-sorts perm by keys[perm[i]] — a bottom-up merge
+// sort on int32 indexes, allocation-bounded and key-cached.
+func sortPermByKey(perm []int32, keys []uint64) {
+	n := len(perm)
+	buf := make([]int32, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				break
+			}
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if keys[perm[i]] <= keys[perm[j]] {
+					buf[k] = perm[i]
+					i++
+				} else {
+					buf[k] = perm[j]
+					j++
+				}
+				k++
+			}
+			copy(buf[k:], perm[i:mid])
+			copy(buf[k+(mid-i):], perm[j:hi])
+			copy(perm[lo:hi], buf[lo:hi])
+		}
+	}
+}
+
+// Bitset is a fixed-size survivor bitset the kernels AND into. Reset
+// initialises every row bit to 1 (and the tail of the last word to 0),
+// so a sequence of kernel calls computes the conjunction of their
+// coarse predicates.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// Reset sizes the bitset for n rows with every row bit set.
+func (b *Bitset) Reset(n int) {
+	nw := (n + 63) / 64
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+	}
+	b.words = b.words[:nw]
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := n % 64; tail != 0 && nw > 0 {
+		b.words[nw-1] = (1 << uint(tail)) - 1
+	}
+	b.n = n
+}
+
+// Count returns the number of set bits — the survivor count.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Visit calls fn for every set row index in ascending order, stopping
+// early when fn returns false.
+func (b *Bitset) Visit(fn func(row int) bool) {
+	for wi, w := range b.words {
+		base := wi * 64
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// bitsetPool recycles bitsets across filter invocations, so the kernel
+// path allocates nothing per query in steady state.
+var bitsetPool = sync.Pool{New: func() interface{} { return new(Bitset) }}
+
+// GetBitset returns a pooled bitset reset for n rows.
+func GetBitset(n int) *Bitset {
+	b := bitsetPool.Get().(*Bitset)
+	b.Reset(n)
+	return b
+}
+
+// PutBitset returns a bitset to the pool.
+func PutBitset(b *Bitset) { bitsetPool.Put(b) }

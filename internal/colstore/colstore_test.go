@@ -1,0 +1,290 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stark/internal/geom"
+)
+
+type refRow struct {
+	env    geom.Envelope
+	ts, te int64
+	timed  bool
+}
+
+func randRows(rng *rand.Rand, n int) []refRow {
+	rows := make([]refRow, n)
+	for i := range rows {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		w := rng.Float64() * 5
+		h := rng.Float64() * 5
+		rows[i] = refRow{
+			env:   geom.Envelope{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+			ts:    int64(rng.Intn(1000)),
+			timed: rng.Intn(4) != 0,
+		}
+		rows[i].te = rows[i].ts + int64(rng.Intn(50))
+		if i%97 == 0 {
+			rows[i].env = geom.EmptyEnvelope() // empty geometries must fail every kernel
+		}
+	}
+	return rows
+}
+
+func buildPartition(rows []refRow, hilbert bool) (*Partition, []int32) {
+	b := NewBuilder(len(rows))
+	for _, r := range rows {
+		b.Add(r.env, r.ts, r.te, r.timed)
+	}
+	return b.Finish(hilbert)
+}
+
+// refMatch is the scalar reference the kernels must agree with.
+func refMatch(r refRow, q Query) bool {
+	var spatial bool
+	e := r.env
+	switch q.Op {
+	case OpIntersects, OpPrune:
+		spatial = e.MinX <= q.MaxX && q.MinX <= e.MaxX && e.MinY <= q.MaxY && q.MinY <= e.MaxY
+	case OpContains:
+		spatial = e.MinX <= q.MinX && e.MaxX >= q.MaxX && e.MinY <= q.MinY && e.MaxY >= q.MaxY
+	case OpContainedBy:
+		spatial = e.MinX >= q.MinX && e.MaxX <= q.MaxX && e.MinY >= q.MinY && e.MaxY <= q.MaxY
+	case OpWithinDistance:
+		dx := math.Max(0, math.Max(q.MinX-e.MaxX, e.MinX-q.MaxX))
+		dy := math.Max(0, math.Max(q.MinY-e.MaxY, e.MinY-q.MaxY))
+		spatial = dx*dx+dy*dy <= q.Dist*q.Dist
+	}
+	if !spatial {
+		return false
+	}
+	switch q.Time {
+	case TimeNone:
+		return true
+	}
+	if !q.HasTime {
+		return !r.timed
+	}
+	if !r.timed {
+		return false
+	}
+	switch q.Time {
+	case TimeOverlap:
+		return r.ts <= q.TEnd && q.TBegin <= r.te
+	case TimeContains:
+		return r.ts <= q.TBegin && q.TEnd <= r.te
+	case TimeWithin:
+		return q.TBegin <= r.ts && r.te <= q.TEnd
+	}
+	return false
+}
+
+func TestKernelsMatchScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Sizes straddle chunk and word boundaries.
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, ChunkRows, ChunkRows + 1, 3*ChunkRows + 17} {
+		rows := randRows(rng, n)
+		p, perm := buildPartition(rows, false)
+		if perm != nil {
+			t.Fatalf("n=%d: non-hilbert build returned a permutation", n)
+		}
+		ops := []Op{OpIntersects, OpContains, OpContainedBy, OpWithinDistance, OpPrune}
+		modes := []TimeMode{TimeNone, TimeOverlap, TimeContains, TimeWithin}
+		for _, op := range ops {
+			for _, mode := range modes {
+				for _, hasTime := range []bool{false, true} {
+					q := Query{
+						Op:   op,
+						MinX: 20, MinY: 20, MaxX: 60, MaxY: 55,
+						Dist: 7,
+						Time: mode, HasTime: hasTime,
+						TBegin: 100, TEnd: 400,
+					}
+					bs := GetBitset(p.Len())
+					batches := Filter(p, q, bs)
+					wantBatches := (n + ChunkRows - 1) / ChunkRows
+					if batches != wantBatches {
+						t.Fatalf("n=%d op=%d: batches=%d want %d", n, op, batches, wantBatches)
+					}
+					got := make([]bool, n)
+					bs.Visit(func(row int) bool { got[row] = true; return true })
+					count := 0
+					for i, r := range rows {
+						want := refMatch(r, q)
+						if want {
+							count++
+						}
+						if got[i] != want {
+							t.Fatalf("n=%d op=%d mode=%d hasTime=%t row %d: kernel=%t ref=%t (env=%v timed=%t ts=%d te=%d)",
+								n, op, mode, hasTime, i, got[i], want, r.env, r.timed, r.ts, r.te)
+						}
+					}
+					if bs.Count() != count {
+						t.Fatalf("count=%d want %d", bs.Count(), count)
+					}
+					PutBitset(bs)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelConjunction checks sweeps compose by AND: two predicates
+// through one bitset equal the intersection of their individual runs.
+func TestKernelConjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := randRows(rng, 5000)
+	p, _ := buildPartition(rows, false)
+	q1 := Query{Op: OpIntersects, MinX: 10, MinY: 10, MaxX: 70, MaxY: 70, Time: TimeOverlap, HasTime: true, TBegin: 0, TEnd: 600}
+	q2 := Query{Op: OpWithinDistance, MinX: 40, MinY: 40, MaxX: 40, MaxY: 40, Dist: 25, Time: TimeOverlap, HasTime: true, TBegin: 200, TEnd: 900}
+
+	both := GetBitset(p.Len())
+	Filter(p, q1, both)
+	Filter(p, q2, both)
+	for i, r := range rows {
+		want := refMatch(r, q1) && refMatch(r, q2)
+		got := both.words[i/64]&(1<<uint(i%64)) != 0
+		if got != want {
+			t.Fatalf("row %d: conjunction=%t want %t", i, got, want)
+		}
+	}
+	PutBitset(both)
+}
+
+// TestHilbertFinishPermutation checks Finish(hilbert=true) returns a
+// permutation that maps the sorted columns back to insertion order.
+func TestHilbertFinishPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := randRows(rng, 4097)
+	p, perm := buildPartition(rows, true)
+	if perm == nil {
+		t.Fatal("hilbert build returned nil permutation")
+	}
+	if p.Len() != len(rows) || len(perm) != len(rows) {
+		t.Fatalf("len mismatch: %d %d %d", p.Len(), len(perm), len(rows))
+	}
+	seen := make([]bool, len(rows))
+	for newRow, oldRow := range perm {
+		if seen[oldRow] {
+			t.Fatalf("old row %d appears twice", oldRow)
+		}
+		seen[oldRow] = true
+		r := rows[oldRow]
+		env := geom.Envelope{MinX: p.MinX[newRow], MinY: p.MinY[newRow], MaxX: p.MaxX[newRow], MaxY: p.MaxY[newRow]}
+		if env != r.env {
+			t.Fatalf("row %d: envelope %v != %v", newRow, env, r.env)
+		}
+		if p.TStart[newRow] != r.ts || p.TEnd[newRow] != r.te {
+			t.Fatalf("row %d: interval (%d,%d) != (%d,%d)", newRow, p.TStart[newRow], p.TEnd[newRow], r.ts, r.te)
+		}
+		timed := p.timed[newRow/64]&(1<<uint(newRow%64)) != 0
+		if timed != r.timed {
+			t.Fatalf("row %d: timed=%t want %t", newRow, timed, r.timed)
+		}
+	}
+	// The sort must produce identical kernel results to the unsorted
+	// layout modulo the permutation.
+	q := Query{Op: OpIntersects, MinX: 20, MinY: 20, MaxX: 50, MaxY: 50, Time: TimeNone}
+	unsorted, _ := buildPartition(rows, false)
+	bsU := GetBitset(unsorted.Len())
+	bsS := GetBitset(p.Len())
+	Filter(unsorted, q, bsU)
+	Filter(p, q, bsS)
+	for newRow, oldRow := range perm {
+		u := bsU.words[oldRow/64]&(1<<uint(oldRow%64)) != 0
+		s := bsS.words[newRow/64]&(1<<uint(newRow%64)) != 0
+		if u != s {
+			t.Fatalf("row %d/%d: sorted=%t unsorted=%t", newRow, oldRow, s, u)
+		}
+	}
+	PutBitset(bsU)
+	PutBitset(bsS)
+}
+
+// TestHilbertSortImprovesRunLength sanity-checks the point of the
+// sort: for clustered data, survivors of a small window query are more
+// contiguous (fewer bitset words touched) after Hilbert ordering.
+func TestHilbertSortImprovesRunLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var rows []refRow
+	for c := 0; c < 16; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for i := 0; i < 500; i++ {
+			x, y := cx+rng.NormFloat64()*5, cy+rng.NormFloat64()*5
+			rows = append(rows, refRow{env: geom.Envelope{MinX: x, MinY: y, MaxX: x, MaxY: y}})
+		}
+	}
+	// Interleave clusters so insertion order has no locality at all.
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+
+	q := Query{Op: OpIntersects, MinX: rows[0].env.MinX - 20, MinY: rows[0].env.MinY - 20,
+		MaxX: rows[0].env.MinX + 20, MaxY: rows[0].env.MinY + 20, Time: TimeNone}
+	wordsTouched := func(hilbert bool) int {
+		p, _ := buildPartition(rows, hilbert)
+		bs := GetBitset(p.Len())
+		Filter(p, q, bs)
+		n := 0
+		for _, w := range bs.words {
+			if w != 0 {
+				n++
+			}
+		}
+		PutBitset(bs)
+		return n
+	}
+	sorted, unsorted := wordsTouched(true), wordsTouched(false)
+	if sorted >= unsorted {
+		t.Fatalf("hilbert sort did not improve locality: %d words touched sorted vs %d unsorted", sorted, unsorted)
+	}
+}
+
+func TestBitsetTail(t *testing.T) {
+	var b Bitset
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 130} {
+		b.Reset(n)
+		if b.Count() != n {
+			t.Fatalf("n=%d: fresh count %d", n, b.Count())
+		}
+		rows := 0
+		last := -1
+		b.Visit(func(r int) bool {
+			if r <= last || r >= n {
+				t.Fatalf("n=%d: visit out of order or range: %d after %d", n, r, last)
+			}
+			last = r
+			rows++
+			return true
+		})
+		if rows != n {
+			t.Fatalf("n=%d: visited %d", n, rows)
+		}
+	}
+	// Early stop.
+	b.Reset(200)
+	visited := 0
+	b.Visit(func(r int) bool { visited++; return visited < 5 })
+	if visited != 5 {
+		t.Fatalf("early stop visited %d", visited)
+	}
+}
+
+func TestFilterAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rows := randRows(rng, 2*ChunkRows)
+	p, _ := buildPartition(rows, false)
+	q := Query{Op: OpIntersects, MinX: 20, MinY: 20, MaxX: 60, MaxY: 60, Time: TimeOverlap, HasTime: true, TBegin: 0, TEnd: 500}
+	// Warm the pool so steady state is measured.
+	PutBitset(GetBitset(p.Len()))
+	allocs := testing.AllocsPerRun(100, func() {
+		bs := GetBitset(p.Len())
+		Filter(p, q, bs)
+		bs.Visit(func(int) bool { return true })
+		PutBitset(bs)
+	})
+	if allocs > 0 {
+		t.Fatalf("kernel path allocates %.1f per run, want 0", allocs)
+	}
+}

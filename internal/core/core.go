@@ -46,6 +46,12 @@ type SpatialDataset[V any] struct {
 	// filtering implicitly invalidates by construction.
 	statsMu    sync.Mutex
 	statsCache map[int]*stats.Summary
+
+	// col is the columnar sidecar built by BuildColumnar; like the
+	// stats cache it is bound to this instance, so transformations
+	// invalidate it by construction (a fresh SpatialDataset has none).
+	colMu sync.Mutex
+	col   *columnarSidecar[V]
 }
 
 // Wrap lifts a plain engine dataset into a SpatialDataset — the

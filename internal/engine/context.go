@@ -42,6 +42,8 @@ type Metrics struct {
 	StatsRecords      atomic.Int64 // records summarised by planner statistics passes
 	LiveBatches       atomic.Int64 // mutation batches applied to live datasets
 	LiveMutations     atomic.Int64 // individual insert/upsert/delete operations applied
+	KernelBatches     atomic.Int64 // column chunks swept by columnar scan kernels
+	KernelSurvivors   atomic.Int64 // rows surviving coarse kernels into exact refinement
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -56,6 +58,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		StatsRecords:      m.StatsRecords.Load(),
 		LiveBatches:       m.LiveBatches.Load(),
 		LiveMutations:     m.LiveMutations.Load(),
+		KernelBatches:     m.KernelBatches.Load(),
+		KernelSurvivors:   m.KernelSurvivors.Load(),
 	}
 }
 
@@ -70,6 +74,8 @@ func (m *Metrics) Reset() {
 	m.StatsRecords.Store(0)
 	m.LiveBatches.Store(0)
 	m.LiveMutations.Store(0)
+	m.KernelBatches.Store(0)
+	m.KernelSurvivors.Store(0)
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
@@ -83,6 +89,8 @@ type MetricsSnapshot struct {
 	StatsRecords      int64
 	LiveBatches       int64
 	LiveMutations     int64
+	KernelBatches     int64
+	KernelSurvivors   int64
 }
 
 // NewContext returns a context with the given executor parallelism;

@@ -247,6 +247,59 @@ func (d *Dataset[T]) EachPartition(p int, yield func(T) bool) error {
 	return nil
 }
 
+// EachPartitionChunks streams partition p through yield in slices of
+// at most chunk elements, stopping when yield returns false. Sourced
+// and cached datasets hand out zero-copy windows of their backing
+// slice — callers must treat chunks as read-only and valid only until
+// the next yield; other datasets fall back to accumulating chunk-sized
+// buffers from the fused element stream. Batch consumers (the columnar
+// scan kernels) use this to sweep columns without a per-element call.
+func (d *Dataset[T]) EachPartitionChunks(p int, chunk int, yield func([]T) bool) error {
+	if p < 0 || p >= d.numPart {
+		return fmt.Errorf("engine: partition %d out of range [0, %d)", p, d.numPart)
+	}
+	if chunk <= 0 {
+		chunk = 1 << 12
+	}
+	if d.source != nil || d.cacheOn.Load() {
+		out, err := d.ComputePartition(p)
+		if err != nil {
+			return err
+		}
+		for len(out) > 0 {
+			n := chunk
+			if n > len(out) {
+				n = len(out)
+			}
+			if !yield(out[:n]) {
+				return nil
+			}
+			out = out[n:]
+		}
+		return nil
+	}
+	buf := make([]T, 0, chunk)
+	stopped := false
+	err := d.each(p, func(v T) bool {
+		buf = append(buf, v)
+		if len(buf) == chunk {
+			if !yield(buf) {
+				stopped = true
+				return false
+			}
+			buf = buf[:0]
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !stopped && len(buf) > 0 {
+		yield(buf)
+	}
+	return nil
+}
+
 // Cache marks the dataset for materialisation: each partition is
 // computed at most once and retained in memory, mirroring
 // RDD.cache(). It returns the receiver for chaining. Cache is a

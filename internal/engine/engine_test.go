@@ -491,3 +491,85 @@ func TestContextDefaults(t *testing.T) {
 		t.Error("default parallelism must be positive")
 	}
 }
+
+func TestEachPartitionChunks(t *testing.T) {
+	ctx := NewContext(2)
+	data := intRange(1000)
+
+	collect := func(d *Dataset[int], chunk int) []int {
+		t.Helper()
+		var got []int
+		for p := 0; p < d.NumPartitions(); p++ {
+			if err := d.EachPartitionChunks(p, chunk, func(batch []int) bool {
+				if chunk > 0 && len(batch) > chunk {
+					t.Fatalf("batch of %d exceeds chunk %d", len(batch), chunk)
+				}
+				got = append(got, batch...)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got
+	}
+
+	// Sourced dataset: zero-copy windows.
+	src := Parallelize(ctx, data, 7)
+	for _, chunk := range []int{1, 3, 64, 1000, 5000, 0} {
+		got := collect(src, chunk)
+		if len(got) != len(data) {
+			t.Fatalf("chunk=%d: got %d elements", chunk, len(got))
+		}
+		sort.Ints(got)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("chunk=%d: element %d = %d", chunk, i, v)
+			}
+		}
+	}
+
+	// Fused pipeline (no source, no cache): buffered fallback must see
+	// the transformed elements.
+	mapped := src.Filter(func(v int) bool { return v%2 == 0 })
+	got := collect(mapped, 16)
+	want, err := mapped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("fused: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fused: element %d = %d want %d", i, got[i], want[i])
+		}
+	}
+
+	// Cached dataset replays the materialised slices.
+	cached := Map(src, func(v int) int { return v * 2 }).Cache()
+	if _, err := cached.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	got = collect(cached, 128)
+	if len(got) != len(data) {
+		t.Fatalf("cached: got %d elements", len(got))
+	}
+
+	// Early stop: yield=false ends the partition's stream.
+	calls := 0
+	if err := src.EachPartitionChunks(0, 10, func(batch []int) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("early stop: %d yields", calls)
+	}
+
+	if err := src.EachPartitionChunks(99, 10, func([]int) bool { return true }); err == nil {
+		t.Fatal("out-of-range partition did not error")
+	}
+}

@@ -150,8 +150,16 @@ func (e Envelope) ContainsEnvelope(o Envelope) bool {
 }
 
 // Distance returns the minimum distance between the two envelopes
-// (0 when they intersect).
+// (0 when they intersect). Either side being empty yields +Inf — the
+// same convention as DistanceToPoint, and what the JSON-null
+// marshalling of the empty envelope implies: an absent extent is
+// infinitely far from everything, rather than a ±Inf-arithmetic
+// accident. The columnar WithinDistance kernel relies on this: empty
+// rows must fail every distance test.
 func (e Envelope) Distance(o Envelope) float64 {
+	if e.IsEmpty() || o.IsEmpty() {
+		return math.Inf(1)
+	}
 	if e.Intersects(o) {
 		return 0
 	}

@@ -161,7 +161,13 @@ func FilterNode(d FilterDecision, preds []Pred, alreadyIndexed bool, child *Node
 	if d.UseIndex {
 		n.EstCost = d.IndexCost
 	}
+	if d.UseColumnar {
+		n.EstCost = d.ColumnarCost
+	}
 	switch {
+	case d.UseColumnar:
+		n.Prop("access=columnar kernels (scan_cost=%s columnar_cost=%s)",
+			trimFloat(d.ScanCost), trimFloat(d.ColumnarCost))
 	case alreadyIndexed:
 		n.Prop("index=probe (existing partition trees)")
 	case d.UseIndex:
@@ -197,6 +203,16 @@ func LiveScanNode(name string, gen uint64, partitions, order int, rows int64) *N
 	n.Prop("access=concurrent R-link tree (order=%d), snapshot-pinned", order)
 	n.Prop("partitions=%d live_rows=%d", partitions, rows)
 	return n
+}
+
+// ColumnarScanNode builds the EXPLAIN leaf of a columnar-sidecar
+// scan: batched envelope/interval kernels over SoA columns, with the
+// actual kernel counters attached after execution.
+func ColumnarScanNode(partitions int, rows int64, hilbert bool, child *Node) *Node {
+	n := NewNode("ColumnarScan", fmt.Sprintf("partitions=%d rows=%d", partitions, rows))
+	n.EstRows = float64(rows)
+	n.Prop("layout=SoA envelope/interval columns, hilbert_sorted=%t", hilbert)
+	return n.Add(child)
 }
 
 // NaiveFilterNode builds the EXPLAIN node of an unplanned filter

@@ -130,6 +130,10 @@ const (
 	// another partitioner during a co-partitioned join (extent overlap
 	// scan + bucket append).
 	CostShuffle = 3.0
+	// CostKernel is the per-record cost of one coarse columnar kernel
+	// sweep: a handful of float compares over cache-resident columns,
+	// far below an exact predicate call through interface dispatch.
+	CostKernel = 0.05
 )
 
 // evalCost returns the cost of one exact evaluation of p.
@@ -151,6 +155,9 @@ type FilterOptions struct {
 	// IndexOrder is the R-tree order an auto-built live index would
 	// use.
 	IndexOrder int
+	// Columnar marks a dataset carrying a built columnar sidecar, so
+	// the batched-kernel scan is a physical alternative.
+	Columnar bool
 }
 
 // FilterDecision is the planner's verdict for a conjunctive
@@ -178,6 +185,11 @@ type FilterDecision struct {
 	IndexOrder int
 	ScanCost   float64
 	IndexCost  float64
+	// UseColumnar selects the batched-kernel columnar scan over both
+	// the row scan and the index probe; ColumnarCost is its estimate
+	// (+Inf when no sidecar is available).
+	UseColumnar  bool
+	ColumnarCost float64
 }
 
 // PlanFilter plans a conjunctive filter (every predicate must hold)
@@ -252,6 +264,33 @@ func PlanFilter(sum *stats.Summary, preds []Pred, opt FilterOptions) FilterDecis
 	}
 	d.UseIndex = len(preds) > 0 && rows > 0 &&
 		(opt.AlreadyIndexed || d.IndexCost < d.ScanCost)
+
+	// Columnar alternative: every kernel sweeps all visited rows at
+	// CostKernel each, then the survivors of the conjunction — bounded
+	// by the most selective predicate — are refined exactly. Only
+	// offered when a sidecar is built; when it wins it also displaces
+	// an AlreadyIndexed probe (the cheapest access path should win,
+	// pre-built or not).
+	d.ColumnarCost = math.Inf(1)
+	if opt.Columnar && len(preds) > 0 {
+		d.ColumnarCost = rows * CostKernel * float64(len(preds))
+		first := d.Order[0]
+		refine := 0.0
+		for _, i := range d.Order {
+			refine += evalCost(preds[i])
+		}
+		d.ColumnarCost += rows * d.Sel[first] * refine
+		if rows > 0 {
+			best := d.ScanCost
+			if d.UseIndex {
+				best = math.Min(best, d.IndexCost)
+			}
+			if d.ColumnarCost < best {
+				d.UseColumnar = true
+				d.UseIndex = false
+			}
+		}
+	}
 	return d
 }
 

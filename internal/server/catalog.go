@@ -51,6 +51,11 @@ type DatasetSpec struct {
 	// become its first insert batch. The "persistent" index recipe is
 	// rejected — bulk-loaded STR trees are immutable.
 	Mutable bool `json:"mutable,omitempty"`
+	// Columnar builds the Hilbert-sorted columnar scan sidecar: at
+	// staging time for immutable datasets, lazily per snapshot
+	// generation for mutable ones (the first query after each ingest
+	// batch pays the rebuild).
+	Columnar bool `json:"columnar,omitempty"`
 }
 
 // EventSpec is one inline event of a registration request.
@@ -73,6 +78,8 @@ type DatasetInfo struct {
 	// published mutation generation (0 = no batch applied yet).
 	Mutable        bool   `json:"mutable,omitempty"`
 	LiveGeneration uint64 `json:"liveGeneration,omitempty"`
+	// Columnar marks entries carrying the columnar scan sidecar.
+	Columnar bool `json:"columnar,omitempty"`
 }
 
 // catalogEntry is one published dataset. The identity of an entry is
@@ -93,6 +100,13 @@ type catalogEntry struct {
 	sumGen    uint64
 	sumCached *stark.DatasetStats
 	sumEvents int64
+
+	// colMu guards the per-generation columnar view of a mutable
+	// columnar entry (immutable columnar entries bake the sidecar into
+	// ds at staging time).
+	colMu  sync.Mutex
+	colGen uint64
+	colDS  *stark.Dataset[workload.Event]
 }
 
 // dataset returns the queryable view of the entry: the staged dataset
@@ -102,9 +116,32 @@ type catalogEntry struct {
 // cache keeps hitting until a mutation batch lands.
 func (e *catalogEntry) dataset() *stark.Dataset[workload.Event] {
 	if e.mds != nil {
+		if e.spec.Columnar {
+			return e.columnarSnapshot()
+		}
 		return e.mds.Snapshot()
 	}
 	return e.ds
+}
+
+// columnarSnapshot returns the latest snapshot with the columnar hint
+// chained on, memoised per live generation: within a generation every
+// query shares one view (so the sidecar is built once, lazily at the
+// first action), and a mutation batch invalidates it by moving the
+// generation.
+func (e *catalogEntry) columnarSnapshot() *stark.Dataset[workload.Event] {
+	e.colMu.Lock()
+	defer e.colMu.Unlock()
+	// Read the generation before taking the snapshot: if a batch lands
+	// in between, a newer view is cached under an older label and the
+	// next call refreshes again — never a stale view under a newer
+	// generation (same discipline as the stats cache below).
+	g := e.mds.Generation()
+	if e.colDS == nil || g != e.colGen {
+		e.colDS = e.mds.Snapshot().Columnar()
+		e.colGen = g
+	}
+	return e.colDS
 }
 
 // stats returns the planner summary and the event count. Immutable
@@ -148,6 +185,7 @@ func (e *catalogEntry) info() DatasetInfo {
 		info.Mutable = true
 		info.LiveGeneration = e.mds.Generation()
 	}
+	info.Columnar = e.spec.Columnar
 	return info
 }
 
@@ -301,6 +339,9 @@ func stageDataset(ctx *stark.Context, events []workload.Event, spec DatasetSpec)
 	if mode != (stark.NoIndexing) {
 		ds = ds.Index(mode)
 	}
+	if spec.Columnar {
+		ds = ds.Columnar()
+	}
 	if err := ds.Run(); err != nil {
 		return nil, fmt.Errorf("staging events: %w", err)
 	}
@@ -452,7 +493,7 @@ func parsePartitioner(s string) (stark.Partitioner, error) {
 //	name:key=value,key=value,...
 //
 // with keys n, seed, dist, width, height, timerange, index, part,
-// mutable. Example:
+// mutable, columnar. Example:
 // "hotels:n=50000,seed=7,dist=uniform,index=live:8,part=grid:8";
 // "fleet:mutable=true,part=grid:8" registers an empty mutable dataset
 // fed over POST /api/v1/ingest.
@@ -491,6 +532,8 @@ func ParseDatasetFlag(s string) (DatasetSpec, error) {
 			spec.Partitioner = val
 		case "mutable":
 			spec.Mutable, err = strconv.ParseBool(val)
+		case "columnar":
+			spec.Columnar, err = strconv.ParseBool(val)
 		default:
 			return DatasetSpec{}, fmt.Errorf("dataset flag %q: unknown key %q", s, key)
 		}

@@ -87,6 +87,27 @@ func (p Partitioner) Build(keys []STObject) (SpatialPartitioner, error) {
 	return p.build(func() ([]STObject, error) { return keys, nil })
 }
 
+// HilbertOrdered wraps the recipe so the built partitioner's IDs run
+// in Hilbert-curve order of the partitions' cell centers: consecutive
+// partition IDs are spatially adjacent regions. Assignment and bounds
+// are unchanged — only the numbering moves — so pruning semantics are
+// identical, while partition-ID range scans (and the columnar sidecar,
+// which lays partitions out in ID order) walk the data space
+// coherently. Compose it with any recipe: Grid(8).HilbertOrdered().
+func (p Partitioner) HilbertOrdered() Partitioner {
+	inner := p.build
+	return Partitioner{name: p.name + ".hilbert", build: func(keys func() ([]STObject, error)) (partition.SpatialPartitioner, error) {
+		if inner == nil {
+			return nil, fmt.Errorf("stark: zero Partitioner recipe (use Grid, BSP, Voronoi or WithPartitioner)")
+		}
+		sp, err := inner(keys)
+		if err != nil {
+			return nil, err
+		}
+		return partition.HilbertOrder(sp), nil
+	}}
+}
+
 // WithPartitioner adapts an already-built spatial partitioner, for
 // callers that construct or tune one outside the chain.
 func WithPartitioner(sp SpatialPartitioner) Partitioner {
