@@ -63,27 +63,6 @@ func writeReport(dir string, rep jsonReport) (string, error) {
 	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// sumSnapshots adds up the metrics of every context an experiment
-// created.
-func sumSnapshots(ctxs []*engine.Context) engine.MetricsSnapshot {
-	var total engine.MetricsSnapshot
-	for _, c := range ctxs {
-		s := c.Metrics().Snapshot()
-		total.TasksLaunched += s.TasksLaunched
-		total.TasksSkipped += s.TasksSkipped
-		total.ElementsScanned += s.ElementsScanned
-		total.ShuffledRecords += s.ShuffledRecords
-		total.IndexProbes += s.IndexProbes
-		total.CandidatesRefined += s.CandidatesRefined
-		total.StatsRecords += s.StatsRecords
-		total.LiveBatches += s.LiveBatches
-		total.LiveMutations += s.LiveMutations
-		total.KernelBatches += s.KernelBatches
-		total.KernelSurvivors += s.KernelSurvivors
-	}
-	return total
-}
-
 func main() {
 	var (
 		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|service|mutation|all")
@@ -235,11 +214,11 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-8s %10s %12s %10s %10s %10s %10s %10s\n",
-				"Phase", "Requests", "Concurrency", "p50 [ms]", "p99 [ms]", "Hits", "Misses", "HitRate")
+			fmt.Printf("%-8s %10s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+				"Phase", "Requests", "Concurrency", "p50 [ms]", "p99 [ms]", "sP50 [ms]", "sP99 [ms]", "Hits", "Misses", "HitRate")
 			for _, r := range rows {
-				fmt.Printf("%-8s %10d %12d %10.2f %10.2f %10d %10d %10.2f\n",
-					r.Phase, r.Requests, r.Concurrency, r.P50Ms, r.P99Ms, r.CacheHits, r.CacheMisses, r.HitRate)
+				fmt.Printf("%-8s %10d %12d %10.2f %10.2f %10.2f %10.2f %10d %10d %10.2f\n",
+					r.Phase, r.Requests, r.Concurrency, r.P50Ms, r.P99Ms, r.ServerP50Ms, r.ServerP99Ms, r.CacheHits, r.CacheMisses, r.HitRate)
 			}
 			result = rows
 		case "layout":
@@ -286,7 +265,7 @@ func main() {
 				WallNs:      wall.Nanoseconds(),
 				Allocs:      m1.Mallocs - m0.Mallocs,
 				AllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
-				Metrics:     sumSnapshots(ctxs),
+				Metrics:     engine.SumSnapshots(ctxs),
 				GoVersion:   runtime.Version(),
 				GOMAXPROCS:  runtime.GOMAXPROCS(0),
 				GeneratedAt: time.Now().UTC(),

@@ -22,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"time"
 
 	"stark"
@@ -50,9 +52,18 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 0, "admission queue depth (0 = 4×slots)")
 		queueTimeout  = flag.Duration("queue-timeout", 2*time.Second, "admission queue deadline")
 		cacheMB       = flag.Int64("cache-mb", 64, "result cache budget in MiB")
+		slowQueryMs   = flag.Int64("slow-query-ms", 0, "log queries slower than this many ms with fingerprint and trace summary (0 = off)")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		verbose       = flag.Bool("v", false, "log every request (debug level), not just slow ones")
 	)
 	flag.Var(&datasets, "dataset", "preload a dataset: name:n=N[,seed=S,dist=D,width=W,height=H,timerange=T,index=I,part=P] (repeatable)")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	ctx := stark.NewContext(*parallelism)
 	srv := server.NewService(ctx, server.Options{
@@ -60,6 +71,9 @@ func main() {
 		QueueDepth:    *queueDepth,
 		QueueTimeout:  *queueTimeout,
 		CacheBytes:    *cacheMB << 20,
+		SlowQueryMs:   *slowQueryMs,
+		EnablePprof:   *enablePprof,
+		Logger:        logger,
 	})
 
 	if *events > 0 {

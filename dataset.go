@@ -62,7 +62,21 @@ type state[V any] struct {
 	// R-tree over the streamed rows. It describes the UNFILTERED
 	// snapshot, so flush drops it as soon as a predicate is folded
 	// into the lineage.
-	liveProbe func(pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error)
+	liveProbe func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error)
+}
+
+// withRecorder returns the state with recorder views of its spatial
+// and indexed datasets, so every metric the chain's operators charge
+// lands on rec (in addition to the context totals). The views share
+// partitions, caches, statistics and sidecars with the originals.
+func (st state[V]) withRecorder(rec *engine.Recorder) state[V] {
+	if st.sds != nil {
+		st.sds = st.sds.WithRecorder(rec)
+	}
+	if st.idx != nil {
+		st.idx = st.idx.WithRecorder(rec)
+	}
+	return st
 }
 
 // pendingPred is one deferred scan filter: the execution closure plus
@@ -102,6 +116,26 @@ type Dataset[V any] struct {
 	flushOnce sync.Once
 	flushed   state[V]
 	flushErr  error
+
+	// recOnce memoises the per-job recorder: every metric an action on
+	// this Dataset generates is attributed to it (and rolled into the
+	// context totals), so Explain actuals, execution traces and the
+	// query service report per-query counters that are exact even when
+	// many queries share the context. See Context.NewJobRecorder.
+	recOnce sync.Once
+	jobRec  *engine.Recorder
+
+	// phases are the recorded execution phases of this Dataset (plan
+	// compilation plus every action run), assembled by Trace().
+	traceMu sync.Mutex
+	phases  []tracePhase
+}
+
+// jobRecorder returns the Dataset's per-job metrics recorder,
+// creating it on first use.
+func (d *Dataset[V]) jobRecorder() *engine.Recorder {
+	d.recOnce.Do(func() { d.jobRec = d.ctx.NewJobRecorder() })
+	return d.jobRec
 }
 
 // newDataset wraps a resolve step with memoisation.
@@ -179,7 +213,7 @@ func (d *Dataset[V]) PartitionBy(p Partitioner) *Dataset[V] {
 		collected := false
 		sp, err := p.build(func() ([]STObject, error) {
 			var err error
-			if visit, ok := st.prunedVisit(d.ctx); ok {
+			if visit, ok := st.prunedVisit(d.ctx.Recorder()); ok {
 				rows, err = st.sds.Dataset().CollectPartitions(visit)
 			} else {
 				rows, err = st.sds.Collect()
@@ -542,7 +576,11 @@ func (d *Dataset[V]) forceFlushed() (state[V], error) {
 			d.flushErr = err
 			return
 		}
-		d.flushed, d.flushErr = st.flush(d.ctx)
+		rec := d.jobRecorder()
+		d.flushed, d.flushErr = st.withRecorder(rec).flush(d.ctx)
+		if d.flushErr == nil {
+			d.flushed = d.flushed.withRecorder(rec)
+		}
 	})
 	return d.flushed, d.flushErr
 }
@@ -571,7 +609,7 @@ func (st *state[V]) enumerateViaIndex() bool {
 // prunedVisit returns the partitions an action must visit once the
 // pending filter envelopes are applied, or ok=false when no pruning
 // applies.
-func (st *state[V]) prunedVisit(ctx *Context) (visit []int, ok bool) {
+func (st *state[V]) prunedVisit(rec *engine.Recorder) (visit []int, ok bool) {
 	sp := st.sds.Partitioner()
 	if sp == nil || len(st.pruneEnvs) == 0 {
 		return nil, false
@@ -591,7 +629,7 @@ func (st *state[V]) prunedVisit(ctx *Context) (visit []int, ok bool) {
 		}
 	}
 	if pruned := n - len(visit); pruned > 0 {
-		ctx.Metrics().TasksSkipped.Add(int64(pruned))
+		rec.TasksSkipped(int64(pruned))
 	}
 	return visit, true
 }
@@ -602,10 +640,15 @@ func (d *Dataset[V]) Collect() ([]Tuple[V], error) {
 	if err != nil {
 		return nil, err
 	}
+	m := d.beginPhase()
+	var out []Tuple[V]
 	if c.visit != nil {
-		return c.ds.CollectPartitions(c.visit)
+		out, err = c.ds.CollectPartitions(c.visit)
+	} else {
+		out, err = c.ds.Collect()
 	}
-	return c.ds.Collect()
+	d.endPhase("collect", m, int64(len(out)))
+	return out, err
 }
 
 // Count returns the number of result records.
@@ -614,10 +657,15 @@ func (d *Dataset[V]) Count() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	m := d.beginPhase()
+	var n int64
 	if c.visit != nil {
-		return c.ds.CountPartitions(c.visit)
+		n, err = c.ds.CountPartitions(c.visit)
+	} else {
+		n, err = c.ds.Count()
 	}
-	return c.ds.Count()
+	d.endPhase("count", m, n)
+	return n, err
 }
 
 // Take returns up to n result records, scanning partitions in order.
@@ -633,10 +681,15 @@ func (d *Dataset[V]) Take(n int) ([]Tuple[V], error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	m := d.beginPhase()
+	var out []Tuple[V]
 	if c.visit != nil {
-		return c.ds.TakePartitions(c.visit, n)
+		out, err = c.ds.TakePartitions(c.visit, n)
+	} else {
+		out, err = c.ds.Take(n)
 	}
-	return c.ds.Take(n)
+	d.endPhase("take", m, int64(len(out)))
+	return out, err
 }
 
 // First returns the first result record in partition order, ok=false
@@ -698,10 +751,14 @@ func (d *Dataset[V]) Foreach(fn func(Tuple[V])) error {
 	if err != nil {
 		return err
 	}
+	m := d.beginPhase()
 	if c.visit != nil {
-		return c.ds.ForeachPartitions(c.visit, fn)
+		err = c.ds.ForeachPartitions(c.visit, fn)
+	} else {
+		err = c.ds.Foreach(fn)
 	}
-	return c.ds.Foreach(fn)
+	d.endPhase("foreach", m, 0)
+	return err
 }
 
 // Stream drives every result record through fn sequentially, in
@@ -718,10 +775,19 @@ func (d *Dataset[V]) Stream(fn func(Tuple[V]) bool) error {
 	if err != nil {
 		return err
 	}
-	if c.visit != nil {
-		return c.ds.StreamPartitions(c.visit, fn)
+	m := d.beginPhase()
+	var rows int64
+	counted := func(kv Tuple[V]) bool {
+		rows++
+		return fn(kv)
 	}
-	return c.ds.Stream(fn)
+	if c.visit != nil {
+		err = c.ds.StreamPartitions(c.visit, counted)
+	} else {
+		err = c.ds.Stream(counted)
+	}
+	d.endPhase("stream", m, rows)
+	return err
 }
 
 // StreamParallel is Stream with partition-parallel compute: rows
@@ -738,10 +804,19 @@ func (d *Dataset[V]) StreamParallel(fn func(Tuple[V]) bool) error {
 	if err != nil {
 		return err
 	}
-	if c.visit != nil {
-		return c.ds.StreamPartitionsParallel(c.visit, 0, fn)
+	m := d.beginPhase()
+	var rows int64
+	counted := func(kv Tuple[V]) bool {
+		rows++
+		return fn(kv)
 	}
-	return c.ds.StreamParallel(fn)
+	if c.visit != nil {
+		err = c.ds.StreamPartitionsParallel(c.visit, 0, counted)
+	} else {
+		err = c.ds.StreamParallel(counted)
+	}
+	d.endPhase("stream", m, rows)
+	return err
 }
 
 // NumPartitions resolves the chain and returns the partition count.
@@ -807,14 +882,14 @@ func (d *Dataset[V]) KNNContext(ctx context.Context, q STObject, k int, df ...Di
 	if err != nil {
 		return nil, err
 	}
+	m := d.beginPhase()
+	var nbrs []Neighbor[V]
 	if st.idx != nil {
-		nbrs, err := st.idx.KNNContext(ctx, q, k, dist)
-		if err != nil {
-			return nil, fmt.Errorf("stark: kNN: %w", err)
-		}
-		return nbrs, nil
+		nbrs, err = st.idx.KNNContext(ctx, q, k, dist)
+	} else {
+		nbrs, err = st.sds.KNNContext(ctx, q, k, dist)
 	}
-	nbrs, err := st.sds.KNNContext(ctx, q, k, dist)
+	d.endPhase("knn", m, int64(len(nbrs)))
 	if err != nil {
 		return nil, fmt.Errorf("stark: kNN: %w", err)
 	}

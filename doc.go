@@ -218,6 +218,39 @@
 // `mutation` bench experiment measures ingest throughput, the
 // ingest+query blend and batched deletes into BENCH_mutation.json.
 //
+// # Observability
+//
+// Engine counters are attributed per query: every Dataset chain
+// carries a job recorder that charges the work it causes — elements
+// scanned, index probes, tasks launched and skipped, shuffle volume —
+// to that query exactly, and to the context totals as well. The
+// attribution stays exact under concurrency (a -race regression test
+// pins solo runs against concurrent ones); work shared across
+// queries by design (statistics collection, columnar layout builds,
+// index construction, live ingestion) is charged to the context
+// totals only.
+//
+// Dataset.Trace() returns the chain's execution trace as a
+// plan.TraceNode tree: one child per executed phase (plan, collect,
+// stream, count, knn, ...) with wall time, rows and the per-query
+// counter deltas, and the executed plan tree grafted under the first
+// phase so the operators the planner chose appear with their actual
+// cardinalities. Trace().Render() prints an indented tree; phase
+// recording is always on and costs two counter snapshots per action,
+// so EXPLAIN output and untraced behaviour are unchanged.
+//
+// The query service exposes the same at the HTTP layer: a query with
+// "trace": true returns the trace in its NDJSON summary line
+// (bypassing the result cache in both directions, so the trace
+// always describes a real execution); GET /metrics serves a
+// Prometheus text exposition (internal/obs, stdlib-only) with
+// per-route latency histograms, cache, admission and engine
+// counters; GET /api/service reports the same as JSON. Every
+// response carries an X-Request-Id, requests log through log/slog,
+// and starkd's -slow-query-ms flag warns on slow requests with the
+// offending query's trace one-liner attached (-pprof mounts
+// net/http/pprof).
+//
 // The implementation below the DSL lives in internal/ and is not part
 // of the API:
 //
@@ -251,9 +284,12 @@
 //   - internal/baselines — GeoSpark- and SpatialSpark-style join
 //     strategies for the Figure 4 comparison;
 //   - internal/piglet    — the Pig Latin derivative of the demo;
+//   - internal/obs       — the dependency-free metrics kernel:
+//     counters, gauges, quantile-estimating histograms and the
+//     Prometheus text exposition behind GET /metrics;
 //   - internal/server    — the multi-dataset query service (catalog,
-//     result cache, admission control, NDJSON streaming) and the demo
-//     web front end;
+//     result cache, admission control, NDJSON streaming, telemetry)
+//     and the demo web front end;
 //   - internal/bench     — the experiment harness regenerating the
 //     paper's evaluation.
 //

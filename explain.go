@@ -54,18 +54,26 @@ func (d *Dataset[V]) compiled() (compiled[V], error) {
 			d.compErr = err
 			return
 		}
-		d.comp, d.compErr = compileState(d.ctx, st)
+		rec := d.jobRecorder()
+		m := d.beginPhase()
+		d.comp, d.compErr = compileState(d.ctx, rec, st.withRecorder(rec))
+		if d.compErr == nil {
+			d.comp.ds = d.comp.ds.WithRecorder(rec)
+		}
+		d.endPhase("plan", m, 0)
 	})
 	return d.comp, d.compErr
 }
 
-// compileState turns a resolved state into an executable plan.
-func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
+// compileState turns a resolved state into an executable plan,
+// charging planning metrics (pruned partitions, eager index probes)
+// to rec.
+func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compiled[V], error) {
 	if len(st.pending) == 0 {
 		if st.enumerateViaIndex() {
 			return compiled[V]{ds: st.idx.Flat(), root: st.base}, nil
 		}
-		if visit, ok := st.prunedVisit(ctx); ok {
+		if visit, ok := st.prunedVisit(rec); ok {
 			return compiled[V]{ds: st.sds.Dataset(), visit: visit, root: st.base}, nil
 		}
 		return compiled[V]{ds: st.sds.Dataset(), root: st.base}, nil
@@ -84,7 +92,7 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 			return compiled[V]{}, err
 		}
 		fl.base = plan.NaiveFilterNode(preds, st.base)
-		return compileState(ctx, fl)
+		return compileState(ctx, rec, fl)
 	}
 
 	sum, err := st.sds.Stats(0)
@@ -130,7 +138,7 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 	dec.Pruned = st.sds.NumPartitions() - len(visit)
 	dec.InputRows = sum.RowsIn(visit)
 	if dec.Pruned > 0 {
-		ctx.Metrics().TasksSkipped.Add(int64(dec.Pruned))
+		rec.TasksSkipped(int64(dec.Pruned))
 	}
 
 	if dec.UseColumnar {
@@ -180,11 +188,11 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 			return true
 		}
 		first := ordered[0]
-		before := ctx.Metrics().Snapshot()
+		before := rec.Snapshot()
 		var rows []Tuple[V]
 		var err error
 		if st.liveProbe != nil {
-			rows, err = st.liveProbe(first.info.PruneEnv(), func(key STObject) bool {
+			rows, err = st.liveProbe(rec, first.info.PruneEnv(), func(key STObject) bool {
 				return refineAll(key, first.q)
 			}, visit)
 		} else {
@@ -193,7 +201,7 @@ func compileState[V any](ctx *Context, st state[V]) (compiled[V], error) {
 		if err != nil {
 			return compiled[V]{}, fmt.Errorf("stark: plan: index probe: %w", err)
 		}
-		after := ctx.Metrics().Snapshot()
+		after := rec.Snapshot()
 		root.ActRows = int64(len(rows))
 		root.Prop("probe: index_probes=%d candidates_refined=%d",
 			after.IndexProbes-before.IndexProbes,
@@ -282,8 +290,8 @@ func (d *Dataset[V]) ExplainNode() (*PlanNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := d.ctx.Metrics()
-	before := m.Snapshot()
+	rec := d.jobRecorder()
+	before := rec.Snapshot()
 	var n int64
 	if c.visit != nil {
 		n, err = c.ds.CountPartitions(c.visit)
@@ -293,7 +301,7 @@ func (d *Dataset[V]) ExplainNode() (*PlanNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stark: explain: %w", err)
 	}
-	after := m.Snapshot()
+	after := rec.Snapshot()
 	root := c.root.Clone()
 	if root == nil {
 		root = plan.NewNode("Scan", "dataset")

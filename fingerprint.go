@@ -101,5 +101,13 @@ func (d *Dataset[V]) StreamParallelContext(ctx context.Context, fn func(Tuple[V]
 			visit[i] = i
 		}
 	}
-	return c.ds.StreamPartitionsParallelContext(ctx, visit, 0, fn)
+	m := d.beginPhase()
+	var rows int64
+	counted := func(kv Tuple[V]) bool {
+		rows++
+		return fn(kv)
+	}
+	err = c.ds.StreamPartitionsParallelContext(ctx, visit, 0, counted)
+	d.endPhase("stream", m, rows)
+	return err
 }

@@ -105,6 +105,7 @@ func Layout(cfg Config) ([]LayoutRow, error) {
 					return nil, err
 				}
 				after := ctx.Metrics().Snapshot()
+				d := after.Sub(before)
 				key := dist.name + "/" + w.name
 				if prev, ok := want[key]; !ok {
 					want[key] = n
@@ -119,9 +120,9 @@ func Layout(cfg Config) ([]LayoutRow, error) {
 					Selectivity:     float64(n) / float64(cfg.N),
 					NsPerOp:         float64(dur.Nanoseconds()) / reps,
 					Results:         n,
-					ElementsScanned: (after.ElementsScanned - before.ElementsScanned) / reps,
-					KernelBatches:   (after.KernelBatches - before.KernelBatches) / reps,
-					KernelSurvivors: (after.KernelSurvivors - before.KernelSurvivors) / reps,
+					ElementsScanned: d.ElementsScanned / reps,
+					KernelBatches:   d.KernelBatches / reps,
+					KernelSurvivors: d.KernelSurvivors / reps,
 				})
 			}
 		}

@@ -91,6 +91,7 @@ func Optimizer(cfg Config) ([]OptimizerRow, error) {
 				return nil, err
 			}
 			after := ctx.Metrics().Snapshot()
+			d := after.Sub(before)
 			if wantResults < 0 {
 				wantResults = n
 			} else if n != wantResults {
@@ -101,8 +102,8 @@ func Optimizer(cfg Config) ([]OptimizerRow, error) {
 				Variant: variant, Indexed: indexed,
 				Seconds:         dur.Seconds() / reps,
 				Results:         n,
-				ElementsScanned: (after.ElementsScanned - before.ElementsScanned) / reps,
-				TasksSkipped:    (after.TasksSkipped - before.TasksSkipped) / reps,
+				ElementsScanned: d.ElementsScanned / reps,
+				TasksSkipped:    d.TasksSkipped / reps,
 			})
 		}
 	}

@@ -12,6 +12,7 @@ package bench
 //   - mixed: 80% hot pool / 20% distinct, the serving-shaped blend.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -20,10 +21,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"stark/internal/engine"
+	"stark/internal/obs"
 	"stark/internal/server"
 	"stark/internal/workload"
 )
@@ -36,6 +40,8 @@ type ServiceRow struct {
 	P50Ms       float64 `json:"p50Ms"`
 	P99Ms       float64 `json:"p99Ms"`
 	MeanMs      float64 `json:"meanMs"`
+	ServerP50Ms float64 `json:"serverP50Ms"` // from the service's own /metrics histogram
+	ServerP99Ms float64 `json:"serverP99Ms"`
 	CacheHits   int64   `json:"cacheHits"`
 	CacheMisses int64   `json:"cacheMisses"`
 	HitRate     float64 `json:"hitRate"`
@@ -133,6 +139,10 @@ func Service(cfg Config) ([]ServiceRow, error) {
 	var rows []ServiceRow
 	for _, phase := range phases {
 		statsBefore := srv.CacheStats()
+		boundsBefore, cumBefore, err := scrapeDurationBuckets(client, ts.URL, "/api/v1/query")
+		if err != nil {
+			return nil, err
+		}
 		durations := make([]time.Duration, requests)
 		rejected := make([]bool, requests)
 		var wg sync.WaitGroup
@@ -166,6 +176,24 @@ func Service(cfg Config) ([]ServiceRow, error) {
 			return nil, firstErr
 		}
 		statsAfter := srv.CacheStats()
+		bounds, cumAfter, err := scrapeDurationBuckets(client, ts.URL, "/api/v1/query")
+		if err != nil {
+			return nil, err
+		}
+		// The histogram is cumulative since server start; the per-phase
+		// distribution is the bucket-count delta across the phase. Before
+		// the first phase the route's histogram does not exist yet, so an
+		// empty "before" scrape means a zero baseline.
+		var phaseCum []int64
+		switch {
+		case len(cumBefore) == 0:
+			phaseCum = cumAfter
+		case len(bounds) == len(boundsBefore) && len(cumAfter) == len(cumBefore):
+			phaseCum = make([]int64, len(cumAfter))
+			for i := range cumAfter {
+				phaseCum[i] = cumAfter[i] - cumBefore[i]
+			}
+		}
 
 		sorted := append([]time.Duration(nil), durations...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -191,6 +219,8 @@ func Service(cfg Config) ([]ServiceRow, error) {
 			CacheHits:   hits,
 			CacheMisses: misses,
 			Rejected:    nRejected,
+			ServerP50Ms: obs.QuantileFromCumulative(bounds, phaseCum, 0.50) * 1000,
+			ServerP99Ms: obs.QuantileFromCumulative(bounds, phaseCum, 0.99) * 1000,
 		}
 		if hits+misses > 0 {
 			row.HitRate = float64(hits) / float64(hits+misses)
@@ -201,3 +231,52 @@ func Service(cfg Config) ([]ServiceRow, error) {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// scrapeDurationBuckets fetches the service's own /metrics exposition
+// and returns the request-latency histogram for one route as bucket
+// bounds (seconds, finite) plus cumulative counts (the +Inf bucket
+// last), ready for obs.QuantileFromCumulative. The server-observed
+// quantiles exclude client and transport overhead, so comparing them
+// to the client-side quantiles isolates where the latency lives.
+func scrapeDurationBuckets(client *http.Client, base, route string) ([]float64, []int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("bench: GET /metrics status %d", resp.StatusCode)
+	}
+	prefix := `stark_http_request_duration_seconds_bucket{route="` + route + `",le="`
+	var bounds []float64
+	var cum []int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		q := strings.Index(rest, `"`)
+		sp := strings.LastIndex(rest, " ")
+		if q < 0 || sp < q {
+			continue
+		}
+		le, err := strconv.ParseFloat(rest[:q], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: parsing bucket bound %q: %w", rest[:q], err)
+		}
+		n, err := strconv.ParseInt(rest[sp+1:], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: parsing bucket count %q: %w", rest[sp+1:], err)
+		}
+		if !strings.HasPrefix(rest[:q], "+Inf") {
+			bounds = append(bounds, le)
+		}
+		cum = append(cum, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return bounds, cum, nil
+}

@@ -32,12 +32,12 @@ type columnarSidecar[V any] struct {
 // copies to StatsRecords — it is a statistics-like auxiliary pass, not
 // a query.
 func (s *SpatialDataset[V]) BuildColumnar(hilbert bool) error {
-	s.colMu.Lock()
-	if s.col != nil && s.col.hilbert == hilbert {
-		s.colMu.Unlock()
+	s.aux.colMu.Lock()
+	if s.aux.col != nil && s.aux.col.hilbert == hilbert {
+		s.aux.colMu.Unlock()
 		return nil
 	}
-	s.colMu.Unlock()
+	s.aux.colMu.Unlock()
 
 	n := s.ds.NumPartitions()
 	side := &columnarSidecar[V]{
@@ -80,24 +80,24 @@ func (s *SpatialDataset[V]) BuildColumnar(hilbert bool) error {
 	if err != nil {
 		return err
 	}
-	s.colMu.Lock()
-	s.col = side
-	s.colMu.Unlock()
+	s.aux.colMu.Lock()
+	s.aux.col = side
+	s.aux.colMu.Unlock()
 	return nil
 }
 
 // HasColumnar reports whether the sidecar is built.
 func (s *SpatialDataset[V]) HasColumnar() bool {
-	s.colMu.Lock()
-	defer s.colMu.Unlock()
-	return s.col != nil
+	s.aux.colMu.Lock()
+	defer s.aux.colMu.Unlock()
+	return s.aux.col != nil
 }
 
 // ColumnarHilbert reports whether the sidecar rows are Hilbert-sorted.
 func (s *SpatialDataset[V]) ColumnarHilbert() bool {
-	s.colMu.Lock()
-	defer s.colMu.Unlock()
-	return s.col != nil && s.col.hilbert
+	s.aux.colMu.Lock()
+	defer s.aux.colMu.Unlock()
+	return s.aux.col != nil && s.aux.col.hilbert
 }
 
 // KernelPred is one predicate of a conjunctive chain in the form the
@@ -162,14 +162,14 @@ func KernelPrune(pruneMinX, pruneMinY, pruneMaxX, pruneMaxY float64, mode colsto
 // are additionally charged to CandidatesRefined, mirroring the index
 // path's coarse/exact split. Returns nil when no sidecar is built.
 func (s *SpatialDataset[V]) ColumnarFilter(preds []KernelPred) *engine.Dataset[Tuple[V]] {
-	s.colMu.Lock()
-	side := s.col
-	s.colMu.Unlock()
+	s.aux.colMu.Lock()
+	side := s.aux.col
+	s.aux.colMu.Unlock()
 	if side == nil || len(preds) == 0 {
 		return nil
 	}
-	metrics := s.Context().Metrics()
-	return engine.NewStream(s.Context(), s.ds.Name()+".colScan", len(side.parts),
+	rec := s.recorder()
+	out := engine.NewStream(s.Context(), s.ds.Name()+".colScan", len(side.parts),
 		func(p int, yield func(Tuple[V]) bool) error {
 			cols := side.parts[p]
 			rows := side.rows[p]
@@ -193,10 +193,11 @@ func (s *SpatialDataset[V]) ColumnarFilter(preds []KernelPred) *engine.Dataset[T
 				return yield(kv)
 			})
 			colstore.PutBitset(bs)
-			metrics.ElementsScanned.Add(int64(n))
-			metrics.KernelBatches.Add(batches)
-			metrics.KernelSurvivors.Add(survivors)
-			metrics.CandidatesRefined.Add(survivors)
+			rec.ElementsScanned(int64(n))
+			rec.KernelBatches(batches)
+			rec.KernelSurvivors(survivors)
+			rec.CandidatesRefined(survivors)
 			return nil
 		})
+	return out.WithRecorder(s.rec)
 }

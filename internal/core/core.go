@@ -40,25 +40,42 @@ type SpatialDataset[V any] struct {
 	ds *engine.Dataset[Tuple[V]]
 	sp partition.SpatialPartitioner // nil when not spatially partitioned
 
+	// rec, when non-nil, is the recorder the dataset's operators
+	// charge their metrics to (see WithRecorder); nil selects the
+	// context's root recorder.
+	rec *engine.Recorder
+
+	// aux holds the memoised per-instance caches. It is a separate
+	// pointer so recorder views (WithRecorder) share the caches of the
+	// dataset they overlay: attribution changes, memoised work does
+	// not repeat.
+	aux *spatialAux[V]
+}
+
+// spatialAux carries the caches bound to one logical SpatialDataset
+// instance. Every transformation returns a fresh SpatialDataset with
+// a fresh aux, so a summary or sidecar can never describe a stale
+// layout: repartitioning or filtering invalidates by construction.
+type spatialAux[V any] struct {
 	// statsCache memoises planner statistics per grid resolution.
-	// Every transformation returns a fresh SpatialDataset, so a
-	// summary can never describe a stale layout: repartitioning or
-	// filtering implicitly invalidates by construction.
 	statsMu    sync.Mutex
 	statsCache map[int]*stats.Summary
 
-	// col is the columnar sidecar built by BuildColumnar; like the
-	// stats cache it is bound to this instance, so transformations
-	// invalidate it by construction (a fresh SpatialDataset has none).
+	// col is the columnar sidecar built by BuildColumnar.
 	colMu sync.Mutex
 	col   *columnarSidecar[V]
+}
+
+// newSpatial builds a SpatialDataset with a fresh aux.
+func newSpatial[V any](ds *engine.Dataset[Tuple[V]], sp partition.SpatialPartitioner, rec *engine.Recorder) *SpatialDataset[V] {
+	return &SpatialDataset[V]{ds: ds, sp: sp, rec: rec, aux: &spatialAux[V]{}}
 }
 
 // Wrap lifts a plain engine dataset into a SpatialDataset — the
 // explicit counterpart of STARK's implicit RDD conversion. The data
 // is assumed not to be spatially partitioned.
 func Wrap[V any](ds *engine.Dataset[Tuple[V]]) *SpatialDataset[V] {
-	return &SpatialDataset[V]{ds: ds}
+	return newSpatial(ds, nil, nil)
 }
 
 // WrapPartitioned lifts a dataset that is already partitioned by sp.
@@ -69,7 +86,29 @@ func WrapPartitioned[V any](ds *engine.Dataset[Tuple[V]], sp partition.SpatialPa
 		return nil, fmt.Errorf("core: dataset has %d partitions, partitioner %d",
 			ds.NumPartitions(), sp.NumPartitions())
 	}
-	return &SpatialDataset[V]{ds: ds, sp: sp}, nil
+	return newSpatial(ds, sp, nil), nil
+}
+
+// recorder returns the recorder operators on this dataset charge: the
+// context's root recorder unless WithRecorder installed another.
+func (s *SpatialDataset[V]) recorder() *engine.Recorder {
+	if s.rec != nil {
+		return s.rec
+	}
+	return s.ds.Context().Recorder()
+}
+
+// WithRecorder returns a view of the dataset whose operators charge
+// their metrics (tasks, scanned elements, probes, kernel counters) to
+// rec instead of the context's root recorder. The view shares the
+// receiver's partitions, cache state, statistics and columnar sidecar
+// — it is an attribution overlay, not a new dataset. A nil rec
+// returns the receiver unchanged.
+func (s *SpatialDataset[V]) WithRecorder(rec *engine.Recorder) *SpatialDataset[V] {
+	if rec == nil || s.rec == rec {
+		return s
+	}
+	return &SpatialDataset[V]{ds: s.ds.WithRecorder(rec), sp: s.sp, rec: rec, aux: s.aux}
 }
 
 // Dataset returns the underlying engine dataset.
@@ -107,7 +146,7 @@ func (s *SpatialDataset[V]) PartitionBy(sp partition.SpatialPartitioner) (*Spati
 	if err != nil {
 		return nil, err
 	}
-	return &SpatialDataset[V]{ds: shuffled, sp: sp}, nil
+	return newSpatial(shuffled, sp, s.rec), nil
 }
 
 // spAdapter adapts a SpatialPartitioner to engine.Partitioner.
@@ -124,19 +163,19 @@ func (s *SpatialDataset[V]) Stats(gridN int) (*stats.Summary, error) {
 	if gridN <= 0 {
 		gridN = stats.DefaultGridSize
 	}
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	if sum, ok := s.statsCache[gridN]; ok {
+	s.aux.statsMu.Lock()
+	defer s.aux.statsMu.Unlock()
+	if sum, ok := s.aux.statsCache[gridN]; ok {
 		return sum, nil
 	}
 	sum, err := stats.Collect(s.ds, gridN)
 	if err != nil {
 		return nil, err
 	}
-	if s.statsCache == nil {
-		s.statsCache = make(map[int]*stats.Summary, 1)
+	if s.aux.statsCache == nil {
+		s.aux.statsCache = make(map[int]*stats.Summary, 1)
 	}
-	s.statsCache[gridN] = sum
+	s.aux.statsCache[gridN] = sum
 	return sum, nil
 }
 
@@ -148,12 +187,12 @@ func (s *SpatialDataset[V]) SeedStats(sum *stats.Summary) {
 	if sum == nil {
 		return
 	}
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	if s.statsCache == nil {
-		s.statsCache = make(map[int]*stats.Summary, 1)
+	s.aux.statsMu.Lock()
+	defer s.aux.statsMu.Unlock()
+	if s.aux.statsCache == nil {
+		s.aux.statsCache = make(map[int]*stats.Summary, 1)
 	}
-	s.statsCache[stats.DefaultGridSize] = sum
+	s.aux.statsCache[stats.DefaultGridSize] = sum
 }
 
 // relevantPartitions returns the partitions a query with the given
@@ -170,7 +209,7 @@ func (s *SpatialDataset[V]) relevantPartitions(q geom.Envelope) []int {
 	visit := partition.PruneByEnvelope(s.sp, q)
 	pruned := s.ds.NumPartitions() - len(visit)
 	if pruned > 0 {
-		s.Context().Metrics().TasksSkipped.Add(int64(pruned))
+		s.recorder().TasksSkipped(int64(pruned))
 	}
 	return visit
 }

@@ -18,9 +18,9 @@ import (
 // record that flows through the predicate to ElementsScanned (flushed
 // once per partition, so the hot loop stays atomic-free).
 func scanFiltered[V any](s *SpatialDataset[V], q stobject.STObject, pred stobject.Predicate) *engine.Dataset[Tuple[V]] {
-	metrics := s.Context().Metrics()
+	rec := s.recorder()
 	ds := s.ds
-	return engine.NewStream(s.Context(), ds.Name()+".stScan", ds.NumPartitions(),
+	out := engine.NewStream(s.Context(), ds.Name()+".stScan", ds.NumPartitions(),
 		func(p int, yield func(Tuple[V]) bool) error {
 			var scanned int64
 			err := ds.EachPartition(p, func(kv Tuple[V]) bool {
@@ -30,9 +30,10 @@ func scanFiltered[V any](s *SpatialDataset[V], q stobject.STObject, pred stobjec
 				}
 				return yield(kv)
 			})
-			metrics.ElementsScanned.Add(scanned)
+			rec.ElementsScanned(scanned)
 			return err
 		})
+	return out.WithRecorder(s.rec)
 }
 
 // filterScan runs pred(record.Key, q) over the partitions relevant

@@ -34,6 +34,28 @@ type IndexedDataset[V any] struct {
 	parts *engine.Dataset[IndexedPartition[V]]
 	sp    sp
 	order int
+	// rec, when non-nil, routes metric attribution (see WithRecorder);
+	// nil selects the context's root recorder.
+	rec *engine.Recorder
+}
+
+// recorder returns the recorder operators on this dataset charge.
+func (s *IndexedDataset[V]) recorder() *engine.Recorder {
+	if s.rec != nil {
+		return s.rec
+	}
+	return s.parts.Context().Recorder()
+}
+
+// WithRecorder returns a view of the indexed dataset whose probes and
+// tasks are charged to rec — the same attribution overlay as
+// SpatialDataset.WithRecorder. The partition trees are shared, not
+// rebuilt. A nil rec returns the receiver unchanged.
+func (s *IndexedDataset[V]) WithRecorder(rec *engine.Recorder) *IndexedDataset[V] {
+	if rec == nil || s.rec == rec {
+		return s
+	}
+	return &IndexedDataset[V]{parts: s.parts.WithRecorder(rec), sp: s.sp, order: s.order, rec: rec}
 }
 
 // sp aliases the partitioner interface locally to keep struct
@@ -59,11 +81,10 @@ func (s *SpatialDataset[V]) LiveIndex(order int, p sp) (*IndexedDataset[V], erro
 		}
 		base = repartitioned
 	}
-	metrics := base.Context().Metrics()
 	parts := engine.MapPartitions(base.ds, func(_ int, in []Tuple[V]) ([]IndexedPartition[V], error) {
-		return []IndexedPartition[V]{buildIndexedPartition(in, order, metrics)}, nil
+		return []IndexedPartition[V]{buildIndexedPartition(in, order)}, nil
 	})
-	return &IndexedDataset[V]{parts: parts, sp: base.sp, order: order}, nil
+	return &IndexedDataset[V]{parts: parts, sp: base.sp, order: order, rec: base.rec}, nil
 }
 
 // Index returns an indexed view whose trees are materialised once and
@@ -82,13 +103,12 @@ func (s *SpatialDataset[V]) Index(order int, p sp) (*IndexedDataset[V], error) {
 	return idx, nil
 }
 
-func buildIndexedPartition[V any](in []Tuple[V], order int, metrics *engine.Metrics) IndexedPartition[V] {
+func buildIndexedPartition[V any](in []Tuple[V], order int) IndexedPartition[V] {
 	tree := index.New(order)
 	for i, kv := range in {
 		_ = tree.Insert(kv.Key.Envelope(), int32(i))
 	}
 	tree.Build()
-	_ = metrics // build cost is measured by wall time, not a counter
 	return IndexedPartition[V]{Items: in, Tree: tree}
 }
 
@@ -120,7 +140,7 @@ func (s *IndexedDataset[V]) relevantPartitions(q geom.Envelope) []int {
 		}
 	}
 	if pruned := s.parts.NumPartitions() - len(visit); pruned > 0 {
-		s.Context().Metrics().TasksSkipped.Add(int64(pruned))
+		s.recorder().TasksSkipped(int64(pruned))
 	}
 	return visit
 }
@@ -138,7 +158,7 @@ func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Env
 // from collected statistics instead of partitioner extents. visit nil
 // selects the partitioner-pruned default.
 func (s *IndexedDataset[V]) FilterPartitions(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate, visit []int) ([]Tuple[V], error) {
-	metrics := s.Context().Metrics()
+	rec := s.recorder()
 	qEnv := q.Envelope()
 	if !pruneEnv.IsEmpty() {
 		qEnv = pruneEnv
@@ -146,9 +166,9 @@ func (s *IndexedDataset[V]) FilterPartitions(q stobject.STObject, pruneEnv geom.
 	results := engine.MapPartitions(s.parts, func(_ int, in []IndexedPartition[V]) ([]Tuple[V], error) {
 		var out []Tuple[V]
 		for _, ip := range in {
-			metrics.IndexProbes.Add(1)
+			rec.IndexProbes(1)
 			candidates := ip.Tree.Query(qEnv, nil)
-			metrics.CandidatesRefined.Add(int64(len(candidates)))
+			rec.CandidatesRefined(int64(len(candidates)))
 			for _, id := range candidates {
 				kv := ip.Items[id]
 				if pred(kv.Key, q) {
@@ -271,5 +291,5 @@ func LoadIndex[V any](s *SpatialDataset[V], fs *dfs.FileSystem, pathPrefix strin
 	if _, err := parts.Count(); err != nil {
 		return nil, err
 	}
-	return &IndexedDataset[V]{parts: parts, sp: s.sp, order: order}, nil
+	return &IndexedDataset[V]{parts: parts, sp: s.sp, order: order, rec: s.rec}, nil
 }

@@ -235,7 +235,7 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 	}
 	rep.BuildRows = int64(len(right))
 	ctx := l.Context()
-	metrics := ctx.Metrics()
+	rec := l.recorder()
 
 	benv := geom.EmptyEnvelope()
 	for _, kv := range right {
@@ -259,7 +259,7 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 		tasks = append(tasks, li)
 	}
 	if pruned > 0 {
-		metrics.TasksSkipped.Add(int64(pruned))
+		rec.TasksSkipped(int64(pruned))
 	}
 	rep.Tasks = len(tasks)
 	sink := makeSink(len(tasks))
@@ -281,7 +281,7 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 	for i := range taskIdx {
 		taskIdx[i] = i
 	}
-	return ctx.RunJob(taskIdx, func(t int) error {
+	return ctx.RunJobRecorder(nil, rec, taskIdx, func(t int) error {
 		li := tasks[t]
 		if tree == nil {
 			// Nested loop against the broadcast slice.
@@ -295,7 +295,7 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 				}
 				return true
 			})
-			metrics.ElementsScanned.Add(nLeft * int64(len(right)))
+			rec.ElementsScanned(nLeft * int64(len(right)))
 			return err
 		}
 		var (
@@ -314,8 +314,8 @@ func joinBroadcast[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred st
 			}
 			return true
 		})
-		metrics.IndexProbes.Add(probes)
-		metrics.CandidatesRefined.Add(refined)
+		rec.IndexProbes(probes)
+		rec.CandidatesRefined(refined)
 		return err
 	})
 }
@@ -329,7 +329,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 	order int, expand float64, rep *JoinReport,
 	makeSink func(numTasks int) func(t int, lkv Tuple[V], rkv Tuple[W])) error {
 	ctx := l.Context()
-	metrics := ctx.Metrics()
+	rec := l.recorder()
 	n := l.ds.NumPartitions()
 
 	right, err := r.ds.Collect()
@@ -354,7 +354,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 			chunkIdx[i] = i
 		}
 		size := (len(right) + chunks - 1) / chunks
-		if err := ctx.RunJob(chunkIdx, func(c int) error {
+		if err := ctx.RunJobRecorder(nil, rec, chunkIdx, func(c int) error {
 			lo := c * size
 			hi := lo + size
 			if hi > len(right) {
@@ -381,7 +381,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 			buckets[li] = append(buckets[li], local[li]...)
 		}
 	}
-	metrics.ShuffledRecords.Add(shuffled.Load())
+	rec.ShuffledRecords(shuffled.Load())
 	rep.Shuffled = shuffled.Load()
 
 	var tasks []int
@@ -394,7 +394,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 		tasks = append(tasks, li)
 	}
 	if pruned > 0 {
-		metrics.TasksSkipped.Add(int64(pruned))
+		rec.TasksSkipped(int64(pruned))
 	}
 	rep.Tasks = len(tasks)
 	sink := makeSink(len(tasks))
@@ -407,7 +407,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 	for i := range taskIdx {
 		taskIdx[i] = i
 	}
-	err = ctx.RunJob(taskIdx, func(t int) error {
+	err = ctx.RunJobRecorder(nil, rec, taskIdx, func(t int) error {
 		li := tasks[t]
 		bucket := buckets[li]
 		if order == 0 {
@@ -421,7 +421,7 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 				}
 				return true
 			})
-			metrics.ElementsScanned.Add(nLeft * int64(len(bucket)))
+			rec.ElementsScanned(nLeft * int64(len(bucket)))
 			return err
 		}
 		// The bucket tree is built lazily on the first probe, so a
@@ -451,8 +451,8 @@ func joinCoPartition[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred 
 			}
 			return true
 		})
-		metrics.IndexProbes.Add(probes)
-		metrics.CandidatesRefined.Add(refined)
+		rec.IndexProbes(probes)
+		rec.CandidatesRefined(refined)
 		return err
 	})
 	rep.TreesBuilt = treesBuilt.Load()
@@ -528,9 +528,9 @@ func joinPairs[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred stobje
 		}
 	}
 	ctx := l.Context()
-	metrics := ctx.Metrics()
+	rec := l.recorder()
 	if pruned > 0 {
-		metrics.TasksSkipped.Add(int64(pruned))
+		rec.TasksSkipped(int64(pruned))
 	}
 	rep.Tasks = len(tasks)
 	rep.PairsPruned = pruned
@@ -551,7 +551,7 @@ func joinPairs[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred stobje
 	for i := range taskIdx {
 		taskIdx[i] = i
 	}
-	err := ctx.RunJob(taskIdx, func(t int) error {
+	err := ctx.RunJobRecorder(nil, rec, taskIdx, func(t int) error {
 		li, ri := tasks[t].li, tasks[t].ri
 		s := slots[ri]
 		defer s.release()
@@ -603,10 +603,10 @@ func joinPairs[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], pred stobje
 			return err
 		}
 		if nLeft > 0 {
-			metrics.ElementsScanned.Add(nLeft * int64(len(right)))
+			rec.ElementsScanned(nLeft * int64(len(right)))
 		}
-		metrics.IndexProbes.Add(probes)
-		metrics.CandidatesRefined.Add(refined)
+		rec.IndexProbes(probes)
+		rec.CandidatesRefined(refined)
 		return nil
 	})
 	rep.TreesBuilt = treesBuilt.Load()
@@ -672,9 +672,9 @@ func SelfJoinWithinDistanceCount[V any](s *SpatialDataset[V], eps float64, order
 		}
 	}
 	ctx := s.Context()
-	metrics := ctx.Metrics()
+	rec := s.recorder()
 	if pruned > 0 {
-		metrics.TasksSkipped.Add(int64(pruned))
+		rec.TasksSkipped(int64(pruned))
 	}
 
 	// Shared per-partition slots: materialisation and tree build run
@@ -696,7 +696,7 @@ func SelfJoinWithinDistanceCount[V any](s *SpatialDataset[V], eps float64, order
 	for i := range taskIdx {
 		taskIdx[i] = i
 	}
-	err := ctx.RunJob(taskIdx, func(t int) error {
+	err := ctx.RunJobRecorder(nil, rec, taskIdx, func(t int) error {
 		li, ri := tasks[t].li, tasks[t].ri
 		sl := slots[ri]
 		defer sl.release()
@@ -756,8 +756,8 @@ func SelfJoinWithinDistanceCount[V any](s *SpatialDataset[V], eps float64, order
 				return loadErr
 			}
 		}
-		metrics.IndexProbes.Add(probes)
-		metrics.CandidatesRefined.Add(refined)
+		rec.IndexProbes(probes)
+		rec.CandidatesRefined(refined)
 		total.Add(local)
 		return nil
 	})

@@ -90,11 +90,10 @@ func drainHeap[V any](h *maxHeap[V]) []NeighborResult[V] {
 // partition's local candidate list), and results merge into the heap
 // between rounds. canPrune reports whether pruning by the extent
 // lower bound is valid (Euclidean metric with a partitioner).
-func knnRounds[V any](ctx context.Context, ec *engine.Context, order []partDist, k int,
+func knnRounds[V any](ctx context.Context, ec *engine.Context, rec *engine.Recorder, order []partDist, k int,
 	canPrune bool, scan func(p int) ([]NeighborResult[V], error)) ([]NeighborResult[V], error) {
 	h := &maxHeap[V]{}
 	heap.Init(h)
-	metrics := ec.Metrics()
 	width := ec.Parallelism()
 	if width < 1 {
 		width = 1
@@ -104,7 +103,7 @@ func knnRounds[V any](ctx context.Context, ec *engine.Context, order []partDist,
 		// partition exceeds the current k-th distance: order is
 		// ascending, so every remaining partition prunes too.
 		if canPrune && h.Len() == k && order[start].dist > (*h)[0].Distance {
-			metrics.TasksSkipped.Add(int64(len(order) - start))
+			rec.TasksSkipped(int64(len(order) - start))
 			break
 		}
 		end := start + width
@@ -119,7 +118,7 @@ func knnRounds[V any](ctx context.Context, ec *engine.Context, order []partDist,
 		for i := range idx {
 			idx[i] = i
 		}
-		err := ec.RunJobContext(ctx, idx, func(t int) error {
+		err := ec.RunJobRecorder(ctx, rec, idx, func(t int) error {
 			nbrs, err := scan(round[t].idx)
 			if err != nil {
 				return err
@@ -162,9 +161,9 @@ func (s *SpatialDataset[V]) KNNContext(ctx context.Context, q stobject.STObject,
 		}
 	}
 	order := knnOrder(extent, s.ds.NumPartitions(), qc.X, qc.Y)
-	metrics := s.Context().Metrics()
+	rec := s.recorder()
 	canPrune := s.sp != nil && df == nil
-	return knnRounds(ctx, s.Context(), order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
+	return knnRounds(ctx, s.Context(), rec, order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
 		// Stream the partition through a local heap — the filter
 		// chain upstream (if any) fuses into this scan.
 		lh := &maxHeap[V]{}
@@ -187,7 +186,7 @@ func (s *SpatialDataset[V]) KNNContext(ctx context.Context, q stobject.STObject,
 			}
 			return true
 		})
-		metrics.ElementsScanned.Add(scanned)
+		rec.ElementsScanned(scanned)
 		if err == nil {
 			err = ctxErr
 		}
@@ -220,9 +219,9 @@ func (s *IndexedDataset[V]) KNNContext(ctx context.Context, q stobject.STObject,
 		}
 	}
 	order := knnOrder(extent, s.parts.NumPartitions(), qc.X, qc.Y)
-	metrics := s.Context().Metrics()
+	rec := s.recorder()
 	canPrune := s.sp != nil && df == nil
-	return knnRounds(ctx, s.Context(), order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
+	return knnRounds(ctx, s.Context(), rec, order, k, canPrune, func(p int) ([]NeighborResult[V], error) {
 		ips, err := s.parts.ComputePartition(p)
 		if err != nil {
 			return nil, err
@@ -233,7 +232,7 @@ func (s *IndexedDataset[V]) KNNContext(ctx context.Context, q stobject.STObject,
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			metrics.IndexProbes.Add(1)
+			rec.IndexProbes(1)
 			var nbrs []neighborRaw
 			if df == nil {
 				exact := func(id int32) float64 { return q.Distance(ip.Items[id].Key, nil) }
@@ -247,7 +246,7 @@ func (s *IndexedDataset[V]) KNNContext(ctx context.Context, q stobject.STObject,
 					nbrs = append(nbrs, neighborRaw{id: int32(i), dist: q.Distance(kv.Key, df)})
 				}
 			}
-			metrics.CandidatesRefined.Add(int64(len(nbrs)))
+			rec.CandidatesRefined(int64(len(nbrs)))
 			for _, nb := range nbrs {
 				kv := ip.Items[nb.id]
 				if lh.Len() < k {

@@ -44,7 +44,8 @@ func KNNJoin[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], k int) ([]KNN
 	}
 	nr := r.ds.NumPartitions()
 	rights := make([]rightPart, nr)
-	err := r.Context().RunJob(allParts(nr), func(p int) error {
+	rec := l.recorder()
+	err := r.Context().RunJobRecorder(nil, rec, allParts(nr), func(p int) error {
 		items, err := r.ds.ComputePartition(p)
 		if err != nil {
 			return err
@@ -66,8 +67,7 @@ func KNNJoin[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], k int) ([]KNN
 
 	nl := l.ds.NumPartitions()
 	results := make([][]KNNJoinRow[V, W], nl)
-	metrics := l.Context().Metrics()
-	err = l.Context().RunJob(allParts(nl), func(p int) error {
+	err = l.Context().RunJobRecorder(nil, rec, allParts(nl), func(p int) error {
 		left, err := l.ds.ComputePartition(p)
 		if err != nil {
 			return err
@@ -95,11 +95,11 @@ func KNNJoin[V, W any](l *SpatialDataset[V], r *SpatialDataset[W], k int) ([]KNN
 			heap.Init(h)
 			for _, cand := range order {
 				if h.Len() == k && cand.dist > (*h)[0].Distance {
-					metrics.TasksSkipped.Add(1)
+					rec.TasksSkipped(1)
 					continue
 				}
 				rp := rights[cand.idx]
-				metrics.IndexProbes.Add(1)
+				rec.IndexProbes(1)
 				exact := func(id int32) float64 { return lkv.Key.Distance(rp.items[id].Key, nil) }
 				for _, nb := range rp.tree.KNN(c.X, c.Y, k, exact) {
 					kv := rp.items[nb.ID]

@@ -20,7 +20,7 @@ import (
 // chaining several Where steps (or a Where under a Collect/Count)
 // executes as one loop per partition with no intermediate slices.
 func (s *SpatialDataset[V]) Where(q stobject.STObject, pred stobject.Predicate) *SpatialDataset[V] {
-	return &SpatialDataset[V]{ds: scanFiltered(s, q, pred), sp: s.sp}
+	return newSpatial(scanFiltered(s, q, pred), s.sp, s.rec)
 }
 
 // WhereIntersects is Where with the Intersects predicate.
@@ -44,7 +44,7 @@ func MapDatasetValues[V, W any](s *SpatialDataset[V], f func(V) W) *SpatialDatas
 	mapped := engine.Map(s.ds, func(kv Tuple[V]) Tuple[W] {
 		return engine.NewPair(kv.Key, f(kv.Value))
 	})
-	return &SpatialDataset[W]{ds: mapped, sp: s.sp}
+	return newSpatial(mapped, s.sp, s.rec)
 }
 
 // ReKey replaces the spatio-temporal key of every record. The spatial
@@ -54,5 +54,5 @@ func ReKey[V any](s *SpatialDataset[V], f func(key stobject.STObject, v V) stobj
 	mapped := engine.Map(s.ds, func(kv Tuple[V]) Tuple[V] {
 		return engine.NewPair(f(kv.Key, kv.Value), kv.Value)
 	})
-	return &SpatialDataset[V]{ds: mapped}
+	return newSpatial(mapped, nil, s.rec)
 }

@@ -28,6 +28,10 @@ type Context struct {
 	parallelism int
 	sem         chan struct{}
 	metrics     Metrics
+	// rootRec is the context's root recorder: it writes straight into
+	// metrics with no job-local attribution. Jobs that need per-query
+	// actuals run under a NewJobRecorder instead.
+	rootRec Recorder
 }
 
 // Metrics aggregates counters across all jobs run on a context. All
@@ -99,10 +103,12 @@ func NewContext(parallelism int) *Context {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Context{
+	c := &Context{
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism),
 	}
+	c.rootRec = Recorder{glob: &c.metrics}
+	return c
 }
 
 // Parallelism returns the number of simulated executors.
@@ -111,12 +117,25 @@ func (c *Context) Parallelism() int { return c.parallelism }
 // Metrics returns the live metrics of the context.
 func (c *Context) Metrics() *Metrics { return &c.metrics }
 
+// Recorder returns the context's root recorder: counter writes land
+// only in the context totals, with no per-job attribution.
+func (c *Context) Recorder() *Recorder { return &c.rootRec }
+
+// NewJobRecorder returns a recorder with fresh job-local counters in
+// front of the context totals. Everything a job charges through it is
+// visible both in the recorder's Snapshot (this job only) and in the
+// context's Metrics (all jobs), so per-query actuals and global
+// dashboards coexist without double bookkeeping at the call sites.
+func (c *Context) NewJobRecorder() *Recorder {
+	return &Recorder{job: &Metrics{}, glob: &c.metrics}
+}
+
 // RunJob executes task(i) for every i in tasks, at most Parallelism
 // at a time, and returns the first error. It is the public entry
 // point operators use to schedule custom task sets (e.g. partition
 // pairs of a spatial join).
 func (c *Context) RunJob(tasks []int, task func(t int) error) error {
-	return c.runJob(tasks, task)
+	return c.runJob(&c.rootRec, tasks, task)
 }
 
 // RunJobContext is RunJob with cooperative cancellation: once ctx is
@@ -126,10 +145,21 @@ func (c *Context) RunJob(tasks []int, task func(t int) error) error {
 // large partitions should consult ctx themselves if finer-grained
 // abort matters.
 func (c *Context) RunJobContext(ctx context.Context, tasks []int, task func(t int) error) error {
-	if ctx == nil {
-		return c.runJob(tasks, task)
+	return c.RunJobRecorder(ctx, &c.rootRec, tasks, task)
+}
+
+// RunJobRecorder is RunJobContext with explicit metric attribution:
+// the scheduled tasks are charged to rec (nil selects the root
+// recorder), so operators running on behalf of one query account its
+// tasks to that query's recorder. A nil ctx runs to completion.
+func (c *Context) RunJobRecorder(ctx context.Context, rec *Recorder, tasks []int, task func(t int) error) error {
+	if rec == nil {
+		rec = &c.rootRec
 	}
-	err := c.runJob(tasks, func(t int) error {
+	if ctx == nil {
+		return c.runJob(rec, tasks, task)
+	}
+	err := c.runJob(rec, tasks, func(t int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -146,8 +176,11 @@ func (c *Context) RunJobContext(ctx context.Context, tasks []int, task func(t in
 // runJob executes task(i) for every i in parts, at most
 // c.parallelism at a time, and returns the first error encountered.
 // It is the engine's DAG-less equivalent of a Spark stage: every
-// element of parts is one task.
-func (c *Context) runJob(parts []int, task func(p int) error) error {
+// element of parts is one task, charged to rec.
+func (c *Context) runJob(rec *Recorder, parts []int, task func(p int) error) error {
+	if rec == nil {
+		rec = &c.rootRec
+	}
 	if len(parts) == 0 {
 		return nil
 	}
@@ -156,7 +189,7 @@ func (c *Context) runJob(parts []int, task func(p int) error) error {
 		// panic recovery as the pooled path, so a 1-partition job
 		// reports a panicking task as an error instead of killing the
 		// process.
-		c.metrics.TasksLaunched.Add(1)
+		rec.TasksLaunched(1)
 		return runTask(parts[0], task)
 	}
 	var (
@@ -165,7 +198,7 @@ func (c *Context) runJob(parts []int, task func(p int) error) error {
 		errOnce  sync.Once
 	)
 	for _, p := range parts {
-		c.metrics.TasksLaunched.Add(1)
+		rec.TasksLaunched(1)
 		wg.Add(1)
 		c.sem <- struct{}{}
 		go func(p int) {

@@ -51,6 +51,11 @@ type Dataset[T any] struct {
 	// materialisation can preallocate instead of growing by appends.
 	hint func(p int) int
 
+	// rec, when non-nil, is the recorder the dataset's actions charge
+	// their tasks to (see WithRecorder); nil selects the context's
+	// root recorder. Narrow transformations propagate it.
+	rec *Recorder
+
 	// cacheOn may be read by ComputePartition/EachPartition without
 	// holding cacheMu (the hot path of every task), so it is atomic;
 	// the cached/cachedOK slices are only touched under cacheMu.
@@ -149,6 +154,43 @@ func (d *Dataset[T]) ID() int64 { return d.id }
 
 // NumPartitions returns the partition count.
 func (d *Dataset[T]) NumPartitions() int { return d.numPart }
+
+// recorder returns the recorder actions on this dataset charge, the
+// context's root recorder unless WithRecorder installed another.
+func (d *Dataset[T]) recorder() *Recorder {
+	if d.rec != nil {
+		return d.rec
+	}
+	return &d.ctx.rootRec
+}
+
+// WithRecorder returns a view of the dataset whose actions charge
+// their tasks to rec instead of the context's root recorder. The view
+// shares the receiver's lineage ID and — by delegating through the
+// parent's accessor methods — its cache state and zero-copy source,
+// so it is purely an attribution overlay: same partitions, same
+// compute-once semantics, different ledger. A nil rec returns the
+// receiver unchanged.
+func (d *Dataset[T]) WithRecorder(rec *Recorder) *Dataset[T] {
+	if rec == nil || d.rec == rec {
+		return d
+	}
+	v := &Dataset[T]{
+		ctx:     d.ctx,
+		name:    d.name,
+		numPart: d.numPart,
+		id:      d.id,
+		rec:     rec,
+		each:    d.EachPartition,
+		hint:    d.partitionHint,
+	}
+	if d.source != nil {
+		// Preserve the zero-copy materialisation path (and the chunked
+		// window iteration it enables) through the parent's cache.
+		v.source = d.ComputePartition
+	}
+	return v
+}
 
 // maxMaterialiseHint caps how much capacity a size hint may
 // preallocate, bounding transient overcommit when a highly selective
@@ -337,12 +379,13 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 		})
 	})
 	m.hint = d.partitionHint // count-preserving
+	m.rec = d.rec
 	return m
 }
 
 // FlatMap applies f to every element and concatenates the results.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
-	return newStream(d.ctx, d.name+".flatMap", d.numPart, func(p int, yield func(U) bool) error {
+	m := newStream(d.ctx, d.name+".flatMap", d.numPart, func(p int, yield func(U) bool) error {
 		return d.EachPartition(p, func(v T) bool {
 			for _, u := range f(v) {
 				if !yield(u) {
@@ -352,6 +395,8 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 			return true
 		})
 	})
+	m.rec = d.rec
+	return m
 }
 
 // MapPartitions transforms whole partitions at once; idx is the
@@ -360,7 +405,7 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 // slice before f runs (f needs random access), and fusion restarts
 // downstream of the result.
 func MapPartitions[T, U any](d *Dataset[T], f func(idx int, in []T) ([]U, error)) *Dataset[U] {
-	return newStream(d.ctx, d.name+".mapPartitions", d.numPart, func(p int, yield func(U) bool) error {
+	m := newStream(d.ctx, d.name+".mapPartitions", d.numPart, func(p int, yield func(U) bool) error {
 		in, err := d.ComputePartition(p)
 		if err != nil {
 			return err
@@ -376,6 +421,8 @@ func MapPartitions[T, U any](d *Dataset[T], f func(idx int, in []T) ([]U, error)
 		}
 		return nil
 	})
+	m.rec = d.rec
+	return m
 }
 
 // Filter keeps the elements for which pred is true.
@@ -389,6 +436,7 @@ func (d *Dataset[T]) Filter(pred func(T) bool) *Dataset[T] {
 		})
 	})
 	f.hint = d.partitionHint // parent size stays an upper bound
+	f.rec = d.rec
 	return f
 }
 
@@ -408,6 +456,7 @@ func (d *Dataset[T]) Union(o *Dataset[T]) *Dataset[T] {
 		}
 		return o.partitionHint(p - n1)
 	}
+	u.rec = d.rec
 	return u
 }
 
@@ -425,6 +474,7 @@ func (d *Dataset[T]) Sample(fraction float64, seed int64) *Dataset[T] {
 		})
 	})
 	s.hint = d.partitionHint // parent size stays an upper bound
+	s.rec = d.rec
 	return s
 }
 
@@ -435,7 +485,7 @@ func (d *Dataset[T]) Coalesce(n int) *Dataset[T] {
 		return d
 	}
 	old := d.numPart
-	return newStream(d.ctx, d.name+".coalesce", n, func(p int, yield func(T) bool) error {
+	c := newStream(d.ctx, d.name+".coalesce", n, func(p int, yield func(T) bool) error {
 		lo := p * old / n
 		hi := (p + 1) * old / n
 		for i := lo; i < hi; i++ {
@@ -453,6 +503,8 @@ func (d *Dataset[T]) Coalesce(n int) *Dataset[T] {
 		}
 		return nil
 	})
+	c.rec = d.rec
+	return c
 }
 
 // ---- Actions ----
@@ -468,7 +520,7 @@ func (d *Dataset[T]) Collect() ([]T, error) {
 // whose bounds cannot match are never scheduled.
 func (d *Dataset[T]) CollectPartitions(parts []int) ([]T, error) {
 	results := make([][]T, d.numPart)
-	err := d.ctx.runJob(parts, func(p int) error {
+	err := d.ctx.runJob(d.recorder(), parts, func(p int) error {
 		out, err := d.ComputePartition(p)
 		if err != nil {
 			return err
@@ -505,7 +557,7 @@ func (d *Dataset[T]) Count() (int64, error) {
 // partition-pruned queries.
 func (d *Dataset[T]) CountPartitions(parts []int) (int64, error) {
 	var total atomic.Int64
-	err := d.ctx.runJob(parts, func(p int) error {
+	err := d.ctx.runJob(d.recorder(), parts, func(p int) error {
 		var local int64
 		if err := d.EachPartition(p, func(T) bool {
 			local++
@@ -535,7 +587,7 @@ func (d *Dataset[T]) ReducePartitions(parts []int, f func(a, b T) T) (T, bool, e
 		acc  T
 		have bool
 	)
-	err := d.ctx.runJob(parts, func(p int) error {
+	err := d.ctx.runJob(d.recorder(), parts, func(p int) error {
 		var (
 			local     T
 			haveLocal bool
@@ -575,7 +627,7 @@ func (d *Dataset[T]) Foreach(fn func(T)) error {
 // the side-effecting counterpart of CollectPartitions for
 // partition-pruned queries.
 func (d *Dataset[T]) ForeachPartitions(parts []int, fn func(T)) error {
-	return d.ctx.runJob(parts, func(p int) error {
+	return d.ctx.runJob(d.recorder(), parts, func(p int) error {
 		return d.EachPartition(p, func(v T) bool {
 			fn(v)
 			return true
@@ -651,7 +703,7 @@ func (d *Dataset[T]) Exists(pred func(T) bool) (bool, error) {
 // queries.
 func (d *Dataset[T]) ExistsPartitions(parts []int, pred func(T) bool) (bool, error) {
 	var found atomic.Bool
-	err := d.ctx.runJob(parts, func(p int) error {
+	err := d.ctx.runJob(d.recorder(), parts, func(p int) error {
 		return d.EachPartition(p, func(v T) bool {
 			if found.Load() {
 				return false
@@ -741,7 +793,7 @@ func (d *Dataset[T]) StreamPartitionsParallelContext(ctx context.Context, parts 
 		for i := range idxs {
 			idxs[i] = i
 		}
-		err := d.ctx.RunJobContext(ctx, idxs, func(i int) error {
+		err := d.ctx.RunJobRecorder(ctx, d.recorder(), idxs, func(i int) error {
 			out, err := d.ComputePartition(window[i])
 			if err != nil {
 				return err
@@ -773,7 +825,7 @@ func (d *Dataset[T]) StreamPartitionsParallelContext(ctx context.Context, parts 
 // reports.
 func (d *Dataset[T]) PartitionSizes() ([]int, error) {
 	sizes := make([]int, d.numPart)
-	err := d.ctx.runJob(allPartitions(d.numPart), func(p int) error {
+	err := d.ctx.runJob(d.recorder(), allPartitions(d.numPart), func(p int) error {
 		n := 0
 		if err := d.EachPartition(p, func(T) bool {
 			n++

@@ -332,14 +332,29 @@ func (s *Snapshot[V]) FilterPartitions(
 	refine func(key stobject.STObject, value V) bool,
 	visit []int,
 ) ([][]engine.Pair[stobject.STObject, V], error) {
+	return s.FilterPartitionsRecorder(nil, pruneEnv, refine, visit)
+}
+
+// FilterPartitionsRecorder is FilterPartitions charging its probe
+// metrics to rec instead of the context totals — the query service
+// uses it to attribute live-tree probes to the requesting job. A nil
+// rec selects the context's root recorder.
+func (s *Snapshot[V]) FilterPartitionsRecorder(
+	rec *engine.Recorder,
+	pruneEnv geom.Envelope,
+	refine func(key stobject.STObject, value V) bool,
+	visit []int,
+) ([][]engine.Pair[stobject.STObject, V], error) {
 	v := s.v
 	rows := make([][]engine.Pair[stobject.STObject, V], len(visit))
-	metrics := s.d.ctx.Metrics()
+	if rec == nil {
+		rec = s.d.ctx.Recorder()
+	}
 	tasks := make([]int, len(visit))
 	for i := range visit {
 		tasks[i] = i
 	}
-	err := s.d.ctx.RunJob(tasks, func(i int) error {
+	err := s.d.ctx.RunJobRecorder(nil, rec, tasks, func(i int) error {
 		p := visit[i]
 		var out []engine.Pair[stobject.STObject, V]
 		var probed, refined int64
@@ -351,8 +366,8 @@ func (s *Snapshot[V]) FilterPartitions(
 			return true
 		})
 		probed++
-		metrics.IndexProbes.Add(probed)
-		metrics.CandidatesRefined.Add(refined)
+		rec.IndexProbes(probed)
+		rec.CandidatesRefined(refined)
 		rows[i] = out
 		return nil
 	})

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -42,6 +43,15 @@ type Options struct {
 	// CacheBytes/8.
 	CacheBytes      int64
 	CacheEntryBytes int64
+	// SlowQueryMs logs a structured warning (with fingerprint and
+	// trace summary) for requests slower than this many milliseconds;
+	// 0 disables slow-query logging.
+	SlowQueryMs int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives the structured request and slow-query log
+	// records; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is the multi-dataset query service: a catalog of named
@@ -54,6 +64,7 @@ type Server struct {
 	cache   *ResultCache
 	adm     *Admission
 	mux     *http.ServeMux
+	tel     *Telemetry
 }
 
 // NewService builds an empty query service; register datasets via the
@@ -87,8 +98,21 @@ func NewService(ctx *stark.Context, opts Options) *Server {
 	s.mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("DELETE /api/v1/datasets/{name}/records/{id}", s.handleRecordDelete)
 	s.mux.HandleFunc("GET /api/service", s.handleServiceStats)
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s.tel = newTelemetry(s, logger, opts.SlowQueryMs)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		s.mountPprof()
+	}
 	return s
 }
+
+// Telemetry exposes the service's metric registry — tests and the
+// bench harness read latency quantiles from it directly.
+func (s *Server) Telemetry() *Telemetry { return s.tel }
 
 // Register builds and publishes a dataset — the programmatic
 // counterpart of POST /api/datasets, used by cmd/starkd to preload.
@@ -124,8 +148,10 @@ func (s *Server) defaultEntry(w http.ResponseWriter) (*catalogEntry, bool) {
 	return s.resolveDataset(w, DefaultDataset)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: every request flows through the
+// observability middleware (request ID, access log, per-route latency
+// histogram, slow-query log) into the route mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.instrument(w, r) }
 
 // ---- request/response types ----
 

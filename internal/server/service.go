@@ -31,9 +31,12 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
+	"time"
 
 	"stark"
+	"stark/internal/plan"
 	"stark/internal/workload"
 )
 
@@ -50,6 +53,11 @@ type ServiceQueryRequest struct {
 	Dataset string `json:"dataset"`
 	QueryRequest
 	Join *JoinSpec `json:"join,omitempty"`
+	// Trace requests an execution trace: the summary line gains a
+	// "trace" object (plan phases, wall times, per-query engine
+	// counters). Traced requests bypass the result cache in both
+	// directions, so the trace always describes a real execution.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // JoinSpec describes the join clause of a service query.
@@ -230,10 +238,16 @@ func (s *Server) handleJoinQuery(w http.ResponseWriter, r *http.Request, req Ser
 		log.Printf("server: aborting join NDJSON stream after %d rows: %v", count, err)
 		return
 	}
-	writeSummaryLine(w, ndjsonSummary{
+	sum := ndjsonSummary{
 		Dataset: entry.spec.Name, Count: count, Cache: "bypass",
 		Strategy: rep.Strategy.String(),
-	})
+	}
+	trace := chain.Trace()
+	annotate(r, "", traceSummary(trace))
+	if req.Trace {
+		sum.Trace = trace
+	}
+	writeSummaryLine(w, sum)
 }
 
 // resolveDataset returns the catalog entry a service request
@@ -291,12 +305,21 @@ func (s *Server) handleDatasetDrop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"dropped": name})
 }
 
-// handleServiceStats reports the cache and admission state.
+// handleServiceStats reports the cache and admission state plus the
+// engine counter totals and Go runtime health — one JSON document a
+// probe can poll without scraping /metrics.
 func (s *Server) handleServiceStats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, map[string]interface{}{
-		"cache":     s.cache.Stats(),
-		"admission": s.adm.Stats(),
-		"datasets":  len(s.catalog.List()),
+		"cache":          s.cache.Stats(),
+		"admission":      s.adm.Stats(),
+		"datasets":       len(s.catalog.List()),
+		"engine":         s.ctx.Metrics().Snapshot(),
+		"startTime":      s.tel.start.UTC().Format(time.RFC3339),
+		"uptimeSeconds":  time.Since(s.tel.start).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+		"heapInuseBytes": ms.HeapInuse,
 	})
 }
 
@@ -325,6 +348,9 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 
 	fp, fpErr := chain.Fingerprint()
 	if fpErr == nil {
+		annotate(r, fp, "")
+	}
+	if fpErr == nil && !req.Trace {
 		if body, rows, hit := s.cache.Get(fp); hit {
 			s.writeNDJSON(w, body, ndjsonSummary{
 				Dataset: entry.spec.Name, Count: rows, Cache: "hit", Fingerprint: fp,
@@ -349,7 +375,7 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Stark-Cache", "miss")
 	var (
 		buf       bytes.Buffer
-		cacheable = fpErr == nil
+		cacheable = fpErr == nil && !req.Trace
 		count     int64
 		rowErr    error
 	)
@@ -384,13 +410,30 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 		log.Printf("server: aborting NDJSON stream after %d rows: %v", count, err)
 		return
 	}
-	writeSummaryLine(w, ndjsonSummary{
+	sum := ndjsonSummary{
 		Dataset: entry.spec.Name, Count: count, Cache: "miss", Fingerprint: fp,
-	})
+	}
+	trace := chain.Trace()
+	annotate(r, fp, traceSummary(trace))
+	if req.Trace {
+		sum.Trace = trace
+	}
+	writeSummaryLine(w, sum)
 	if cacheable {
 		// buf is dead after this call; Put takes ownership.
 		s.cache.Put(fp, buf.Bytes(), count)
 	}
+}
+
+// traceSummary condenses a trace into the one-line form the
+// slow-query log carries.
+func traceSummary(t *plan.TraceNode) string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("wall_ms=%.2f rows=%d elements_scanned=%d index_probes=%d kernel_batches=%d",
+		float64(t.WallNS)/1e6, t.Rows,
+		t.Counter("elements_scanned"), t.Counter("index_probes"), t.Counter("kernel_batches"))
 }
 
 // ndjsonSummary is the trailing line of an NDJSON response.
@@ -402,6 +445,8 @@ type ndjsonSummary struct {
 	// Strategy is the physical join strategy that ran (join queries
 	// only).
 	Strategy string `json:"strategy,omitempty"`
+	// Trace is the execution trace (requests with "trace": true only).
+	Trace *plan.TraceNode `json:"trace,omitempty"`
 }
 
 func writeSummaryLine(w io.Writer, sum ndjsonSummary) {

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"stark/internal/core"
+	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/live"
 	"stark/internal/plan"
@@ -156,8 +157,8 @@ func newLiveView[V any](ctx *Context, name string, order int, snap *live.Snapsho
 		// maintained summary is seeded into the stats cache up front.
 		sds.SeedStats(snap.Stats())
 		base := plan.LiveScanNode(name, snap.Gen(), snap.NumPartitions(), order, snap.Count())
-		probe := func(pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error) {
-			parts, err := snap.FilterPartitions(pruneEnv, func(key STObject, _ V) bool {
+		probe := func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error) {
+			parts, err := snap.FilterPartitionsRecorder(rec, pruneEnv, func(key STObject, _ V) bool {
 				return refine(key)
 			}, visit)
 			if err != nil {
