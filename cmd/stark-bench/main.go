@@ -65,7 +65,7 @@ func writeReport(dir string, rep jsonReport) (string, error) {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|service|mutation|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|service|mutation|durability|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -208,6 +208,19 @@ func main() {
 					r.Phase, r.Batches, r.Mutations, r.OpsPerSec, r.BatchP50Ms, r.BatchP99Ms, r.QueryP50Ms, r.QueryP99Ms, r.Generation, r.LiveCount)
 			}
 			result = rows
+		case "durability":
+			fmt.Println("== E13: durability — WAL overhead per ingest batch, replay vs checkpoint recovery ==")
+			rows, err := bench.Durability(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %8s %10s %12s %10s %10s %10s %12s %12s %10s\n",
+				"Mode", "Batches", "Mutations", "Ops/s", "bP50 [ms]", "bP99 [ms]", "Ovhd [%]", "Bytes", "Recover[ms]", "Replayed")
+			for _, r := range rows {
+				fmt.Printf("%-12s %8d %10d %12.0f %10.2f %10.2f %10.1f %12d %12.1f %10d\n",
+					r.Mode, r.Batches, r.Mutations, r.OpsPerSec, r.BatchP50Ms, r.BatchP99Ms, r.OverheadPct, r.WALBytes, r.RecoveryMs, r.ReplayedBatches)
+			}
+			result = rows
 		case "service":
 			fmt.Println("== E9: query service — latency and cache hit rate over HTTP ==")
 			rows, err := bench.Service(cfg)
@@ -281,7 +294,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "layout", "service", "mutation"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "layout", "service", "mutation", "durability"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

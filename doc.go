@@ -218,6 +218,29 @@
 // `mutation` bench experiment measures ingest throughput, the
 // ingest+query blend and batched deletes into BENCH_mutation.json.
 //
+// # Durability
+//
+// starkd -data-dir makes the service crash-safe (internal/wal plus
+// the server's checkpoint machinery). Registrations, drops and ingest
+// batches are appended to a CRC32C-framed write-ahead log and fsync'd
+// before they are acknowledged — an ingest ack is a durability
+// receipt for exactly that generation. Checkpoints (periodic and at
+// graceful shutdown) rotate the log and snapshot every dataset — a
+// mutable dataset becomes a checksummed rows segment plus a
+// serialized R-tree whose entry count cross-checks the rows on
+// restore, a generated dataset just its spec — behind atomic
+// temp+fsync+rename manifests, then truncate the log. Recovery loads
+// the newest valid manifest (corrupt ones are skipped) and replays
+// the WAL suffix through the same validation and generation paths as
+// live ingest: idempotent by generation number, stopping at the first
+// torn record, never resurrecting an unacknowledged batch, and
+// erroring on generation gaps. The torn-write and bit-flip batteries
+// in internal/wal and internal/server cut the log at every byte
+// boundary and flip random bits; recovery must always come back with
+// exactly the acknowledged prefix. The `durability` bench experiment
+// prices the fsync per batch (WAL on vs off) and times replay vs
+// checkpoint recovery into BENCH_durability.json.
+//
 // # Observability
 //
 // Engine counters are attributed per query: every Dataset chain
@@ -266,6 +289,9 @@
 //     spatial partitioners with extent bookkeeping;
 //   - internal/index     — the STR-packed R-tree with kNN and
 //     persistence;
+//   - internal/wal       — the append-only CRC32C-framed write-ahead
+//     log and the checksummed/atomic file-write primitives under the
+//     durability layer;
 //   - internal/colstore  — the columnar scan sidecar: SoA
 //     envelope/interval columns, Hilbert row order, batched
 //     branch-free filter kernels over survivor bitsets;

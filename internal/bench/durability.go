@@ -1,0 +1,217 @@
+package bench
+
+// The durability experiment prices the write-ahead log: the same
+// HTTP ingest workload runs against an in-memory service and a
+// durable one (every batch fsync'd to the WAL before the ack), so the
+// overhead column is the real cost of crash safety per batch. It then
+// measures the two recovery paths a restart can take — full WAL
+// replay from an empty directory, and checkpoint restore with an
+// empty suffix — because the checkpoint interval is exactly the knob
+// trading the first for the second.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stark/internal/engine"
+	"stark/internal/server"
+	"stark/internal/workload"
+)
+
+// DurabilityRow is one mode of the durability experiment.
+type DurabilityRow struct {
+	// Mode is "memory", "wal", "replay" or "checkpoint". The first two
+	// are ingest runs; the last two time a recovery.
+	Mode      string  `json:"mode"`
+	Batches   int     `json:"batches,omitempty"`
+	BatchSize int     `json:"batchSize,omitempty"`
+	Mutations int     `json:"mutations,omitempty"`
+	OpsPerSec float64 `json:"opsPerSec,omitempty"`
+	// Batch latency of the acknowledged ingest requests.
+	BatchP50Ms float64 `json:"batchP50Ms,omitempty"`
+	BatchP99Ms float64 `json:"batchP99Ms,omitempty"`
+	// OverheadPct is the wal-mode throughput loss vs memory mode.
+	OverheadPct float64 `json:"overheadPct,omitempty"`
+	// WALBytes is the on-disk log size the run produced.
+	WALBytes int64 `json:"walBytes,omitempty"`
+	// CheckpointMs times writing the checkpoint (checkpoint mode).
+	CheckpointMs float64 `json:"checkpointMs,omitempty"`
+	// RecoveryMs times EnableDurability on the crashed directory.
+	RecoveryMs       float64 `json:"recoveryMs,omitempty"`
+	ReplayedBatches  int     `json:"replayedBatches,omitempty"`
+	RestoredDatasets int     `json:"restoredDatasets,omitempty"`
+	// Recovered dataset state, as a correctness cross-check.
+	Generation uint64 `json:"generation,omitempty"`
+	LiveCount  int64  `json:"liveCount,omitempty"`
+}
+
+// dirBytes sums the sizes of the durability files under dir.
+func dirBytes(dir string, patterns ...string) int64 {
+	var total int64
+	for _, pat := range patterns {
+		matches, _ := filepath.Glob(filepath.Join(dir, pat))
+		for _, m := range matches {
+			if st, err := os.Stat(m); err == nil {
+				total += st.Size()
+			}
+		}
+	}
+	return total
+}
+
+// Durability runs the WAL-overhead and recovery experiment.
+func Durability(cfg Config) ([]DurabilityRow, error) {
+	cfg = cfg.withDefaults()
+
+	batchSize := 500
+	if cfg.N < 4*batchSize {
+		batchSize = cfg.N/4 + 1
+	}
+	batches := cfg.N / batchSize
+	if batches < 2 {
+		batches = 2
+	}
+	events := workload.Events(workload.Config{
+		N: batches * batchSize, Seed: cfg.Seed, Dist: cfg.Dist,
+		Width: 1000, Height: 1000, TimeRange: 1_000_000,
+	})
+	bodies := make([][]byte, batches)
+	for k := range bodies {
+		bodies[k] = mutationBatchNDJSON(events, k*batchSize, (k+1)*batchSize, "insert")
+	}
+
+	// ingest drives the full batch sequence over HTTP against srv and
+	// returns the throughput row.
+	ingest := func(mode string, srv *server.Server) (DurabilityRow, error) {
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		client := ts.Client()
+		lat := make([]time.Duration, len(bodies))
+		var last mutationIngestResult
+		start := time.Now()
+		for i, body := range bodies {
+			t0 := time.Now()
+			res, err := postIngest(client, ts.URL, body)
+			if err != nil {
+				return DurabilityRow{}, fmt.Errorf("%s batch %d: %w", mode, i, err)
+			}
+			lat[i] = time.Since(t0)
+			last = res
+		}
+		wall := time.Since(start).Seconds()
+		p50, p99 := percentiles(lat)
+		muts := batches * batchSize
+		return DurabilityRow{
+			Mode: mode, Batches: batches, BatchSize: batchSize, Mutations: muts,
+			OpsPerSec: float64(muts) / wall, BatchP50Ms: p50, BatchP99Ms: p99,
+			Generation: last.Generation, LiveCount: last.Count,
+		}, nil
+	}
+	register := func(srv *server.Server) error {
+		return srv.Register(server.DatasetSpec{
+			Name: "live", Mutable: true, Partitioner: "grid:8", Width: 1000, Height: 1000,
+		})
+	}
+	newService := func() *server.Server {
+		ctx := engine.NewContext(cfg.Parallelism)
+		if cfg.Observe != nil {
+			cfg.Observe(ctx)
+		}
+		return server.NewService(ctx, server.Options{})
+	}
+
+	// Mode 1: in-memory baseline.
+	mem := newService()
+	if err := register(mem); err != nil {
+		return nil, err
+	}
+	memRow, err := ingest("memory", mem)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mode 2: WAL on — every batch is fsync'd before its ack.
+	dir, err := os.MkdirTemp("", "stark-bench-wal-")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	durable := newService()
+	if _, err := durable.EnableDurability(dir, 0); err != nil {
+		return nil, err
+	}
+	if err := register(durable); err != nil {
+		return nil, err
+	}
+	walRow, err := ingest("wal", durable)
+	if err != nil {
+		return nil, err
+	}
+	walRow.WALBytes = dirBytes(dir, "wal-*.log")
+	if memRow.OpsPerSec > 0 {
+		walRow.OverheadPct = 100 * (1 - walRow.OpsPerSec/memRow.OpsPerSec)
+	}
+
+	// Mode 3: crash (the WAL handle is simply abandoned — every ack'd
+	// batch is already on disk) and time a full-replay recovery.
+	rec := newService()
+	t0 := time.Now()
+	info, err := rec.EnableDurability(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("replay recovery: %w", err)
+	}
+	replayRow := DurabilityRow{
+		Mode:            "replay",
+		RecoveryMs:      float64(time.Since(t0).Microseconds()) / 1000,
+		ReplayedBatches: info.Batches,
+	}
+	if got, ok := rec.DatasetInfo("live"); ok {
+		replayRow.Generation = got.LiveGeneration
+		replayRow.LiveCount = got.Events
+	}
+	if replayRow.Generation != walRow.Generation || replayRow.LiveCount != walRow.LiveCount {
+		return nil, fmt.Errorf("replay recovered gen=%d count=%d, ingested gen=%d count=%d",
+			replayRow.Generation, replayRow.LiveCount, walRow.Generation, walRow.LiveCount)
+	}
+
+	// Mode 4: checkpoint the recovered state, then time the restore
+	// path (checkpoint + empty WAL suffix).
+	t0 = time.Now()
+	if err := rec.Checkpoint(); err != nil {
+		return nil, err
+	}
+	ckptMs := float64(time.Since(t0).Microseconds()) / 1000
+	if err := rec.CloseDurability(); err != nil {
+		return nil, err
+	}
+	rec2 := newService()
+	t0 = time.Now()
+	info2, err := rec2.EnableDurability(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint recovery: %w", err)
+	}
+	ckptRow := DurabilityRow{
+		Mode:             "checkpoint",
+		CheckpointMs:     ckptMs,
+		RecoveryMs:       float64(time.Since(t0).Microseconds()) / 1000,
+		ReplayedBatches:  info2.Batches,
+		RestoredDatasets: info2.Datasets,
+		WALBytes:         dirBytes(dir, "ckpt-*", "manifest-*"),
+	}
+	if got, ok := rec2.DatasetInfo("live"); ok {
+		ckptRow.Generation = got.LiveGeneration
+		ckptRow.LiveCount = got.Events
+	}
+	if err := rec2.CloseDurability(); err != nil {
+		return nil, err
+	}
+	if ckptRow.Generation != walRow.Generation || ckptRow.LiveCount != walRow.LiveCount {
+		return nil, fmt.Errorf("checkpoint recovered gen=%d count=%d, ingested gen=%d count=%d",
+			ckptRow.Generation, ckptRow.LiveCount, walRow.Generation, walRow.LiveCount)
+	}
+
+	return []DurabilityRow{memRow, walRow, replayRow, ckptRow}, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"stark/internal/workload"
+)
+
+func TestDurabilitySmallRun(t *testing.T) {
+	rows, err := Durability(Config{N: 1200, Parallelism: 2, Seed: 3, Dist: workload.Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byMode := map[string]DurabilityRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	mem, wal := byMode["memory"], byMode["wal"]
+	if mem.Mutations == 0 || mem.Mutations != wal.Mutations {
+		t.Fatalf("mutation counts: memory=%d wal=%d", mem.Mutations, wal.Mutations)
+	}
+	if wal.WALBytes == 0 {
+		t.Fatal("wal mode wrote no log bytes")
+	}
+	replay := byMode["replay"]
+	if replay.ReplayedBatches != wal.Batches {
+		t.Fatalf("replay recovered %d batches, ingested %d", replay.ReplayedBatches, wal.Batches)
+	}
+	if replay.Generation != wal.Generation || replay.LiveCount != wal.LiveCount {
+		t.Fatalf("replay state %d/%d, ingested %d/%d",
+			replay.Generation, replay.LiveCount, wal.Generation, wal.LiveCount)
+	}
+	ckpt := byMode["checkpoint"]
+	if ckpt.ReplayedBatches != 0 || ckpt.RestoredDatasets != 1 {
+		t.Fatalf("checkpoint recovery replayed %d, restored %d datasets",
+			ckpt.ReplayedBatches, ckpt.RestoredDatasets)
+	}
+	if ckpt.Generation != wal.Generation || ckpt.LiveCount != wal.LiveCount {
+		t.Fatalf("checkpoint state %d/%d, ingested %d/%d",
+			ckpt.Generation, ckpt.LiveCount, wal.Generation, wal.LiveCount)
+	}
+}

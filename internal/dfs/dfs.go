@@ -131,9 +131,15 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 	if _, ok := fs.files[p]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, path)
 	}
+	fs.files[p] = newFile(data, fs.blockSize)
+	return nil
+}
+
+// newFile stages data as a block list.
+func newFile(data []byte, blockSize int) *file {
 	f := &file{size: int64(len(data))}
-	for off := 0; off < len(data); off += fs.blockSize {
-		end := off + fs.blockSize
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
 		if end > len(data) {
 			end = len(data)
 		}
@@ -141,19 +147,23 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 		copy(block, data[off:end])
 		f.blocks = append(f.blocks, block)
 	}
-	fs.files[p] = f
-	return nil
+	return f
 }
 
-// Overwrite replaces (or creates) path with the given contents.
+// Overwrite replaces (or creates) path with the given contents. The
+// replace is atomic — the same contract as an on-disk write-temp +
+// fsync + rename (see wal.WriteFileAtomic): the new blocks are staged
+// completely before the swap, and the swap happens under one lock
+// hold, so a concurrent reader observes the old file or the new one
+// in full, never an absent path or a mix of old and new blocks.
 func (fs *FileSystem) Overwrite(path string, data []byte) error {
 	p := clean(path)
+	// Stage the replacement blocks outside the lock.
+	f := newFile(data, fs.blockSize)
 	fs.mu.Lock()
-	if _, ok := fs.files[p]; ok {
-		delete(fs.files, p)
-	}
+	fs.files[p] = f
 	fs.mu.Unlock()
-	return fs.WriteFile(path, data)
+	return nil
 }
 
 // ReadFile returns the full contents of path.

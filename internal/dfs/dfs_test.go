@@ -207,3 +207,54 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("block size = %d", fs.BlockSize())
 	}
 }
+
+// TestOverwriteAtomicUnderReaders hammers a path with overwrites while
+// readers spin: a reader must always see some complete version — never
+// ErrNotFound (the old bug: delete-then-recreate released the lock in
+// between) and never a mix of two versions' blocks.
+func TestOverwriteAtomicUnderReaders(t *testing.T) {
+	fs := New(8, 1) // tiny blocks so every version spans many blocks
+	version := func(v int) []byte {
+		return bytes.Repeat([]byte{byte(v)}, 100)
+	}
+	if err := fs.WriteFile("idx", version(0)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := fs.ReadFile("idx")
+				if err != nil {
+					t.Errorf("reader saw error mid-overwrite: %v", err)
+					return
+				}
+				if len(got) != 100 {
+					t.Errorf("reader saw %d bytes", len(got))
+					return
+				}
+				for _, b := range got {
+					if b != got[0] {
+						t.Errorf("reader saw torn file mixing versions %d and %d", got[0], b)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for v := 1; v <= 500; v++ {
+		if err := fs.Overwrite("idx", version(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,14 +1,14 @@
 package index
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
+	"os"
 
 	"stark/internal/dfs"
 	"stark/internal/geom"
+	"stark/internal/wal"
 )
 
 // This file implements persistent indexing: STARK's index() mode
@@ -17,75 +17,100 @@ import (
 // binary layout (magic, order, entry table); the tree structure is
 // reconstructed by re-packing on load, which is deterministic for STR
 // and avoids persisting pointers.
+//
+// Format v2 appends a CRC32C footer over everything before it, so a
+// persisted index that rotted on disk — any flipped byte past the
+// magic/version header — is rejected at load instead of deserialising
+// into garbage envelopes that would then be served silently. v1 files
+// (no footer) remain readable.
 
 const (
-	persistMagic   = uint32(0x5354524B) // "STRK"
-	persistVersion = uint16(1)
+	persistMagic     = uint32(0x5354524B) // "STRK"
+	persistVersionV1 = uint16(1)
+	persistVersion   = uint16(2)
+
+	// persistHeaderSize is magic + version + order + count.
+	persistHeaderSize = 4 + 2 + 2 + 4
+	// persistEntrySize is one fixed-width entry: int32 ID plus four
+	// float64 envelope bounds.
+	persistEntrySize = 4 + 4*8
+	// persistFooterSize is the v2 CRC32C footer.
+	persistFooterSize = 4
 )
 
-// Marshal serialises the tree (built or not) to a byte slice.
+// Marshal serialises the tree (built or not) to a byte slice in
+// format v2: header, fixed 36-byte entries, CRC32C footer.
 func (t *RTree) Marshal() ([]byte, error) {
-	var buf bytes.Buffer
-	w := func(v interface{}) {
-		// bytes.Buffer writes cannot fail.
-		_ = binary.Write(&buf, binary.LittleEndian, v)
-	}
-	w(persistMagic)
-	w(persistVersion)
-	w(uint16(t.order))
-	w(uint32(len(t.entries)))
+	buf := make([]byte, 0, persistHeaderSize+len(t.entries)*persistEntrySize+persistFooterSize)
+	buf = binary.LittleEndian.AppendUint32(buf, persistMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, persistVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(t.order))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.entries)))
 	for _, e := range t.entries {
-		w(e.ID)
-		w(e.Env.MinX)
-		w(e.Env.MinY)
-		w(e.Env.MaxX)
-		w(e.Env.MaxY)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MinX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MinY))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MaxX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MaxY))
 	}
-	return buf.Bytes(), nil
+	buf = binary.LittleEndian.AppendUint32(buf, wal.Checksum(buf))
+	return buf, nil
 }
 
 // Unmarshal reconstructs a tree from Marshal output and builds it.
+// v2 input is verified against its CRC32C footer before any entry is
+// decoded; v1 input (no footer) is still accepted. In both formats
+// the entry count from the header is validated against the bytes
+// actually present before any allocation, so a truncated or corrupt
+// file can never demand memory it does not carry.
 func Unmarshal(data []byte) (*RTree, error) {
-	r := bytes.NewReader(data)
-	var (
-		magic   uint32
-		version uint16
-		order   uint16
-		count   uint32
-	)
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("index: reading magic: %w", err)
+	if len(data) < persistHeaderSize {
+		return nil, fmt.Errorf("index: %d bytes is shorter than the header", len(data))
 	}
+	magic := binary.LittleEndian.Uint32(data[0:4])
 	if magic != persistMagic {
 		return nil, fmt.Errorf("index: bad magic %#x", magic)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("index: reading version: %w", err)
-	}
-	if version != persistVersion {
+	version := binary.LittleEndian.Uint16(data[4:6])
+	order := binary.LittleEndian.Uint16(data[6:8])
+	count := binary.LittleEndian.Uint32(data[8:12])
+
+	body := data[persistHeaderSize:]
+	switch version {
+	case persistVersionV1:
+		// No footer; the entry table must account for the remainder
+		// exactly.
+	case persistVersion:
+		if len(body) < persistFooterSize {
+			return nil, fmt.Errorf("index: v2 file is missing its checksum footer")
+		}
+		payload := data[:len(data)-persistFooterSize]
+		want := binary.LittleEndian.Uint32(data[len(data)-persistFooterSize:])
+		if got := wal.Checksum(payload); got != want {
+			return nil, fmt.Errorf("index: checksum mismatch (file %#x, computed %#x): persisted index is corrupt", want, got)
+		}
+		body = body[:len(body)-persistFooterSize]
+	default:
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &order); err != nil {
-		return nil, fmt.Errorf("index: reading order: %w", err)
+
+	// The count header is untrusted: it must match the remaining input
+	// length exactly (fixed-width entries) before the entry table is
+	// allocated.
+	if int64(count)*persistEntrySize != int64(len(body)) {
+		return nil, fmt.Errorf("index: header claims %d entries (%d bytes), file carries %d bytes",
+			count, int64(count)*persistEntrySize, len(body))
 	}
-	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("index: reading count: %w", err)
-	}
+
 	t := New(int(order))
 	t.entries = make([]Entry, 0, count)
 	for i := uint32(0); i < count; i++ {
-		var (
-			id                     int32
-			minX, minY, maxX, maxY float64
-		)
-		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
-			return nil, fmt.Errorf("index: reading entry %d: %w", i, err)
-		}
-		for _, dst := range []*float64{&minX, &minY, &maxX, &maxY} {
-			if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
-				return nil, fmt.Errorf("index: reading entry %d: %w", i, err)
-			}
-		}
+		e := body[i*persistEntrySize:]
+		id := int32(binary.LittleEndian.Uint32(e[0:4]))
+		minX := math.Float64frombits(binary.LittleEndian.Uint64(e[4:12]))
+		minY := math.Float64frombits(binary.LittleEndian.Uint64(e[12:20]))
+		maxX := math.Float64frombits(binary.LittleEndian.Uint64(e[20:28]))
+		maxY := math.Float64frombits(binary.LittleEndian.Uint64(e[28:36]))
 		if math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
 			return nil, fmt.Errorf("index: entry %d has NaN bounds", i)
 		}
@@ -94,15 +119,14 @@ func Unmarshal(data []byte) (*RTree, error) {
 			Env: geom.Envelope{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY},
 		})
 	}
-	if _, err := r.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("index: trailing bytes after %d entries", count)
-	}
 	t.Build()
 	return t, nil
 }
 
 // Save writes the tree to path on the file system, replacing any
-// previous index at that path.
+// previous index at that path. The replace is atomic (dfs.Overwrite's
+// contract): a concurrent Load sees the old index or the new one,
+// never an absent or partial file.
 func (t *RTree) Save(fs *dfs.FileSystem, path string) error {
 	data, err := t.Marshal()
 	if err != nil {
@@ -114,6 +138,26 @@ func (t *RTree) Save(fs *dfs.FileSystem, path string) error {
 // Load reads a tree persisted by Save.
 func Load(fs *dfs.FileSystem, path string) (*RTree, error) {
 	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// SaveFile writes the tree to an operating-system file with the
+// crash-safe write-temp + fsync + rename contract — the on-disk
+// counterpart of Save that checkpoint segments use.
+func (t *RTree) SaveFile(path string) error {
+	data, err := t.Marshal()
+	if err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(path, data)
+}
+
+// LoadFile reads a tree persisted by SaveFile.
+func LoadFile(path string) (*RTree, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"stark/internal/geom"
+)
+
+// marshalV1 renders a tree in the legacy v1 layout (no checksum
+// footer) so the compatibility path stays covered without keeping old
+// writer code around.
+func marshalV1(t *RTree) []byte {
+	buf := make([]byte, 0, persistHeaderSize+len(t.entries)*persistEntrySize)
+	buf = binary.LittleEndian.AppendUint32(buf, persistMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, persistVersionV1)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(t.order))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.entries)))
+	for _, e := range t.entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MinX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MinY))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MaxX))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Env.MaxY))
+	}
+	return buf
+}
+
+func TestUnmarshalReadsV1(t *testing.T) {
+	tr := BuildFromEnvelopes(6, randomEnvs(rand.New(rand.NewSource(11)), 64))
+	got, err := Unmarshal(marshalV1(tr))
+	if err != nil {
+		t.Fatalf("v1 input rejected: %v", err)
+	}
+	if got.Order() != 6 || got.Len() != 64 {
+		t.Fatalf("order=%d len=%d, want 6/64", got.Order(), got.Len())
+	}
+	q := geom.NewEnvelope(0, 0, 1000, 1000)
+	if len(got.Query(q, nil)) != len(tr.Query(q, nil)) {
+		t.Fatal("v1 round trip lost entries")
+	}
+}
+
+// TestUnmarshalRejectsEveryCorruptByte is the corrupted-byte table
+// test: any single flipped byte in a v2 file — header, entry table or
+// footer — must be rejected, never deserialised as garbage envelopes.
+func TestUnmarshalRejectsEveryCorruptByte(t *testing.T) {
+	tr := BuildFromEnvelopes(5, randomEnvs(rand.New(rand.NewSource(12)), 40))
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for off := 0; off < len(data); off++ {
+		mutated := append([]byte(nil), data...)
+		mutated[off] ^= byte(1 << rng.Intn(8))
+		if _, err := Unmarshal(mutated); err == nil {
+			t.Fatalf("flip at byte %d accepted silently", off)
+		}
+	}
+}
+
+// TestUnmarshalCountValidation plants an untrusted entry count far
+// beyond the bytes present: Unmarshal must reject it up front rather
+// than preallocating gigabytes and failing on the first entry read.
+func TestUnmarshalCountValidation(t *testing.T) {
+	tr := BuildFromEnvelopes(4, randomEnvs(rand.New(rand.NewSource(14)), 8))
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []uint32{9, 1 << 20, 0xFFFFFFFF} {
+		mutated := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(mutated[8:12], count)
+		if _, err := Unmarshal(mutated); err == nil {
+			t.Fatalf("count=%d accepted with only 8 entries of payload", count)
+		}
+		// The same header lie in a v1 file (no checksum to catch it
+		// first) must be caught by the length validation alone.
+		v1 := marshalV1(tr)
+		binary.LittleEndian.PutUint32(v1[8:12], count)
+		if _, err := Unmarshal(v1); err == nil {
+			t.Fatalf("v1 count=%d accepted with only 8 entries of payload", count)
+		}
+	}
+	// Truncation mid-entry must fail in both formats.
+	if _, err := Unmarshal(data[:len(data)-persistFooterSize-7]); err == nil {
+		t.Fatal("truncated v2 entry table accepted")
+	}
+	v1 := marshalV1(tr)
+	if _, err := Unmarshal(v1[:len(v1)-7]); err == nil {
+		t.Fatal("truncated v1 entry table accepted")
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	tr := BuildFromEnvelopes(5, randomEnvs(rand.New(rand.NewSource(15)), 100))
+	path := filepath.Join(t.TempDir(), "part-0.idx")
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing an existing file must work (atomic rename semantics).
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 100 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("loading a missing file must fail")
+	}
+}

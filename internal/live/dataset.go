@@ -108,6 +108,13 @@ type Dataset[V any] struct {
 	partOf map[int64]int // live ID -> partition; writer-only
 	inc    *stats.Incremental
 
+	// onCommit, when set, runs inside Apply's critical section after
+	// validation and before any mutation — the write-ahead point: an
+	// error aborts the batch with nothing applied, so an acknowledged
+	// batch is exactly one the hook accepted (and, when the hook is a
+	// WAL append + fsync, one that is durable).
+	onCommit func(gen uint64, ops []Op[V]) error
+
 	view atomic.Pointer[viewState[V]]
 }
 
@@ -171,7 +178,22 @@ func (d *Dataset[V]) partitionFor(key stobject.STObject) int {
 func (d *Dataset[V]) Apply(ops []Op[V]) (BatchResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.applyLocked(ops, true)
+}
 
+// OnCommit installs the commit hook (see the field comment). It must
+// be set before the dataset takes writes; the hook must not call back
+// into the dataset.
+func (d *Dataset[V]) OnCommit(fn func(gen uint64, ops []Op[V]) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onCommit = fn
+}
+
+// applyLocked is Apply's body; the caller holds d.mu. hook selects
+// whether the onCommit hook runs — replay paths skip it, because the
+// batches they apply are by definition already durable.
+func (d *Dataset[V]) applyLocked(ops []Op[V], hook bool) (BatchResult, error) {
 	gen := d.view.Load().gen + 1
 	res := BatchResult{Gen: gen}
 
@@ -196,6 +218,12 @@ func (d *Dataset[V]) Apply(ops []Op[V]) (BatchResult, error) {
 			if _, exists := d.partOf[op.Rec.ID]; exists {
 				return BatchResult{}, fmt.Errorf("live: op %d: insert of existing id %d (use upsert)", i, op.Rec.ID)
 			}
+		}
+	}
+
+	if hook && d.onCommit != nil {
+		if err := d.onCommit(gen, ops); err != nil {
+			return BatchResult{}, fmt.Errorf("live: commit hook for %q generation %d: %w", d.name, gen, err)
 		}
 	}
 
@@ -272,6 +300,58 @@ func (d *Dataset[V]) publish(gen uint64) {
 	})
 }
 
+// ---- Recovery ----
+
+// ReplayBatch re-applies one durably logged batch during recovery.
+// gen is the generation the batch originally published. Replay is
+// idempotent: a batch at or below the current generation is skipped
+// (applied = false, no error) — it is already reflected in the
+// checkpoint the dataset was restored from. A batch exactly one ahead
+// is applied without invoking the commit hook. Anything further ahead
+// is a gap — a missing log record — and returns an error rather than
+// silently reconstructing a different history.
+func (d *Dataset[V]) ReplayBatch(gen uint64, ops []Op[V]) (applied bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.view.Load().gen
+	switch {
+	case gen <= cur:
+		return false, nil
+	case gen == cur+1:
+		_, err := d.applyLocked(ops, false)
+		return err == nil, err
+	default:
+		return false, fmt.Errorf("live: replay gap in %q: at generation %d, next log record is for %d", d.name, cur, gen)
+	}
+}
+
+// Restore bulk-loads a checkpointed record set into an empty dataset
+// and publishes it at gen, re-establishing generation continuity so
+// subsequent ReplayBatch calls line up. It validates the whole set
+// before touching the trees.
+func (d *Dataset[V]) Restore(gen uint64, recs []Record[V]) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v := d.view.Load(); v.gen != 0 || len(d.partOf) != 0 {
+		return fmt.Errorf("live: Restore into non-empty dataset %q (generation %d)", d.name, v.gen)
+	}
+	seen := make(map[int64]struct{}, len(recs))
+	for i, rec := range recs {
+		if rec.Key.IsEmpty() {
+			return fmt.Errorf("live: restore record %d (id=%d): empty geometry", i, rec.ID)
+		}
+		if _, dup := seen[rec.ID]; dup {
+			return fmt.Errorf("live: restore record %d: duplicate id %d", i, rec.ID)
+		}
+		seen[rec.ID] = struct{}{}
+	}
+	for _, rec := range recs {
+		d.applyInsert(rec, gen)
+	}
+	d.publish(gen)
+	return nil
+}
+
 // ---- Snapshots ----
 
 // Snapshot is a pinned, immutable view of the dataset at one
@@ -301,6 +381,24 @@ func (s *Snapshot[V]) NumPartitions() int { return len(s.v.trees) }
 // The summary is immutable once published; callers must not modify
 // it.
 func (s *Snapshot[V]) Stats() *stats.Summary { return s.v.stats }
+
+// Each streams every record live at the pinned generation — ID, key
+// and value — stopping early when fn returns false. Checkpointing
+// uses it to serialise a dataset; unlike Tuples it exposes the record
+// IDs, without which a restored dataset could not take deletes.
+func (s *Snapshot[V]) Each(fn func(Record[V]) bool) {
+	v := s.v
+	for _, t := range v.trees {
+		more := true
+		t.search(everything, v.gen, true, func(e Entry[V]) bool {
+			more = fn(Record[V]{ID: e.ID, Key: e.Key, Value: e.Value})
+			return more
+		})
+		if !more {
+			return
+		}
+	}
+}
 
 // everything is an envelope no finite envelope fails to intersect.
 var everything = geom.Envelope{MinX: -1e308, MinY: -1e308, MaxX: 1e308, MaxY: 1e308}

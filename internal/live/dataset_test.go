@@ -418,3 +418,154 @@ func TestHammerSnapshotIsolation(t *testing.T) {
 		}
 	}
 }
+
+func TestOnCommitHookOrdering(t *testing.T) {
+	ctx := engine.NewContext(2)
+	d := NewDataset[int](ctx, "t", nil, 8)
+
+	var hookGen uint64
+	var hookOps int
+	fail := false
+	d.OnCommit(func(gen uint64, ops []Op[int]) error {
+		hookGen = gen
+		hookOps = len(ops)
+		// The hook runs before mutation: nothing from this batch may be
+		// visible yet.
+		if d.Generation() >= gen {
+			t.Errorf("hook at gen %d but %d already published", gen, d.Generation())
+		}
+		if fail {
+			return fmt.Errorf("disk full")
+		}
+		return nil
+	})
+
+	if _, err := d.Apply([]Op[int]{Insert(1, pt(1, 1), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if hookGen != 1 || hookOps != 1 {
+		t.Fatalf("hook saw gen=%d ops=%d", hookGen, hookOps)
+	}
+
+	// A hook error must abort the batch with nothing applied.
+	fail = true
+	if _, err := d.Apply([]Op[int]{Insert(2, pt(2, 2), 2)}); err == nil {
+		t.Fatal("hook error not propagated")
+	}
+	if d.Count() != 1 || d.Generation() != 1 {
+		t.Fatalf("aborted batch leaked: count=%d gen=%d", d.Count(), d.Generation())
+	}
+
+	// An invalid batch must be rejected BEFORE the hook runs — nothing
+	// unloggable may reach the log.
+	hookGen = 0
+	if _, err := d.Apply([]Op[int]{Insert(1, pt(3, 3), 3)}); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if hookGen != 0 {
+		t.Fatal("hook ran for a batch that failed validation")
+	}
+}
+
+func TestReplayBatchIdempotentAndGapDetecting(t *testing.T) {
+	ctx := engine.NewContext(2)
+	d := NewDataset[int](ctx, "t", gridOver(t, 2), 8)
+	if _, err := d.Apply([]Op[int]{Insert(1, pt(10, 10), 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the already-applied generation is a no-op.
+	applied, err := d.ReplayBatch(1, []Op[int]{Insert(1, pt(10, 10), 1)})
+	if err != nil || applied {
+		t.Fatalf("replay of applied gen: applied=%v err=%v", applied, err)
+	}
+	if d.Count() != 1 {
+		t.Fatalf("idempotent replay changed count to %d", d.Count())
+	}
+
+	// The next generation applies, and must not invoke the hook.
+	d.OnCommit(func(uint64, []Op[int]) error { return fmt.Errorf("hook must not run on replay") })
+	applied, err = d.ReplayBatch(2, []Op[int]{Insert(2, pt(20, 20), 2)})
+	if err != nil || !applied {
+		t.Fatalf("replay of next gen: applied=%v err=%v", applied, err)
+	}
+	if d.Count() != 2 || d.Generation() != 2 {
+		t.Fatalf("count=%d gen=%d after replay", d.Count(), d.Generation())
+	}
+
+	// A generation gap is corruption, not something to paper over.
+	if _, err := d.ReplayBatch(5, []Op[int]{Insert(9, pt(5, 5), 9)}); err == nil {
+		t.Fatal("generation gap accepted")
+	}
+}
+
+func TestRestoreReestablishesContinuity(t *testing.T) {
+	ctx := engine.NewContext(2)
+	d := NewDataset[int](ctx, "t", gridOver(t, 2), 8)
+	recs := []Record[int]{
+		{ID: 10, Key: pt(10, 10), Value: 100},
+		{ID: 20, Key: pt(80, 80), Value: 200},
+	}
+	if err := d.Restore(7, recs); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != 7 || d.Count() != 2 {
+		t.Fatalf("gen=%d count=%d after restore", d.Generation(), d.Count())
+	}
+	// Log records at or below the checkpoint generation skip; the next
+	// one applies.
+	if applied, err := d.ReplayBatch(7, []Op[int]{Insert(10, pt(10, 10), 100)}); err != nil || applied {
+		t.Fatalf("stale replay: applied=%v err=%v", applied, err)
+	}
+	if applied, err := d.ReplayBatch(8, []Op[int]{Delete[int](10)}); err != nil || !applied {
+		t.Fatalf("suffix replay: applied=%v err=%v", applied, err)
+	}
+	if d.Count() != 1 {
+		t.Fatalf("count=%d after replayed delete", d.Count())
+	}
+
+	// Restore refuses non-empty datasets and invalid record sets.
+	if err := d.Restore(9, recs); err == nil {
+		t.Fatal("Restore into non-empty dataset accepted")
+	}
+	d2 := NewDataset[int](ctx, "t2", nil, 8)
+	if err := d2.Restore(1, []Record[int]{{ID: 1, Key: pt(1, 1)}, {ID: 1, Key: pt(2, 2)}}); err == nil {
+		t.Fatal("duplicate IDs in restore set accepted")
+	}
+	if err := d2.Restore(1, []Record[int]{{ID: 1}}); err == nil {
+		t.Fatal("empty geometry in restore set accepted")
+	}
+	if d2.Generation() != 0 || d2.Count() != 0 {
+		t.Fatalf("failed restore mutated dataset: gen=%d count=%d", d2.Generation(), d2.Count())
+	}
+}
+
+func TestSnapshotEach(t *testing.T) {
+	ctx := engine.NewContext(2)
+	d := NewDataset[int](ctx, "t", gridOver(t, 2), 8)
+	if _, err := d.Apply([]Op[int]{
+		Insert(1, pt(10, 10), 100),
+		Insert(2, pt(90, 10), 200),
+		Insert(3, pt(10, 90), 300),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply([]Op[int]{Delete[int](2)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	got := map[int64]int{}
+	snap.Each(func(r Record[int]) bool {
+		got[r.ID] = r.Value
+		return true
+	})
+	if len(got) != 2 || got[1] != 100 || got[3] != 300 {
+		t.Fatalf("Each saw %v", got)
+	}
+	// Early stop.
+	n := 0
+	snap.Each(func(Record[int]) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d records", n)
+	}
+}

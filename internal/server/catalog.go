@@ -194,6 +194,11 @@ type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*catalogEntry
 	gen     int64 // registration counter, monotonic under mu
+
+	// dur, when set, write-ahead-logs every catalog mutation and every
+	// ingest batch before it becomes visible. Set once at boot (before
+	// any registration) by Server.EnableDurability.
+	dur *Durability
 }
 
 // NewCatalog returns an empty catalog.
@@ -223,12 +228,23 @@ func (c *Catalog) List() []DatasetInfo {
 
 // Drop removes name from the catalog, reporting whether it existed.
 // In-flight queries holding the entry finish against it undisturbed.
-func (c *Catalog) Drop(name string) bool {
+// Under durability the drop is write-ahead-logged and fsync'd before
+// the entry disappears; a logging failure leaves the catalog
+// unchanged, so a drop the client saw acknowledged can never
+// resurrect on restart.
+func (c *Catalog) Drop(name string) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[name]
+	if _, ok := c.entries[name]; !ok {
+		return false, nil
+	}
+	if c.dur != nil {
+		if err := c.dur.logDrop(name); err != nil {
+			return true, fmt.Errorf("logging drop of %q: %w", name, err)
+		}
+	}
 	delete(c.entries, name)
-	return ok
+	return true, nil
 }
 
 // Register builds the dataset described by spec and publishes it
@@ -240,25 +256,70 @@ func (c *Catalog) Register(ctx *stark.Context, spec DatasetSpec) (*catalogEntry,
 	// POST /api/v1/ingest; anything the spec does provide becomes the
 	// seed batch.
 	if spec.Mutable && spec.N <= 0 && len(spec.Events) == 0 {
-		return c.register(ctx, spec, nil)
+		return c.register(ctx, spec, nil, false)
 	}
 	events, err := spec.buildEvents()
 	if err != nil {
 		return nil, err
 	}
-	return c.register(ctx, spec, events)
+	return c.register(ctx, spec, events, false)
 }
 
 // RegisterEvents is Register with an already-materialised payload —
 // the programmatic preload path, which skips the generator.
 func (c *Catalog) RegisterEvents(ctx *stark.Context, spec DatasetSpec, events []workload.Event) error {
-	_, err := c.register(ctx, spec, events)
+	_, err := c.register(ctx, spec, events, true)
 	return err
 }
 
-func (c *Catalog) register(ctx *stark.Context, spec DatasetSpec, events []workload.Event) (*catalogEntry, error) {
+// register builds and publishes at the next catalog generation.
+// inline marks events as pre-materialised by the caller (not
+// derivable from spec) — under durability such payloads are embedded
+// into the logged spec so recovery can rebuild the dataset.
+func (c *Catalog) register(ctx *stark.Context, spec DatasetSpec, events []workload.Event, inline bool) (*catalogEntry, error) {
+	return c.registerAt(ctx, spec, events, inline, 0)
+}
+
+// registerReplayed re-registers a dataset from a WAL register record
+// during recovery, publishing at the recorded catalog generation. The
+// spec is self-contained by construction (logRegister embeds inline
+// payloads), so the rebuild is deterministic.
+func (c *Catalog) registerReplayed(ctx *stark.Context, spec DatasetSpec, gen int64) error {
+	if spec.Mutable && spec.N <= 0 && len(spec.Events) == 0 {
+		_, err := c.registerAt(ctx, spec, nil, false, gen)
+		return err
+	}
+	events, err := spec.buildEvents()
+	if err != nil {
+		return err
+	}
+	_, err = c.registerAt(ctx, spec, events, false, gen)
+	return err
+}
+
+// registerAt is the shared registration body. gen > 0 forces the
+// published catalog generation (recovery replay and checkpoint
+// restore keep the recovered history's numbering); gen == 0 takes the
+// next one. Under durability a live (non-replayed) registration is
+// write-ahead-logged and fsync'd inside the lock, before the entry
+// becomes visible — a registration the client saw acknowledged
+// survives any crash after this returns.
+func (c *Catalog) registerAt(ctx *stark.Context, spec DatasetSpec, events []workload.Event, inline bool, gen int64) (*catalogEntry, error) {
 	if strings.TrimSpace(spec.Name) == "" {
 		return nil, fmt.Errorf("dataset name must not be empty")
+	}
+	// Under durability an inline payload must ride along in the spec:
+	// it is the only way recovery can rebuild the dataset. Embed it
+	// before the entry is built so checkpoint manifests (which persist
+	// e.spec) are self-contained too.
+	c.mu.RLock()
+	dur := c.dur
+	c.mu.RUnlock()
+	if dur != nil && inline && len(events) > 0 && len(spec.Events) == 0 {
+		spec.Events = make([]EventSpec, len(events))
+		for i, ev := range events {
+			spec.Events[i] = EventSpec{ID: ev.ID, Category: ev.Category, Time: ev.Time, WKT: ev.WKT}
+		}
 	}
 	var e *catalogEntry
 	if spec.Mutable {
@@ -279,11 +340,112 @@ func (c *Catalog) register(ctx *stark.Context, spec DatasetSpec, events []worklo
 		e = &catalogEntry{spec: spec, ds: ds, events: summary.Count, summary: summary}
 	}
 	c.mu.Lock()
-	c.gen++
-	e.gen = c.gen
+	defer c.mu.Unlock()
+	if gen > 0 {
+		if gen > c.gen {
+			c.gen = gen
+		}
+		e.gen = gen
+	} else {
+		c.gen++
+		e.gen = c.gen
+	}
+	if c.dur != nil {
+		if gen <= 0 {
+			if err := c.dur.logRegister(e.gen, spec); err != nil {
+				c.gen--
+				return nil, fmt.Errorf("logging registration of %q: %w", spec.Name, err)
+			}
+		}
+		// Post-recovery ingest batches on this dataset must hit the
+		// log before they apply: the commit hook runs inside the live
+		// dataset's writer lock, after validation and before mutation,
+		// so the acknowledged batch is durable or not applied at all.
+		// (The seed batch staged above predates the hook on purpose —
+		// it is re-derived from the logged spec, not from the log.)
+		if e.mds != nil {
+			d, name, entryGen := c.dur, spec.Name, e.gen
+			e.mds.OnCommit(func(g uint64, ops []stark.LiveOp[workload.Event]) error {
+				return d.logBatch(name, entryGen, g, ops)
+			})
+		}
+	}
 	c.entries[spec.Name] = e
-	c.mu.Unlock()
 	return e, nil
+}
+
+// restoreMutable rebuilds a mutable entry from checkpointed records,
+// publishing at the recorded catalog generation with the live
+// generation re-established, so WAL suffix replay lines up. The
+// spatial layout is rebuilt over the restored keys (or the declared
+// data space when empty), mirroring what stageMutable did at original
+// registration.
+func (c *Catalog) restoreMutable(ctx *stark.Context, spec DatasetSpec, gen int64, liveGen uint64, recs []stark.LiveRecord[workload.Event]) error {
+	order, err := parseLiveOrder(spec)
+	if err != nil {
+		return err
+	}
+	keys := make([]stark.STObject, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	sp, err := buildLiveLayout(spec, keys)
+	if err != nil {
+		return err
+	}
+	mds := stark.NewMutableDataset[workload.Event](ctx, spec.Name, sp, order)
+	if err := mds.Restore(liveGen, recs); err != nil {
+		return err
+	}
+	e := &catalogEntry{spec: spec, mds: mds}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gen {
+		c.gen = gen
+	}
+	e.gen = gen
+	if c.dur != nil {
+		d, name := c.dur, spec.Name
+		e.mds.OnCommit(func(g uint64, ops []stark.LiveOp[workload.Event]) error {
+			return d.logBatch(name, gen, g, ops)
+		})
+	}
+	c.entries[spec.Name] = e
+	return nil
+}
+
+// setDurability installs the write-ahead log. Must run before any
+// registration the log is supposed to cover.
+func (c *Catalog) setDurability(d *Durability) {
+	c.mu.Lock()
+	c.dur = d
+	c.mu.Unlock()
+}
+
+// setGen forces the registration counter — recovery re-establishes
+// the counter recorded in the checkpoint manifest before replaying
+// the WAL suffix.
+func (c *Catalog) setGen(g int64) {
+	c.mu.Lock()
+	if g > c.gen {
+		c.gen = g
+	}
+	c.mu.Unlock()
+}
+
+// snapshot returns every entry (sorted by registration generation)
+// and the current counter — the consistent catalog view a checkpoint
+// serialises.
+func (c *Catalog) snapshot() ([]*catalogEntry, int64) {
+	c.mu.RLock()
+	entries := make([]*catalogEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	gen := c.gen
+	c.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].gen < entries[j].gen })
+	return entries, gen
 }
 
 // buildEvents materialises the spec's payload: inline events when
@@ -365,33 +527,13 @@ func stageMutable(ctx *stark.Context, events []workload.Event, spec DatasetSpec)
 		return nil, fmt.Errorf("%d events with invalid WKT", dropped)
 	}
 
-	var sp stark.SpatialPartitioner
-	if spec.Partitioner != "" {
-		p, err := parsePartitioner(spec.Partitioner)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]stark.STObject, 0, len(tuples))
-		for _, kv := range tuples {
-			keys = append(keys, kv.Key)
-		}
-		if len(keys) == 0 {
-			w, h := spec.Width, spec.Height
-			if w <= 0 {
-				w = 1000
-			}
-			if h <= 0 {
-				h = 1000
-			}
-			keys = []stark.STObject{
-				stark.NewSTObject(stark.NewPoint(0, 0)),
-				stark.NewSTObject(stark.NewPoint(w, h)),
-			}
-		}
-		sp, err = p.Build(keys)
-		if err != nil {
-			return nil, fmt.Errorf("building partitioner: %w", err)
-		}
+	keys := make([]stark.STObject, 0, len(tuples))
+	for _, kv := range tuples {
+		keys = append(keys, kv.Key)
+	}
+	sp, err := buildLiveLayout(spec, keys)
+	if err != nil {
+		return nil, err
 	}
 
 	mds := stark.NewMutableDataset[workload.Event](ctx, spec.Name, sp, order)
@@ -405,6 +547,39 @@ func stageMutable(ctx *stark.Context, events []workload.Event, spec DatasetSpec)
 		}
 	}
 	return mds, nil
+}
+
+// buildLiveLayout fixes a mutable dataset's spatial layout: the
+// spec's partitioner recipe built over the given keys, or over the
+// corners of the declared data space when there are none (the
+// generator's default 1000×1000 when no width/height is given). A
+// spec without a partitioner yields nil — a single partition.
+func buildLiveLayout(spec DatasetSpec, keys []stark.STObject) (stark.SpatialPartitioner, error) {
+	if spec.Partitioner == "" {
+		return nil, nil
+	}
+	p, err := parsePartitioner(spec.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		w, h := spec.Width, spec.Height
+		if w <= 0 {
+			w = 1000
+		}
+		if h <= 0 {
+			h = 1000
+		}
+		keys = []stark.STObject{
+			stark.NewSTObject(stark.NewPoint(0, 0)),
+			stark.NewSTObject(stark.NewPoint(w, h)),
+		}
+	}
+	sp, err := p.Build(keys)
+	if err != nil {
+		return nil, fmt.Errorf("building partitioner: %w", err)
+	}
+	return sp, nil
 }
 
 // parseLiveOrder extracts the concurrent-tree node order from a

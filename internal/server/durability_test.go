@@ -1,0 +1,486 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stark/internal/engine"
+	"stark/internal/wal"
+)
+
+// durableService builds an empty durable service over dir with no
+// checkpoint ticker (tests checkpoint explicitly).
+func durableService(t *testing.T, dir string) (*Server, *RecoveryInfo) {
+	t.Helper()
+	ctx := engine.NewContext(2)
+	s := NewService(ctx, Options{})
+	info, err := s.EnableDurability(dir, 0)
+	if err != nil {
+		t.Fatalf("EnableDurability: %v", err)
+	}
+	return s, info
+}
+
+// crash simulates a hard failure: the WAL handle closes without a
+// final checkpoint, and the server is abandoned.
+func crash(t *testing.T, s *Server) {
+	t.Helper()
+	if s.dur.stopTicker != nil {
+		close(s.dur.stopTicker)
+		<-s.dur.tickerDone
+	}
+	if err := s.dur.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// listInfo fetches GET /api/datasets as DatasetInfo records.
+func listInfo(t *testing.T, s *Server) map[string]DatasetInfo {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/datasets", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/datasets: %d %s", rec.Code, rec.Body)
+	}
+	var doc struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]DatasetInfo, len(doc.Datasets))
+	for _, in := range doc.Datasets {
+		out[in.Name] = in
+	}
+	return out
+}
+
+func insertLine(id int) string {
+	return fmt.Sprintf(`{"op":"insert","id":%d,"category":"live","time":%d,"wkt":"POINT (%d %d)"}`,
+		id, id, id%100, (id*3)%100)
+}
+
+func TestDurableRoundTripAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, info := durableService(t, dir)
+	if info.Checkpoint != 0 || info.Datasets != 0 {
+		t.Fatalf("fresh dir recovered %+v", info)
+	}
+
+	// One immutable dataset from a generator spec, one mutable with
+	// seed events, both through the public registration path.
+	if err := s.Register(DatasetSpec{Name: "ref", N: 300, Seed: 7, Dist: "uniform", Index: "live:8", Partitioner: "grid:4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(DatasetSpec{
+		Name: "fleet", Mutable: true, Partitioner: "grid:4",
+		Width: 100, Height: 100, Events: seedEvents(0, 20),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three acknowledged ingest batches: insert, upsert, delete.
+	if rec := ingestNDJSON(t, s, "fleet", insertLine(100)+"\n"+insertLine(101)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	if rec := ingestNDJSON(t, s, "fleet", `{"op":"upsert","id":100,"category":"moved","time":9,"wkt":"POINT (1 2)"}`); rec.Code != http.StatusOK {
+		t.Fatalf("upsert: %d %s", rec.Code, rec.Body)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/api/v1/datasets/fleet/records/5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("record delete: %d %s", rec.Code, rec.Body)
+	}
+	before := listInfo(t, s)
+	crash(t, s)
+
+	s2, info2 := durableService(t, dir)
+	if info2.Registers != 2 || info2.Batches != 3 {
+		t.Fatalf("recovery replayed %+v", info2)
+	}
+	if !s2.HasDataset("fleet") || s2.HasDataset("nope") {
+		t.Fatal("HasDataset after recovery")
+	}
+	if di, ok := s2.DatasetInfo("fleet"); !ok || di.LiveGeneration != 4 {
+		t.Fatalf("DatasetInfo after recovery: %+v ok=%v", di, ok)
+	}
+	if _, ok := s2.DatasetInfo("nope"); ok {
+		t.Fatal("DatasetInfo invented a dataset")
+	}
+	after := listInfo(t, s2)
+	if len(after) != len(before) {
+		t.Fatalf("datasets: before %v, after %v", before, after)
+	}
+	for name, b := range before {
+		a := after[name]
+		if a.Events != b.Events || a.Mutable != b.Mutable || a.LiveGeneration != b.LiveGeneration ||
+			a.Index != b.Index || a.Partitioner != b.Partitioner || a.Generation != b.Generation {
+			t.Fatalf("%s: before %+v, after %+v", name, b, a)
+		}
+	}
+	if after["fleet"].LiveGeneration != 4 || after["fleet"].Events != 21 {
+		t.Fatalf("fleet recovered as %+v", after["fleet"])
+	}
+
+	// The recovered dataset keeps taking (logged) writes.
+	if rec := ingestNDJSON(t, s2, "fleet", insertLine(200)); rec.Code != http.StatusOK {
+		t.Fatalf("post-recovery ingest: %d %s", rec.Code, rec.Body)
+	}
+	crash(t, s2)
+	s3, _ := durableService(t, dir)
+	if got := listInfo(t, s3)["fleet"]; got.LiveGeneration != 5 || got.Events != 22 {
+		t.Fatalf("second recovery: %+v", got)
+	}
+	crash(t, s3)
+}
+
+func TestCheckpointTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Partitioner: "grid:2", Width: 100, Height: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Two more batches land after the checkpoint.
+	for i := 5; i < 7; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	crash(t, s)
+
+	s2, info := durableService(t, dir)
+	if info.Checkpoint == 0 || info.Datasets != 1 {
+		t.Fatalf("recovery ignored the checkpoint: %+v", info)
+	}
+	if info.Batches != 2 {
+		t.Fatalf("replayed %d batches, want 2 (the post-checkpoint suffix)", info.Batches)
+	}
+	got := listInfo(t, s2)["fleet"]
+	if got.LiveGeneration != 7 || got.Events != 7 {
+		t.Fatalf("recovered %+v", got)
+	}
+
+	// Graceful shutdown: the final checkpoint makes the next recovery
+	// pure restore — zero replay.
+	if err := s2.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	s3, info3 := durableService(t, dir)
+	if info3.Batches != 0 || info3.Registers != 0 || info3.Datasets != 1 {
+		t.Fatalf("post-shutdown recovery still replayed: %+v", info3)
+	}
+	if got := listInfo(t, s3)["fleet"]; got.LiveGeneration != 7 || got.Events != 7 {
+		t.Fatalf("post-shutdown recovery: %+v", got)
+	}
+	crash(t, s3)
+}
+
+func TestDropAndReregisterSurviveRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "a", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if rec := ingestNDJSON(t, s, "a", insertLine(1)+"\n"+insertLine(2)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/api/datasets/a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drop: %d %s", rec.Code, rec.Body)
+	}
+	// Re-register the same name; only the new instance's batch must
+	// survive recovery.
+	if err := s.Register(DatasetSpec{Name: "a", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if rec := ingestNDJSON(t, s, "a", insertLine(9)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	crash(t, s)
+
+	s2, info := durableService(t, dir)
+	if info.Drops != 1 || info.Registers != 2 {
+		t.Fatalf("recovery: %+v", info)
+	}
+	// The dropped instance's 2-record batch replays into the first
+	// instance and dies with it; only the re-registered instance's
+	// single insert survives.
+	got := listInfo(t, s2)["a"]
+	if got.Events != 1 || got.LiveGeneration != 1 {
+		t.Fatalf("re-registered dataset recovered as %+v", got)
+	}
+
+	// A stale suffix batch — one tagged with the dropped instance's
+	// registration generation — must be skipped, not applied to the
+	// replacement. (This shape only occurs when checkpoint truncation
+	// leaves an old segment behind, so it is injected directly.)
+	entry, ok := s2.catalog.Get("a")
+	if !ok {
+		t.Fatal("dataset a missing")
+	}
+	staleID := int64(77)
+	stale, err := json.Marshal(batchRecord{
+		Dataset:  "a",
+		EntryGen: entry.gen - 1,
+		Gen:      got.LiveGeneration + 1,
+		Ops:      []mutationLine{{Op: "insert", ID: &staleID, WKT: "POINT (1 1)"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s2.dur.recovered.SkippedBatches
+	if err := s2.dur.applyRecord(0, wal.Record{Type: walBatch, Payload: stale}); err != nil {
+		t.Fatalf("stale batch replay errored: %v", err)
+	}
+	if s2.dur.recovered.SkippedBatches != before+1 {
+		t.Fatal("stale-generation batch was not skipped")
+	}
+	if got := listInfo(t, s2)["a"]; got.Events != 1 || got.LiveGeneration != 1 {
+		t.Fatalf("stale batch mutated the replacement: %+v", got)
+	}
+	crash(t, s2)
+}
+
+// TestRecoveryTruncationBattery is the end-to-end torn-write sweep:
+// the WAL is cut at EVERY byte boundary, and recovery must come back
+// with exactly the state of the longest complete record prefix —
+// never a panic, never a half-applied batch, never a batch past the
+// damage. The workload is built so the expected state is a function
+// of the prefix length: one register record, then one insert per
+// batch, so after r complete records the dataset exists iff r >= 1,
+// with liveGen == count == r-1.
+func TestRecoveryTruncationBattery(t *testing.T) {
+	master := t.TempDir()
+	s, _ := durableService(t, master)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Partitioner: "grid:2", Width: 100, Height: 100}); err != nil {
+		t.Fatal(err)
+	}
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	crash(t, s)
+
+	segs, err := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The number of complete records in the prefix, per the WAL's
+		// own reader — the ground truth recovery must match.
+		complete := 0
+		if err := wal.Replay(dir, 0, func(int, wal.Record) error {
+			complete++
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: Replay: %v", cut, err)
+		}
+		s2, info := durableService(t, dir)
+		got := listInfo(t, s2)
+		switch {
+		case complete == 0:
+			if len(got) != 0 {
+				t.Fatalf("cut %d: no complete records but recovered %v", cut, got)
+			}
+		default:
+			want := uint64(complete - 1)
+			fl, ok := got["fleet"]
+			if !ok {
+				t.Fatalf("cut %d: register record complete but dataset missing", cut)
+			}
+			if fl.LiveGeneration != want || fl.Events != int64(want) {
+				t.Fatalf("cut %d (%d complete records): gen=%d events=%d, want %d",
+					cut, complete, fl.LiveGeneration, fl.Events, want)
+			}
+		}
+		if info.Batches != max(0, complete-1) {
+			t.Fatalf("cut %d: replayed %d batches, want %d", cut, info.Batches, complete-1)
+		}
+		crash(t, s2)
+	}
+}
+
+// TestRecoveryBitFlipBattery flips one random bit at every byte
+// offset of the WAL: recovery must never panic and must recover a
+// clean prefix of the acknowledged history (the CRC turns any
+// corruption into a clean stop).
+func TestRecoveryBitFlipBattery(t *testing.T) {
+	master := t.TempDir()
+	s, _ := durableService(t, master)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Width: 100, Height: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	crash(t, s)
+
+	segs, _ := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+	rng := rand.New(rand.NewSource(99))
+
+	// Sample offsets across the whole file (every offset would make
+	// the test minutes long: each recovery re-stages the catalog).
+	for off := 0; off < len(data); off += 1 + rng.Intn(16) {
+		mutated := append([]byte(nil), data...)
+		mutated[off] ^= byte(1 << rng.Intn(8))
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		complete := 0
+		if err := wal.Replay(dir, 0, func(int, wal.Record) error {
+			complete++
+			return nil
+		}); err != nil {
+			t.Fatalf("offset %d: Replay: %v", off, err)
+		}
+		s2, info := durableService(t, dir)
+		got := listInfo(t, s2)
+		if complete == 0 && len(got) != 0 {
+			t.Fatalf("offset %d: recovered %v from zero valid records", off, got)
+		}
+		if complete > 0 {
+			fl := got["fleet"]
+			if fl.LiveGeneration != uint64(complete-1) {
+				t.Fatalf("offset %d: gen %d from %d valid records", off, fl.LiveGeneration, complete)
+			}
+		}
+		if info.Batches > 4 {
+			t.Fatalf("offset %d: replayed %d batches, wrote only 4", off, info.Batches)
+		}
+		crash(t, s2)
+	}
+}
+
+func TestCorruptManifestFallsBackWithoutPanic(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if rec := ingestNDJSON(t, s, "fleet", insertLine(1)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	manifests, _ := filepath.Glob(filepath.Join(dir, "manifest-*.ckpt"))
+	if len(manifests) == 0 {
+		t.Fatal("no manifest written")
+	}
+	raw, err := os.ReadFile(manifests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(manifests[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The corrupted manifest must be skipped, not trusted; with no
+	// older manifest recovery starts from the (truncated) WAL and must
+	// still come up serving.
+	s2, info := durableService(t, dir)
+	if info.Checkpoint != 0 {
+		t.Fatalf("corrupt manifest was loaded: %+v", info)
+	}
+	crash(t, s2)
+}
+
+func TestServiceStatsReportDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/service", nil))
+	var doc struct {
+		Durability struct {
+			Enabled    bool   `json:"enabled"`
+			Dir        string `json:"dir"`
+			WALAppends int64  `json:"walAppends"`
+		} `json:"durability"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Durability.Enabled || doc.Durability.Dir != dir || doc.Durability.WALAppends == 0 {
+		t.Fatalf("durability status: %+v body %s", doc.Durability, rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, m := range []string{"stark_wal_appends_total", "stark_wal_bytes_total", "stark_wal_fsync_duration_seconds", "stark_checkpoints_total"} {
+		if !strings.Contains(body, m) {
+			t.Fatalf("/metrics missing %s", m)
+		}
+	}
+	crash(t, s)
+
+	// Without durability the block reports disabled.
+	s2 := NewService(engine.NewContext(1), Options{})
+	rec = httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/service", nil))
+	if !strings.Contains(rec.Body.String(), `"enabled":false`) {
+		t.Fatalf("service stats without durability: %s", rec.Body)
+	}
+}
+
+func TestPeriodicCheckpointTicker(t *testing.T) {
+	dir := t.TempDir()
+	ctx := engine.NewContext(2)
+	s := NewService(ctx, Options{})
+	if _, err := s.EnableDurability(dir, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.dur.checkpoints.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never checkpointed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}

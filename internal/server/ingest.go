@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"stark"
+	"stark/internal/live"
 	"stark/internal/workload"
 )
 
@@ -64,6 +65,14 @@ func decodeMutation(line []byte) (stark.LiveOp[workload.Event], error) {
 	if err := dec.Decode(&m); err != nil {
 		return zero, fmt.Errorf("bad JSON: %v", err)
 	}
+	return m.toOp()
+}
+
+// toOp validates a decoded mutation line and lifts it to a live op —
+// shared between the HTTP ingest decoder and WAL batch replay (which
+// logs batches as []mutationLine).
+func (m mutationLine) toOp() (stark.LiveOp[workload.Event], error) {
+	var zero stark.LiveOp[workload.Event]
 	if m.ID == nil {
 		return zero, errors.New("missing id")
 	}
@@ -86,6 +95,21 @@ func decodeMutation(line []byte) (stark.LiveOp[workload.Event], error) {
 		return stark.LiveInsert(*m.ID, key, ev), nil
 	}
 	return stark.LiveUpsert(*m.ID, key, ev), nil
+}
+
+// opLine renders a validated live op back to its wire form — how WAL
+// batch records serialise a batch. The round trip through toOp is
+// lossless: the op's payload event carries the original WKT.
+func opLine(op stark.LiveOp[workload.Event]) mutationLine {
+	id := op.Rec.ID
+	switch op.Kind {
+	case live.OpDelete:
+		return mutationLine{Op: "delete", ID: &id}
+	case live.OpInsert:
+		return mutationLine{Op: "insert", ID: &id, Category: op.Rec.Value.Category, Time: op.Rec.Value.Time, WKT: op.Rec.Value.WKT}
+	default:
+		return mutationLine{Op: "upsert", ID: &id, Category: op.Rec.Value.Category, Time: op.Rec.Value.Time, WKT: op.Rec.Value.WKT}
+	}
 }
 
 // mutableEntry resolves a dataset name to its catalog entry and

@@ -65,6 +65,7 @@ type Server struct {
 	adm     *Admission
 	mux     *http.ServeMux
 	tel     *Telemetry
+	dur     *Durability
 }
 
 // NewService builds an empty query service; register datasets via the

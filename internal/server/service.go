@@ -298,7 +298,12 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDatasetDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.catalog.Drop(name) {
+	existed, err := s.catalog.Drop(name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "drop failed: %v", err)
+		return
+	}
+	if !existed {
 		httpError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
 	}
@@ -311,7 +316,12 @@ func (s *Server) handleDatasetDrop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleServiceStats(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	durability := map[string]interface{}{"enabled": false}
+	if s.dur != nil {
+		durability = s.dur.status()
+	}
 	writeJSON(w, map[string]interface{}{
+		"durability":   durability,
 		"cache":          s.cache.Stats(),
 		"admission":      s.adm.Stats(),
 		"datasets":       len(s.catalog.List()),

@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendN appends n records with deterministic payloads and returns
+// them.
+func appendN(t *testing.T, l *Log, n int) []Record {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Type:    byte(i%3 + 1),
+			Payload: []byte(fmt.Sprintf("record-%03d:%s", i, bytes.Repeat([]byte{byte(i)}, i%17))),
+		}
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	return recs
+}
+
+// replayAll collects every replayed record.
+func replayAll(t *testing.T, dir string, fromSeq int) []Record {
+	t.Helper()
+	var got []Record
+	if err := Replay(dir, fromSeq, func(_ int, rec Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func assertRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d mismatch: got type=%d payload=%q, want type=%d payload=%q",
+				i, got[i].Type, got[i].Payload, want[i].Type, want[i].Payload)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 25)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertRecords(t, replayAll(t, dir, 0), want)
+
+	if st := mustOpenStats(t, dir); st.Seq != 1 {
+		t.Fatalf("segment seq = %d, want 1", st.Seq)
+	}
+}
+
+func mustOpenStats(t *testing.T, dir string) Stats {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	return l.Stats()
+}
+
+func TestRotateAndRemoveBelow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := appendN(t, l, 5)
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("Rotate returned seq %d, want 2", seq)
+	}
+	var second []Record
+	for i := 0; i < 4; i++ {
+		rec := Record{Type: 9, Payload: []byte(fmt.Sprintf("post-rotate-%d", i))}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		second = append(second, rec)
+	}
+	// Replay everything, then only the suffix, then truncate.
+	assertRecords(t, replayAll(t, dir, 0), append(append([]Record{}, first...), second...))
+	assertRecords(t, replayAll(t, dir, seq), second)
+	if err := l.RemoveBelow(seq); err != nil {
+		t.Fatal(err)
+	}
+	assertRecords(t, replayAll(t, dir, 0), second)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornWriteBattery is the core crash-safety property: truncating
+// the log at EVERY byte boundary must replay exactly the records whose
+// frames fit entirely in the prefix — never a panic, never a partial
+// record, never a record past the damage point.
+func TestTornWriteBattery(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 12)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := segmentPath(master, 1)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries: prefix length -> number of complete records.
+	boundaries := make([]int, 0, len(want)+1)
+	off := 0
+	boundaries = append(boundaries, 0)
+	for {
+		_, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		off += n
+		boundaries = append(boundaries, off)
+	}
+	if off != len(data) {
+		t.Fatalf("segment has %d trailing bytes after %d records", len(data)-off, len(boundaries)-1)
+	}
+	completeBelow := func(cut int) int {
+		n := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+
+	dir := t.TempDir()
+	target := segmentPath(dir, 1)
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(target, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir, 0)
+		wantN := completeBelow(cut)
+		if len(got) != wantN {
+			t.Fatalf("cut at byte %d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		assertRecords(t, got, want[:wantN])
+
+		// Re-opening for append must truncate the torn tail and keep
+		// accepting records.
+		l, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d: Open: %v", cut, err)
+		}
+		if err := l.Append(Record{Type: 7, Payload: []byte("appended-after-crash")}); err != nil {
+			t.Fatalf("cut at byte %d: Append after reopen: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got = replayAll(t, dir, 0)
+		if len(got) != wantN+1 {
+			t.Fatalf("cut at byte %d: after reopen+append replayed %d records, want %d", cut, len(got), wantN+1)
+		}
+	}
+}
+
+// TestBitFlipBattery flips one byte at every offset: replay must never
+// panic and must only return records that are byte-identical to a
+// prefix of what was written (a flip can only shorten the replayed
+// prefix, never corrupt a surviving record).
+func TestBitFlipBattery(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segmentPath(master, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	target := segmentPath(dir, 1)
+	rng := rand.New(rand.NewSource(42))
+	for off := 0; off < len(data); off++ {
+		mutated := append([]byte(nil), data...)
+		flip := byte(1 << rng.Intn(8))
+		mutated[off] ^= flip
+		if err := os.WriteFile(target, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir, 0)
+		if len(got) > len(want) {
+			t.Fatalf("flip at byte %d: replayed %d records, wrote only %d", off, len(got), len(want))
+		}
+		for i, rec := range got {
+			if rec.Type != want[i].Type || !bytes.Equal(rec.Payload, want[i].Payload) {
+				t.Fatalf("flip at byte %d: record %d corrupted but passed CRC", off, i)
+			}
+		}
+	}
+}
+
+// TestHugeLengthHeader plants an absurd length header: replay must
+// treat it as torn, not allocate.
+func TestHugeLengthHeader(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segmentPath(dir, 1)
+	frame := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(frame[0:4], 0xFFFFFFF0)
+	binary.LittleEndian.PutUint32(frame[4:8], 0xDEADBEEF)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertRecords(t, replayAll(t, dir, 0), want)
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: 1, Payload: []byte("x")}); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("read %q, want %q", got, "two")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestChecksummedRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	payload := []byte(`{"hello":"world","n":12345}`)
+	if err := WriteChecksummed(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChecksummed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip and every truncation must be rejected.
+	for off := 0; off < len(data); off++ {
+		mutated := append([]byte(nil), data...)
+		mutated[off] ^= 0x40
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadChecksummed(path); err == nil {
+			t.Fatalf("flip at byte %d accepted", off)
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadChecksummed(path); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		}
+	}
+}
+
+func TestEmptyPayloadRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir, 0)
+	if len(got) != 1 || got[0].Type != 5 || len(got[0].Payload) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -129,6 +129,41 @@ func (m *MutableDataset[V]) Delete(ids ...int64) (BatchResult, error) {
 // are grow-only over-approximations.
 func (m *MutableDataset[V]) Stats() *DatasetStats { return m.d.Snapshot().Stats() }
 
+// OnCommit installs a hook that runs inside Apply's critical section
+// after a batch validates and before any record mutates; an error
+// from the hook aborts the batch with nothing applied. This is the
+// write-ahead point: with a WAL append + fsync as the hook, every
+// acknowledged batch is durable before it is visible. Install before
+// the dataset takes writes; the hook must not call back into the
+// dataset.
+func (m *MutableDataset[V]) OnCommit(fn func(gen uint64, ops []LiveOp[V]) error) { m.d.OnCommit(fn) }
+
+// ReplayBatch re-applies one durably logged batch during recovery
+// without invoking the commit hook. Batches at or below the current
+// generation are skipped (already captured by the checkpoint the
+// dataset was restored from); a generation gap is an error.
+func (m *MutableDataset[V]) ReplayBatch(gen uint64, ops []LiveOp[V]) (bool, error) {
+	return m.d.ReplayBatch(gen, ops)
+}
+
+// Restore bulk-loads checkpointed records into an empty dataset and
+// publishes them at gen, so subsequent ReplayBatch calls line up with
+// the log suffix.
+func (m *MutableDataset[V]) Restore(gen uint64, recs []LiveRecord[V]) error {
+	return m.d.Restore(gen, recs)
+}
+
+// EachRecord streams every record live at the latest published
+// generation (ID, key, value), stopping early when fn returns false,
+// and returns the generation the enumeration was pinned to.
+// Checkpointing uses it to serialise the dataset consistently while
+// writes continue.
+func (m *MutableDataset[V]) EachRecord(fn func(LiveRecord[V]) bool) uint64 {
+	snap := m.d.Snapshot()
+	snap.Each(fn)
+	return snap.Gen()
+}
+
 // Snapshot pins the latest published generation as an ordinary
 // Dataset: actions stream a consistent view (later batches are
 // invisible, including structural replacement by vacuum), filters
