@@ -228,13 +228,18 @@
 // graceful shutdown) rotate the log and snapshot every dataset — a
 // mutable dataset becomes a checksummed rows segment plus a
 // serialized R-tree whose entry count cross-checks the rows on
-// restore, a generated dataset just its spec — behind atomic
-// temp+fsync+rename manifests, then truncate the log. Recovery loads
-// the newest valid manifest (corrupt ones are skipped) and replays
-// the WAL suffix through the same validation and generation paths as
-// live ingest: idempotent by generation number, stopping at the first
-// torn record, never resurrecting an unacknowledged batch, and
-// erroring on generation gaps. The torn-write and bit-flip batteries
+// restore, captured through a writer barrier so no logged batch is
+// missed, a generated dataset just its spec — behind atomic
+// temp+fsync+rename manifests. The newest two checkpoints and the
+// WAL suffix of the older are retained, so one rotted manifest
+// degrades to recovering from the previous checkpoint. Recovery
+// loads the newest valid manifest (corrupt ones are skipped) and
+// replays the WAL suffix through the same validation and generation
+// paths as live ingest: idempotent by generation number, stopping
+// cleanly at a torn tail of the newest segment, erroring loudly on
+// damage anywhere older (acknowledged records would be lost), never
+// resurrecting an unacknowledged batch, and erroring on generation
+// gaps. The torn-write and bit-flip batteries
 // in internal/wal and internal/server cut the log at every byte
 // boundary and flip random bits; recovery must always come back with
 // exactly the acknowledged prefix. The `durability` bench experiment

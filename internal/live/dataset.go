@@ -368,6 +368,21 @@ func (d *Dataset[V]) Snapshot() *Snapshot[V] {
 	return &Snapshot[V]{d: d, v: d.view.Load()}
 }
 
+// SnapshotBarrier pins the latest published generation after
+// synchronising with the writer: it takes d.mu, so any batch whose
+// commit hook already ran — i.e. was write-ahead logged — has
+// finished publishing and is visible in the returned snapshot.
+// Checkpointing depends on exactly that: after rotating the WAL it
+// must not serialise a view that misses a batch logged to a
+// pre-rotation segment, because those segments are deleted once the
+// checkpoint commits. Plain Snapshot (a lock-free view load) has no
+// such guarantee.
+func (d *Dataset[V]) SnapshotBarrier() *Snapshot[V] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &Snapshot[V]{d: d, v: d.view.Load()}
+}
+
 // Gen returns the pinned generation.
 func (s *Snapshot[V]) Gen() uint64 { return s.v.gen }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"stark/internal/engine"
 	"stark/internal/geom"
@@ -464,6 +465,54 @@ func TestOnCommitHookOrdering(t *testing.T) {
 	}
 	if hookGen != 0 {
 		t.Fatal("hook ran for a batch that failed validation")
+	}
+}
+
+// TestSnapshotBarrierIncludesCommittedBatch reproduces the checkpoint
+// race: a writer whose commit hook already ran (the batch is in the
+// WAL) but whose generation has not published yet must be waited for
+// by SnapshotBarrier — a checkpoint snapshotting through the plain
+// lock-free Snapshot would miss the batch while truncating the log
+// segment that holds its only copy.
+func TestSnapshotBarrierIncludesCommittedBatch(t *testing.T) {
+	ctx := engine.NewContext(2)
+	d := NewDataset[int](ctx, "t", nil, 8)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	d.OnCommit(func(uint64, []Op[int]) error {
+		close(entered) // the batch is now "logged"...
+		<-release      // ...but publishing is stalled
+		return nil
+	})
+	done := make(chan BatchResult, 1)
+	go func() {
+		res, err := d.Apply([]Op[int]{Insert(1, pt(10, 10), 1)})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	<-entered
+
+	// The lock-free snapshot misses the in-flight batch — fine for
+	// queries, fatal for checkpoints.
+	if got := d.Snapshot().Gen(); got != 0 {
+		t.Fatalf("lock-free snapshot pinned generation %d mid-commit", got)
+	}
+
+	snaps := make(chan *Snapshot[int], 1)
+	go func() { snaps <- d.SnapshotBarrier() }()
+	select {
+	case s := <-snaps:
+		t.Fatalf("SnapshotBarrier returned generation %d before the committed batch published", s.Gen())
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	res := <-done
+	s := <-snaps
+	if s.Gen() != res.Gen || s.Count() != 1 {
+		t.Fatalf("barrier snapshot gen=%d count=%d, batch published gen %d", s.Gen(), s.Count(), res.Gen)
 	}
 }
 

@@ -9,14 +9,18 @@ package server
 // HTTP acknowledgement implies the record is on disk. A checkpoint
 // rotates the log, snapshots each dataset (mutable ones as a
 // checksummed row file plus a persisted R-tree over the row
-// envelopes; immutable ones as their self-contained spec), writes an
+// envelopes, captured through a writer barrier so no WAL-logged batch
+// is missed; immutable ones as their self-contained spec), writes an
 // atomic checksummed manifest, and truncates the log segments the
-// checkpoint made redundant. Boot recovery loads the newest valid
-// manifest, restores the catalog at its recorded generations, and
-// replays the WAL suffix: registers and drops re-execute, batches
-// re-apply through the live dataset's generation-checked replay path
-// (already-checkpointed generations skip, gaps error), so the
-// recovered state is exactly the acknowledged pre-crash state.
+// PREVIOUS checkpoint made redundant — the newest two checkpoints and
+// the WAL suffix of the older stay on disk, so one rotted manifest
+// degrades to recovering from the prior checkpoint. Boot recovery
+// loads the newest valid manifest, restores the catalog at its
+// recorded generations, and replays the WAL suffix: registers and
+// drops re-execute, batches re-apply through the live dataset's
+// generation-checked replay path (already-checkpointed generations
+// skip, gaps error), so the recovered state is exactly the
+// acknowledged pre-crash state.
 //
 // Layout of the data directory:
 //
@@ -135,9 +139,16 @@ type Durability struct {
 	recovering atomic.Bool
 
 	// ckptMu serialises Checkpoint against Close.
-	ckptMu  sync.Mutex
-	ckptSeq int // last manifest sequence written or recovered
-	closed  bool
+	ckptMu sync.Mutex
+	// ckptSeq is the newest manifest sequence written or recovered;
+	// ckptWALSeq is the WAL segment that manifest resumes replay from
+	// (0 = no checkpoint yet). The WAL suffix from ckptWALSeq on is
+	// what the NEXT checkpoint may truncate: retention always covers
+	// one full previous checkpoint, so a rotted newest manifest
+	// degrades to recovering from the prior one instead of failing.
+	ckptSeq    int
+	ckptWALSeq int
+	closed     bool
 
 	checkpoints  atomic.Int64
 	lastCkptUnix atomic.Int64
@@ -309,10 +320,15 @@ func (d *Durability) logBatch(dataset string, entryGen int64, gen uint64, ops []
 
 // Checkpoint rotates the WAL, snapshots every dataset, writes an
 // atomic checksummed manifest, and removes the WAL segments and
-// checkpoint files the new manifest supersedes. Writers keep running
-// throughout: batches that land mid-checkpoint are in the rotated
-// suffix, and replay is idempotent, so landing in both the snapshot
-// and the suffix is harmless.
+// checkpoint files the PREVIOUS checkpoint made redundant — the
+// newest two checkpoints (manifest, segment files, and the WAL suffix
+// from the older one's replay point) are always retained, so recovery
+// survives a single rotted manifest by falling back one checkpoint
+// and replaying the longer suffix. Writers keep running throughout:
+// the per-dataset snapshot is a writer barrier (EachRecord), so every
+// batch logged to a pre-rotation segment is in the snapshot, and
+// batches that land mid-checkpoint are in the rotated suffix — replay
+// is idempotent, so landing in both is harmless.
 func (d *Durability) Checkpoint() error {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -364,34 +380,47 @@ func (d *Durability) Checkpoint() error {
 	if err := wal.WriteChecksummed(manifestPath(d.dir, seq), buf); err != nil {
 		return fmt.Errorf("writing manifest: %w", err)
 	}
-	d.ckptSeq = seq
-	if err := d.log.RemoveBelow(walSeq); err != nil {
-		return fmt.Errorf("truncating WAL: %w", err)
+	prevSeq, prevWALSeq := d.ckptSeq, d.ckptWALSeq
+	d.ckptSeq, d.ckptWALSeq = seq, walSeq
+	// Truncate only what the PREVIOUS checkpoint covered: WAL segments
+	// below its replay point. With no previous checkpoint the whole log
+	// stays — the fallback recovery point is then "empty state + full
+	// replay".
+	if prevSeq > 0 {
+		if err := d.log.RemoveBelow(prevWALSeq); err != nil {
+			return fmt.Errorf("truncating WAL: %w", err)
+		}
 	}
-	d.prune(seq)
+	d.prune(seq, prevSeq)
 	d.checkpoints.Add(1)
 	d.lastCkptUnix.Store(time.Now().Unix())
 	return nil
 }
 
-// prune removes manifests and checkpoint segment files of
-// checkpoints older than keep. Best effort — stragglers are
-// re-pruned by the next checkpoint.
-func (d *Durability) prune(keep int) {
+// prune removes manifests and checkpoint segment files of checkpoints
+// other than the newest (keep) and the previous complete one
+// (alsoKeep, 0 = none) — the fallback loadNewestManifest degrades to
+// when keep's manifest rots. Best effort — stragglers are re-pruned
+// by the next checkpoint.
+func (d *Durability) prune(keep, alsoKeep int) {
 	names, err := os.ReadDir(d.dir)
 	if err != nil {
 		return
 	}
-	keepPrefix := fmt.Sprintf("ckpt-%08d-", keep)
-	keepManifest := fmt.Sprintf("manifest-%08d.ckpt", keep)
+	retained := func(seq int) bool { return seq == keep || (alsoKeep > 0 && seq == alsoKeep) }
 	for _, de := range names {
 		n := de.Name()
+		var seq int
 		var stale bool
 		switch {
 		case strings.HasPrefix(n, "manifest-") && strings.HasSuffix(n, ".ckpt"):
-			stale = n != keepManifest
+			if c, _ := fmt.Sscanf(n, "manifest-%d.ckpt", &seq); c == 1 {
+				stale = !retained(seq)
+			}
 		case strings.HasPrefix(n, "ckpt-"):
-			stale = !strings.HasPrefix(n, keepPrefix)
+			if c, _ := fmt.Sscanf(n, "ckpt-%d-", &seq); c == 1 {
+				stale = !retained(seq)
+			}
 		}
 		if stale {
 			_ = os.Remove(filepath.Join(d.dir, n))
@@ -411,7 +440,7 @@ func (d *Durability) recover() error {
 	}
 	fromSeq := 0
 	if m != nil {
-		d.ckptSeq = seq
+		d.ckptSeq, d.ckptWALSeq = seq, m.WALSeq
 		d.recovered.Checkpoint = seq
 		if err := d.restoreCheckpoint(m); err != nil {
 			return fmt.Errorf("restoring checkpoint %d: %w", seq, err)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -418,6 +419,167 @@ func TestCorruptManifestFallsBackWithoutPanic(t *testing.T) {
 	s2, info := durableService(t, dir)
 	if info.Checkpoint != 0 {
 		t.Fatalf("corrupt manifest was loaded: %+v", info)
+	}
+	crash(t, s2)
+}
+
+// TestFallbackToPreviousCheckpoint: when the newest manifest rots,
+// recovery must degrade to the previous checkpoint plus the longer
+// retained WAL suffix — losing nothing — rather than failing or
+// coming up empty.
+func TestFallbackToPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Partitioner: "grid:2", Width: 100, Height: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	if err := s.Checkpoint(); err != nil { // checkpoint 1: liveGen 2
+		t.Fatal(err)
+	}
+	if rec := ingestNDJSON(t, s, "fleet", insertLine(2)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest 2: %d %s", rec.Code, rec.Body)
+	}
+	if err := s.Checkpoint(); err != nil { // checkpoint 2: liveGen 3
+		t.Fatal(err)
+	}
+	if rec := ingestNDJSON(t, s, "fleet", insertLine(3)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest 3: %d %s", rec.Code, rec.Body)
+	}
+	crash(t, s)
+
+	// Rot the newest manifest.
+	raw, err := os.ReadFile(manifestPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(manifestPath(dir, 2), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := durableService(t, dir)
+	if info.Checkpoint != 1 {
+		t.Fatalf("recovered from checkpoint %d, want fallback to 1 (%+v)", info.Checkpoint, info)
+	}
+	// The WAL suffix of checkpoint 1 was retained, so batches 3 and 4
+	// both replay — the full acknowledged history survives.
+	if info.Batches != 2 {
+		t.Fatalf("replayed %d batches, want 2: %+v", info.Batches, info)
+	}
+	got := listInfo(t, s2)["fleet"]
+	if got.LiveGeneration != 4 || got.Events != 4 {
+		t.Fatalf("recovered %+v, want liveGen=4 events=4", got)
+	}
+	crash(t, s2)
+}
+
+// TestPruneRetainsTwoCheckpoints: after N checkpoints exactly the
+// newest two manifests (and their segment files) remain, and the WAL
+// keeps the suffix the OLDER retained checkpoint replays from.
+func TestPruneRetainsTwoCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Width: 10, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if rec := ingestNDJSON(t, s, "fleet", insertLine(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifests, err := filepath.Glob(filepath.Join(dir, "manifest-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) != 2 {
+		t.Fatalf("manifests on disk: %v, want exactly the newest two", manifests)
+	}
+	for _, m := range manifests {
+		if base := filepath.Base(m); base != "manifest-00000002.ckpt" && base != "manifest-00000003.ckpt" {
+			t.Fatalf("unexpected retained manifest %s", base)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "ckpt-00000001-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("segment files of pruned checkpoint 1 remain: %v", segs)
+	}
+	for _, seq := range []int{2, 3} {
+		if rows, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("ckpt-%08d-*", seq))); len(rows) == 0 {
+			t.Fatalf("retained checkpoint %d has no segment files", seq)
+		}
+	}
+	crash(t, s)
+}
+
+// TestCheckpointConcurrentIngestLosesNothing hammers checkpoints
+// against concurrent acknowledged ingests, then crashes and recovers:
+// every acknowledged batch must be in the recovered state. (This is
+// the writer-barrier property: a batch logged to a pre-rotation WAL
+// segment must land in the checkpoint snapshot, because truncation
+// deletes its log record.)
+func TestCheckpointConcurrentIngestLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableService(t, dir)
+	if err := s.Register(DatasetSpec{Name: "fleet", Mutable: true, Partitioner: "grid:2", Width: 100, Height: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest?dataset=fleet", strings.NewReader(insertLine(id)))
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d ingest %d: %d %s", w, i, rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	ckpts := make(chan struct{})
+	go func() {
+		defer close(ckpts)
+		for i := 0; i < 8; i++ {
+			if err := s.Checkpoint(); err != nil {
+				errs <- fmt.Errorf("checkpoint %d: %v", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-ckpts
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	crash(t, s)
+
+	s2, _ := durableService(t, dir)
+	got := listInfo(t, s2)["fleet"]
+	const total = workers * perWorker
+	if got.Events != total || got.LiveGeneration != total {
+		t.Fatalf("recovered events=%d liveGen=%d, acknowledged %d single-insert batches",
+			got.Events, got.LiveGeneration, total)
 	}
 	crash(t, s2)
 }

@@ -13,10 +13,14 @@
 // Appends go to the newest segment and are fsync'd before Append
 // returns — an acknowledged record survives a crash. Replay walks the
 // segments in sequence order and stops cleanly at the first torn or
-// corrupt record: a crash mid-write leaves at most one partial frame
-// at the tail, and everything before it is trusted exactly as written
-// (the CRC rejects both truncation inside a frame and bit rot within
-// one). Checkpoints rotate the log to a fresh segment and delete the
+// corrupt record in the NEWEST segment: a crash mid-write leaves at
+// most one partial frame at the tail, and everything before it is
+// trusted exactly as written (the CRC rejects both truncation inside
+// a frame and bit rot within one). A damaged record anywhere else —
+// in a non-newest segment, i.e. followed by records that were
+// acknowledged after it — is not a crash signature but data loss, and
+// Replay surfaces it as an error instead of silently discarding the
+// tail. Checkpoints rotate the log to a fresh segment and delete the
 // segments the checkpoint made redundant.
 package wal
 
@@ -77,6 +81,16 @@ type Log struct {
 	f    *os.File
 	seq  int
 	size int64
+
+	// failed poisons the log after a fsync failure: once a sync fails
+	// the on-disk state of the tail is unknowable, so further appends
+	// are refused rather than risking bookkeeping that diverges from
+	// the file. The caller's recourse is to crash and recover.
+	failed error
+
+	// fsync performs the durability barrier of Append; nil selects
+	// (*os.File).Sync. Tests inject failures through it.
+	fsync func(f *os.File) error
 
 	appends atomic.Int64
 	bytes   atomic.Int64
@@ -181,7 +195,11 @@ func (l *Log) Stats() Stats {
 // Append frames rec, writes it to the current segment and fsyncs the
 // file. When Append returns nil the record is on stable storage; on
 // error the caller must treat the write as not having happened (a
-// torn frame at the tail is truncated away on the next Open).
+// torn frame at the tail is truncated away on the next Open). A
+// failed fsync poisons the log: the kernel may have dropped the
+// dirty pages, so nothing about the tail can be trusted afterwards,
+// and every subsequent Append or Rotate fails until the process
+// restarts and recovers.
 func (l *Log) Append(rec Record) error {
 	body := make([]byte, 1+len(rec.Payload))
 	body[0] = rec.Type
@@ -199,6 +217,9 @@ func (l *Log) Append(rec Record) error {
 	if l.f == nil {
 		return errors.New("wal: log is closed")
 	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", l.failed)
+	}
 	if _, err := l.f.Write(frame); err != nil {
 		// A short write leaves a torn frame; rewind the offset so a
 		// retry does not interleave, and rely on CRC framing for
@@ -208,7 +229,19 @@ func (l *Log) Append(rec Record) error {
 		return fmt.Errorf("wal: appending record: %w", err)
 	}
 	start := time.Now()
-	if err := l.f.Sync(); err != nil {
+	sync := l.fsync
+	if sync == nil {
+		sync = (*os.File).Sync
+	}
+	if err := sync(l.f); err != nil {
+		// The frame's durability is unknown, but its CRC is valid — left
+		// in place it would replay as acknowledged. Scrub it like the
+		// short-write path, and poison the log so l.size can never fall
+		// behind the real file offset (a later Truncate(l.size) off stale
+		// bookkeeping would chop an acknowledged record).
+		_, _ = l.f.Seek(l.size, io.SeekStart)
+		_ = l.f.Truncate(l.size)
+		l.failed = err
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if l.SyncObserver != nil {
@@ -229,6 +262,9 @@ func (l *Log) Rotate() (int, error) {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return 0, errors.New("wal: log is closed")
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", l.failed)
 	}
 	if err := l.f.Sync(); err != nil {
 		return 0, fmt.Errorf("wal: fsync before rotate: %w", err)
@@ -283,11 +319,15 @@ func (l *Log) Close() error {
 }
 
 // Replay walks the segments of dir with sequence number >= fromSeq in
-// order, invoking fn for each intact record. It stops cleanly — no
-// error — at the first torn or corrupt record: everything before it
-// is exactly the valid prefix the writer acknowledged, everything
-// after it is untrusted. A non-nil error from fn aborts the replay
-// and is returned.
+// order, invoking fn for each intact record. A torn or corrupt record
+// at the tail of the NEWEST segment is the expected signature of a
+// crash mid-Append: replay stops cleanly there — no error — because
+// everything before it is exactly the valid prefix the writer
+// acknowledged. A damaged record in any OLDER segment is a different
+// animal: records acknowledged after it exist on disk but can no
+// longer be ordered against the lost one, so replay returns an error
+// instead of silently booting without them. A non-nil error from fn
+// aborts the replay and is returned.
 func Replay(dir string, fromSeq int, fn func(seq int, rec Record) error) error {
 	seqs, err := listSegments(dir)
 	if err != nil {
@@ -295,6 +335,10 @@ func Replay(dir string, fromSeq int, fn func(seq int, rec Record) error) error {
 			return nil
 		}
 		return err
+	}
+	newest := 0
+	if len(seqs) > 0 {
+		newest = seqs[len(seqs)-1]
 	}
 	for _, seq := range seqs {
 		if seq < fromSeq {
@@ -309,10 +353,13 @@ func Replay(dir string, fromSeq int, fn func(seq int, rec Record) error) error {
 			rec, n, ok := decodeFrame(data[off:])
 			if !ok {
 				if n < 0 {
-					// Torn or corrupt record: stop replaying entirely.
-					// Later bytes — and later segments — were written
-					// after the damage point and cannot be ordered
-					// against the lost record.
+					if seq != newest {
+						return fmt.Errorf("wal: segment %d is damaged at offset %d but newer segments exist through %d: "+
+							"acknowledged records past the damage cannot be replayed", seq, off, newest)
+					}
+					// Torn tail of the newest segment: the crash
+					// signature Open repairs. Everything before it is
+					// the acknowledged prefix.
 					return nil
 				}
 				break // clean end of segment

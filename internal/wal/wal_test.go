@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -259,6 +260,123 @@ func TestHugeLengthHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertRecords(t, replayAll(t, dir, 0), want)
+}
+
+// TestMidLogCorruptionSurfaces: a damaged record in a non-newest
+// segment is data loss, not a crash signature — acknowledged records
+// exist after it. Replay must surface it as an error instead of
+// silently booting without the tail.
+func TestMidLogCorruptionSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := appendN(t, l, 4)
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second []Record
+	for i := 0; i < 3; i++ {
+		rec := Record{Type: 8, Payload: []byte(fmt.Sprintf("post-rotate-%d", i))}
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		second = append(second, rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte mid-record in segment 1: a full replay must refuse.
+	path1 := segmentPath(dir, 1)
+	intact, err := os.ReadFile(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte(nil), intact...)
+	mutated[len(mutated)/2] ^= 0x01
+	if err := os.WriteFile(path1, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(dir, 0, func(int, Record) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption replayed as a clean stop")
+	}
+	// A suffix replay that starts past the damaged segment (the
+	// checkpoint recovery path) never reads it and stays clean.
+	assertRecords(t, replayAll(t, dir, seq), second)
+
+	// Restore segment 1 and instead tear the NEWEST segment's tail:
+	// the expected crash-mid-Append signature — clean stop, no error.
+	if err := os.WriteFile(path1, intact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path2 := segmentPath(dir, seq)
+	tail, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path2, tail[:len(tail)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Record{}, first...), second[:len(second)-1]...)
+	assertRecords(t, replayAll(t, dir, 0), want)
+}
+
+// TestFsyncFailurePoisonsLog: a failed fsync must scrub the
+// unacknowledged frame (so recovery cannot resurrect it) and poison
+// the log (so bookkeeping can never diverge from the file).
+func TestFsyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 2)
+
+	injected := errors.New("injected fsync failure")
+	l.fsync = func(*os.File) error { return injected }
+	if err := l.Append(Record{Type: 7, Payload: []byte("never-acknowledged")}); !errors.Is(err, injected) {
+		t.Fatalf("Append through failing fsync: %v", err)
+	}
+	// The frame was scrubbed: on-disk length matches the bookkept size.
+	fi, err := os.Stat(segmentPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != l.size {
+		t.Fatalf("file is %d bytes, log accounts for %d", fi.Size(), l.size)
+	}
+
+	// Poisoned: appends and rotations fail even with fsync healthy again.
+	l.fsync = nil
+	if err := l.Append(Record{Type: 7, Payload: []byte("x")}); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	if _, err := l.Rotate(); err == nil {
+		t.Fatal("poisoned log rotated")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees exactly the acknowledged records, and a fresh Open
+	// (the restart) accepts appends again.
+	assertRecords(t, replayAll(t, dir, 0), want)
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(Record{Type: 7, Payload: []byte("after-restart")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, dir, 0); len(got) != len(want)+1 {
+		t.Fatalf("replayed %d records after restart, want %d", len(got), len(want)+1)
+	}
 }
 
 func TestAppendAfterCloseFails(t *testing.T) {

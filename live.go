@@ -155,11 +155,14 @@ func (m *MutableDataset[V]) Restore(gen uint64, recs []LiveRecord[V]) error {
 
 // EachRecord streams every record live at the latest published
 // generation (ID, key, value), stopping early when fn returns false,
-// and returns the generation the enumeration was pinned to.
-// Checkpointing uses it to serialise the dataset consistently while
-// writes continue.
+// and returns the generation the enumeration was pinned to. The pin
+// is a writer barrier (live.Dataset.SnapshotBarrier): any batch whose
+// commit hook already ran — i.e. any batch the WAL holds — is
+// guaranteed visible. Checkpointing uses it to serialise the dataset
+// consistently while writes continue, without ever missing a batch
+// that was logged before the checkpoint rotated the WAL.
 func (m *MutableDataset[V]) EachRecord(fn func(LiveRecord[V]) bool) uint64 {
-	snap := m.d.Snapshot()
+	snap := m.d.SnapshotBarrier()
 	snap.Each(fn)
 	return snap.Gen()
 }
