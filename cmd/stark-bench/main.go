@@ -65,7 +65,7 @@ func writeReport(dir string, rep jsonReport) (string, error) {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|service|mutation|durability|all")
+		experiment  = flag.String("experiment", "figure4", "experiment to run: figure4|partitioning|indexing|stfilter|knn|dbscan|joins|join|localindex|persist|optimizer|layout|attr|service|mutation|durability|all")
 		n           = flag.Int("n", 100_000, "dataset size (the paper uses 1,000,000)")
 		parallelism = flag.Int("parallelism", 0, "simulated executors (0 = GOMAXPROCS)")
 		seed        = flag.Int64("seed", 42, "data generation seed")
@@ -242,6 +242,14 @@ func main() {
 			}
 			fmt.Print(bench.FormatLayout(rows))
 			result = rows
+		case "attr":
+			fmt.Println("== E13: attribute predicates — secondary-index path vs full-scan closure ==")
+			rows, err := bench.Attr(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatAttr(rows))
+			result = rows
 		case "optimizer":
 			fmt.Println("== E8: cost-based planner vs naive execution ==")
 			rows, err := bench.Optimizer(cfg)
@@ -294,7 +302,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "layout", "service", "mutation", "durability"}
+		names = []string{"figure4", "partitioning", "indexing", "stfilter", "knn", "dbscan", "joins", "join", "localindex", "persist", "optimizer", "layout", "attr", "service", "mutation", "durability"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

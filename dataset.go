@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"stark/internal/attr"
 	"stark/internal/core"
 	"stark/internal/engine"
 	"stark/internal/geom"
@@ -52,6 +53,9 @@ type state[V any] struct {
 	// noOpt disables the planner (Optimize(false)): pending filters
 	// fold in caller order with partitioner-extent pruning only.
 	noOpt bool
+	// schema is the registered attribute schema (WithSchema): the typed
+	// field extractors attribute filters compile against.
+	schema *attr.Schema[V]
 	// base is the EXPLAIN lineage of everything below the pending
 	// filters.
 	base *plan.Node
@@ -61,8 +65,18 @@ type state[V any] struct {
 	// straight from the live trees instead of building a transient
 	// R-tree over the streamed rows. It describes the UNFILTERED
 	// snapshot, so flush drops it as soon as a predicate is folded
-	// into the lineage.
-	liveProbe func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error)
+	// into the lineage. The refine callback sees the payload too, so
+	// typed attribute predicates can refine candidates inline.
+	liveProbe func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject, v V) bool, visit []int) ([]Tuple[V], error)
+	// liveAttrProbe, when set, answers an attribute-first probe from
+	// the generation-tagged field postings a mutable dataset maintains
+	// across mutation batches. Like liveProbe it describes the
+	// unfiltered snapshot and is dropped by flush.
+	liveAttrProbe func(rec *engine.Recorder, pred attr.Pred, refine func(key STObject, v V) bool, visit []int) ([]Tuple[V], error)
+	// liveAttrHas reports whether the snapshot maintains postings for
+	// a field; the planner treats fields it returns false for as
+	// unindexed and compileAttr falls back to the sidecar build.
+	liveAttrHas func(field string) bool
 }
 
 // withRecorder returns the state with recorder views of its spatial
@@ -83,13 +97,16 @@ func (st state[V]) withRecorder(rec *engine.Recorder) state[V] {
 // the planner's description of it. opaque marks predicates whose
 // behaviour is not fully described by (kind, query object) — a custom
 // predicate or distance function — which therefore cannot be
-// fingerprinted for result caching.
+// fingerprinted for result caching. attr, when non-nil, marks a typed
+// attribute predicate instead of a spatial one: q/pred/info are unset
+// and the predicate is fully described by its canonical text form.
 type pendingPred struct {
 	name   string
 	q      STObject
 	pred   Predicate
 	info   plan.Pred
 	opaque bool
+	attr   *attr.Pred
 }
 
 // Dataset is a lazily evaluated spatio-temporal query over records of
@@ -242,7 +259,7 @@ func (d *Dataset[V]) PartitionBy(p Partitioner) *Dataset[V] {
 		node := plan.NewNode("Partition", p.String()).
 			Prop("partitions=%d", parted.NumPartitions()).
 			Add(st.base)
-		return applyMode(d.ctx, state[V]{sds: parted, mode: st.mode, noOpt: st.noOpt, base: node})
+		return applyMode(d.ctx, state[V]{sds: parted, mode: st.mode, noOpt: st.noOpt, schema: st.schema, base: node})
 	})
 }
 
@@ -403,12 +420,35 @@ func (st state[V]) flush(ctx *Context) (state[V], error) {
 	pending := st.pending
 	st.pending = nil
 	if len(pending) > 0 {
-		// The probe hook describes the unfiltered snapshot; once a
-		// predicate folds into the lineage it would answer with too
+		// The probe hooks describe the unfiltered snapshot; once a
+		// predicate folds into the lineage they would answer with too
 		// many rows.
 		st.liveProbe = nil
+		st.liveAttrProbe = nil
+		st.liveAttrHas = nil
 	}
 	for _, p := range pending {
+		if p.attr != nil {
+			// A typed attribute filter never moves a record between
+			// partitions, but like FilterValues it invalidates any
+			// partition trees; fold it as a fused payload-aware scan
+			// stage. The plan node keeps the predicate's canonical text,
+			// so flushed attribute filters stay fingerprintable.
+			if st.schema == nil {
+				return state[V]{}, fmt.Errorf("stark: %s: no attribute schema registered", p.name)
+			}
+			fld, ok := st.schema.Field(p.attr.Field)
+			if !ok {
+				return state[V]{}, fmt.Errorf("stark: %s: no field %q in schema", p.name, p.attr.Field)
+			}
+			ap := *p.attr
+			get := fld.Get
+			st.sds = st.sds.WhereRows(func(_ STObject, v V) bool { return ap.Matches(get(v)) })
+			st.mode = NoIndexing
+			st.idx = nil
+			st.base = plan.NewNode("AttrFilter", ap.String()).Add(st.base)
+			continue
+		}
 		pruneEnv := p.info.PruneEnv()
 		if st.idx != nil {
 			// Indexed probe + exact refinement. The result is a plain
@@ -423,9 +463,10 @@ func (st state[V]) flush(ctx *Context) (state[V], error) {
 				Add(st.base)
 			node.ActRows = int64(len(rows))
 			st = state[V]{
-				sds:   core.Wrap(engine.Parallelize(ctx, rows, 0)),
-				noOpt: st.noOpt,
-				base:  node,
+				sds:    core.Wrap(engine.Parallelize(ctx, rows, 0)),
+				noOpt:  st.noOpt,
+				schema: st.schema,
+				base:   node,
 			}
 			continue
 		}
@@ -549,9 +590,10 @@ func ReKey[V any](d *Dataset[V], f func(key STObject, v V) STObject) *Dataset[V]
 			return state[V]{}, err
 		}
 		return state[V]{
-			sds:   core.ReKey(st.sds, f),
-			noOpt: st.noOpt,
-			base:  plan.NewNode("ReKey", "").Add(st.base),
+			sds:    core.ReKey(st.sds, f),
+			noOpt:  st.noOpt,
+			schema: st.schema,
+			base:   plan.NewNode("ReKey", "").Add(st.base),
 		}, nil
 	})
 }

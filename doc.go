@@ -98,6 +98,33 @@
 // timed query never matches an untimed record); opaque closures fall
 // back to their pruning-envelope contract.
 //
+// # Attribute filters
+//
+// Payload fields join the planner's world through typed attribute
+// predicates. NewAttrSchema names fields with typed accessors
+// (Int64/Float64/String/Bool); WithSchema registers the schema on a
+// chain, and FilterEq, FilterRange, FilterIn and FilterOp defer
+// typed comparisons that compile alongside the spatial predicates:
+// per-field statistics (min/max, distinct-count estimate, histogram)
+// come from the same one-pass stats sweep, and the planner chooses
+// between inline evaluation on the spatial path's rows, an
+// attribute-first probe of lazily built, memoised per-partition
+// postings (sorted column + row ids — the most selective predicate
+// enumerates candidates, everything else refines), and a postings
+// bitset ANDed with the columnar kernels' survivor set. EXPLAIN
+// renders each predicate as an AttrScan or AttrIndex node with
+// estimated and actual selectivities. Dataset.AttrIndex prebuilds
+// postings so even one-shot queries price the probe without build
+// cost; MutableDataset.SetAttrFields maintains generation-tagged
+// postings incrementally across mutations, so live snapshots probe
+// without rebuilding. Typed predicates render canonically
+// (fare>f:40; IN sets sorted and deduplicated) and therefore
+// fingerprint and result-cache — opaque FilterValues closures are
+// refused with the offending operator's position in the chain. The
+// server's query endpoints accept the same predicates as a `where`
+// clause (attribute-only queries may omit the geometry), and the
+// Piglet dialect accepts field comparisons in FILTER.
+//
 // # Join execution
 //
 // Join picks one of three physical strategies per join, costed from

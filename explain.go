@@ -13,7 +13,10 @@ package stark
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
+	"stark/internal/attr"
 	"stark/internal/colstore"
 	"stark/internal/core"
 	"stark/internal/engine"
@@ -42,6 +45,20 @@ type compiled[V any] struct {
 	ds    *engine.Dataset[Tuple[V]]
 	visit []int
 	root  *plan.Node
+	// attrActs holds the runtime counters of the compiled attribute
+	// predicates, so Explain can attach per-node actual selectivities
+	// after execution.
+	attrActs []*attrActual
+}
+
+// attrActual counts one compiled attribute predicate's evaluations.
+// probe marks the postings-probe driver, whose candidates are
+// enumerated rather than tested.
+type attrActual struct {
+	detail string
+	probe  bool
+	tested atomic.Int64
+	passed atomic.Int64
 }
 
 // compiled memoises the compilation of the resolved state, so
@@ -79,9 +96,24 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 		return compiled[V]{ds: st.sds.Dataset(), root: st.base}, nil
 	}
 
-	preds := make([]plan.Pred, len(st.pending))
-	for i, p := range st.pending {
+	// Split the pendings: spatial predicates feed the planner's
+	// spatio-temporal cost model, typed attribute predicates its
+	// attribute access-path choice.
+	var spatial, attrPend []pendingPred
+	for _, p := range st.pending {
+		if p.attr != nil {
+			attrPend = append(attrPend, p)
+		} else {
+			spatial = append(spatial, p)
+		}
+	}
+	preds := make([]plan.Pred, len(spatial))
+	for i, p := range spatial {
 		preds[i] = p.info
+	}
+	attrPreds := make([]attr.Pred, len(attrPend))
+	for i, p := range attrPend {
+		attrPreds[i] = *p.attr
 	}
 
 	if st.noOpt {
@@ -91,13 +123,42 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 		if err != nil {
 			return compiled[V]{}, err
 		}
-		fl.base = plan.NaiveFilterNode(preds, st.base)
+		node := plan.NaiveFilterNode(preds, st.base)
+		if len(attrPreds) > 0 {
+			node.Add(plan.NaiveAttrNodes(attrPreds)...)
+			if len(preds) == 0 {
+				node.Detail = attrDetail(attrPreds)
+			}
+		}
+		fl.base = node
 		return compileState(ctx, rec, fl)
+	}
+
+	if len(attrPreds) > 0 {
+		if st.schema == nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: attribute filter without a schema (WithSchema must precede it)")
+		}
+		// Hand the schema to the dataset instance so Stats collects
+		// per-field statistics (memoised: one extra sweep per base at
+		// most) and the postings sidecar can build.
+		st.sds.SetSchema(st.schema)
 	}
 
 	sum, err := st.sds.Stats(0)
 	if err != nil {
 		return compiled[V]{}, fmt.Errorf("stark: plan: stats: %w", err)
+	}
+	attrIndexed := len(attrPreds) > 0
+	for _, ap := range attrPreds {
+		if st.liveAttrProbe != nil {
+			if st.liveAttrHas == nil || st.liveAttrHas(ap.Field) {
+				continue
+			}
+		} else if st.sds.HasAttrIndex(ap.Field) {
+			continue
+		}
+		attrIndexed = false
+		break
 	}
 	dec := plan.PlanFilter(sum, preds, plan.FilterOptions{
 		// A mutable-dataset snapshot counts as already indexed: its
@@ -106,6 +167,8 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 		AlreadyIndexed: st.idx != nil || st.liveProbe != nil,
 		IndexOrder:     st.autoIndexOrder(),
 		Columnar:       st.sds.HasColumnar(),
+		Attr:           attrPreds,
+		AttrIndexed:    attrIndexed,
 	})
 
 	// Partitioner-extent pruning composes with stats pruning: both
@@ -139,6 +202,10 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 	dec.InputRows = sum.RowsIn(visit)
 	if dec.Pruned > 0 {
 		rec.TasksSkipped(int64(dec.Pruned))
+	}
+
+	if len(attrPreds) > 0 {
+		return compileAttr(ctx, rec, st, spatial, attrPreds, preds, dec, visit)
 	}
 
 	if dec.UseColumnar {
@@ -192,7 +259,7 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 		var rows []Tuple[V]
 		var err error
 		if st.liveProbe != nil {
-			rows, err = st.liveProbe(rec, first.info.PruneEnv(), func(key STObject) bool {
+			rows, err = st.liveProbe(rec, first.info.PruneEnv(), func(key STObject, _ V) bool {
 				return refineAll(key, first.q)
 			}, visit)
 		} else {
@@ -212,10 +279,205 @@ func compileState[V any](ctx *Context, rec *engine.Recorder, st state[V]) (compi
 	// Fused scan in planned predicate order.
 	cur := st.sds
 	for _, pi := range dec.Order {
-		p := st.pending[pi]
+		p := spatial[pi]
 		cur = cur.Where(p.q, p.pred)
 	}
 	return compiled[V]{ds: cur.Dataset(), visit: visit, root: root}, nil
+}
+
+// attrDetail joins attribute predicates into a Filter node detail for
+// plans with no spatial predicate at all.
+func attrDetail(preds []attr.Pred) string {
+	details := make([]string, len(preds))
+	for i, p := range preds {
+		details[i] = p.String()
+	}
+	return strings.Join(details, " AND ")
+}
+
+// compileAttr turns a planned filter with typed attribute predicates
+// into its executable form, dispatching on the planner's chosen
+// attribute access path:
+//
+//   - AttrInline: the spatial access path (fused scan, R-tree probe or
+//     columnar kernels) runs as usual, with the compiled attribute
+//     checks fused in as cheap typed compares;
+//   - AttrIndexProbe: the most selective attribute predicate's
+//     per-partition postings enumerate candidates, everything else
+//     refines them;
+//   - AttrIntersect: attribute postings bitsets are ANDed with the
+//     columnar kernels' survivor bitset before exact refinement.
+//
+// Every compiled attribute predicate counts its evaluations, so
+// Explain can attach actual selectivities to the AttrScan/AttrIndex
+// nodes after execution.
+func compileAttr[V any](ctx *Context, rec *engine.Recorder, st state[V], spatial []pendingPred, attrPreds []attr.Pred, preds []plan.Pred, dec plan.FilterDecision, visit []int) (compiled[V], error) {
+	acts := make([]*attrActual, len(attrPreds))
+	matchers := make([]func(V) bool, len(attrPreds))
+	for i, ap := range attrPreds {
+		fld, ok := st.schema.Field(ap.Field)
+		if !ok {
+			return compiled[V]{}, fmt.Errorf("stark: plan: no field %q in schema", ap.Field)
+		}
+		act := &attrActual{detail: ap.String()}
+		acts[i] = act
+		p, get := ap, fld.Get
+		matchers[i] = func(v V) bool {
+			act.tested.Add(1)
+			if p.Matches(get(v)) {
+				act.passed.Add(1)
+				return true
+			}
+			return false
+		}
+	}
+	// attrAll evaluates every attribute predicate in planned order
+	// (most selective first, so later checks see fewer records).
+	attrAll := func(v V) bool {
+		for _, i := range dec.AttrOrder {
+			if !matchers[i](v) {
+				return false
+			}
+		}
+		return true
+	}
+	// newRoot builds the filter node with the attribute annotations:
+	// the access-path prop plus one AttrIndex/AttrScan child per
+	// predicate.
+	newRoot := func(child *plan.Node, alreadyIndexed bool) *plan.Node {
+		root := plan.FilterNode(dec, preds, alreadyIndexed, child)
+		if len(preds) == 0 {
+			root.Detail = attrDetail(attrPreds)
+		}
+		if p := dec.AttrProp(); p != "" {
+			root.Prop("%s", p)
+		}
+		return root.Add(plan.AttrNodes(dec, attrPreds)...)
+	}
+	// refineSpatial evaluates every spatial predicate exactly, planned
+	// order.
+	refineSpatial := func(key STObject) bool {
+		for _, pi := range dec.Order {
+			p := spatial[pi]
+			if !p.pred(key, p.q) {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch dec.AttrStrategy {
+	case plan.AttrIndexProbe:
+		first := attrPreds[dec.AttrFirst]
+		driver := acts[dec.AttrFirst]
+		driver.probe = true
+		keep := func(kv Tuple[V]) bool {
+			driver.passed.Add(1)
+			for _, i := range dec.AttrOrder {
+				if i != dec.AttrFirst && !matchers[i](kv.Value) {
+					return false
+				}
+			}
+			return refineSpatial(kv.Key)
+		}
+		root := newRoot(st.base, false)
+		if st.liveAttrProbe != nil && (st.liveAttrHas == nil || st.liveAttrHas(first.Field)) {
+			// The mutable dataset maintains generation-tagged field
+			// postings across batches; probe them eagerly like the
+			// spatial live probe.
+			before := rec.Snapshot()
+			rows, err := st.liveAttrProbe(rec, first, func(key STObject, v V) bool {
+				return keep(Tuple[V]{Key: key, Value: v})
+			}, visit)
+			if err != nil {
+				return compiled[V]{}, fmt.Errorf("stark: plan: attr probe: %w", err)
+			}
+			after := rec.Snapshot()
+			root.ActRows = int64(len(rows))
+			root.Prop("probe: index_probes=%d candidates_refined=%d",
+				after.IndexProbes-before.IndexProbes,
+				after.CandidatesRefined-before.CandidatesRefined)
+			return compiled[V]{ds: engine.Parallelize(ctx, rows, 0), root: root, attrActs: acts}, nil
+		}
+		ds, err := st.sds.AttrFilter(first, keep)
+		if err != nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: attr index: %w", err)
+		}
+		return compiled[V]{ds: ds, visit: visit, root: root, attrActs: acts}, nil
+
+	case plan.AttrIntersect:
+		kps := make([]core.KernelPred, len(dec.Order))
+		for i, pi := range dec.Order {
+			kps[i] = kernelPred(spatial[pi])
+		}
+		colDS, err := st.sds.ColumnarFilterIntersect(kps, attrPreds)
+		if err != nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: attr intersect: %w", err)
+		}
+		scan := plan.ColumnarScanNode(st.sds.NumPartitions(), dec.InputRows, st.sds.ColumnarHilbert(), st.base)
+		root := newRoot(scan, false)
+		return compiled[V]{ds: colDS, visit: visit, root: root, attrActs: acts}, nil
+	}
+
+	// AttrInline over whichever spatial access path won.
+	if dec.UseColumnar {
+		kps := make([]core.KernelPred, len(dec.Order))
+		for i, pi := range dec.Order {
+			kps[i] = kernelPred(spatial[pi])
+		}
+		colDS := st.sds.ColumnarFilter(kps)
+		if colDS == nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: columnar sidecar vanished")
+		}
+		filtered := colDS.Filter(func(kv Tuple[V]) bool { return attrAll(kv.Value) })
+		scan := plan.ColumnarScanNode(st.sds.NumPartitions(), dec.InputRows, st.sds.ColumnarHilbert(), st.base)
+		root := newRoot(scan, false)
+		return compiled[V]{ds: filtered, visit: visit, root: root, attrActs: acts}, nil
+	}
+
+	if len(spatial) > 0 && (st.idx != nil || st.liveProbe != nil || dec.UseIndex) {
+		idx := st.idx
+		if idx == nil && st.liveProbe == nil {
+			live, err := st.sds.LiveIndex(dec.IndexOrder, nil)
+			if err != nil {
+				return compiled[V]{}, fmt.Errorf("stark: plan: live index: %w", err)
+			}
+			idx = live
+		}
+		first := spatial[dec.Order[0]]
+		root := newRoot(st.base, st.idx != nil || st.liveProbe != nil)
+		before := rec.Snapshot()
+		var rows []Tuple[V]
+		var err error
+		if st.liveProbe != nil {
+			rows, err = st.liveProbe(rec, first.info.PruneEnv(), func(key STObject, v V) bool {
+				return attrAll(v) && refineSpatial(key)
+			}, visit)
+		} else {
+			rows, err = idx.FilterPartitionsRows(first.q, first.info.PruneEnv(), func(kv Tuple[V]) bool {
+				return attrAll(kv.Value) && refineSpatial(kv.Key)
+			}, visit)
+		}
+		if err != nil {
+			return compiled[V]{}, fmt.Errorf("stark: plan: index probe: %w", err)
+		}
+		after := rec.Snapshot()
+		root.ActRows = int64(len(rows))
+		root.Prop("probe: index_probes=%d candidates_refined=%d",
+			after.IndexProbes-before.IndexProbes,
+			after.CandidatesRefined-before.CandidatesRefined)
+		return compiled[V]{ds: engine.Parallelize(ctx, rows, 0), root: root, attrActs: acts}, nil
+	}
+
+	// Fused scan: the cheap typed attribute compares run first, the
+	// spatial cascade on their survivors.
+	cur := st.sds.WhereRows(func(_ STObject, v V) bool { return attrAll(v) })
+	for _, pi := range dec.Order {
+		p := spatial[pi]
+		cur = cur.Where(p.q, p.pred)
+	}
+	root := newRoot(st.base, false)
+	return compiled[V]{ds: cur.Dataset(), visit: visit, root: root, attrActs: acts}, nil
 }
 
 // kernelPred compiles one pending predicate into its columnar form:
@@ -322,7 +584,40 @@ func (d *Dataset[V]) ExplainNode() (*PlanNode, error) {
 			kb,
 			after.KernelSurvivors-before.KernelSurvivors)
 	}
+	if len(c.attrActs) > 0 {
+		attachAttrActuals(root, c.attrActs)
+	}
 	return root, nil
+}
+
+// attachAttrActuals annotates the AttrScan/AttrIndex nodes of the tree
+// with the counters their compiled predicates accumulated during
+// execution: actual selectivity for evaluated predicates, enumerated
+// candidate count for the postings-probe driver.
+func attachAttrActuals(n *PlanNode, acts []*attrActual) {
+	if n == nil {
+		return
+	}
+	if n.Op == "AttrScan" || n.Op == "AttrIndex" {
+		for _, act := range acts {
+			if act.detail != n.Detail {
+				continue
+			}
+			passed := act.passed.Load()
+			if act.probe {
+				n.ActRows = passed
+				n.Prop("actual: postings_candidates=%d", passed)
+			} else if tested := act.tested.Load(); tested > 0 {
+				n.ActRows = passed
+				n.Prop("actual: sel=%.4f tested=%d passed=%d",
+					float64(passed)/float64(tested), tested, passed)
+			}
+			break
+		}
+	}
+	for _, c := range n.Children {
+		attachAttrActuals(c, acts)
+	}
 }
 
 // attachColumnarActuals annotates every ColumnarScan node of the tree

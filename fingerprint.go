@@ -47,30 +47,52 @@ func (d *Dataset[V]) Fingerprint() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Position bookkeeping for refusal errors: the lineage tree's
+	// deepest node is the first operator applied, pending predicates
+	// follow it, so "step k of n" tells the caller which link of their
+	// chain blocks caching.
+	lineageLen := 0
+	st.base.Walk(func(*plan.Node) { lineageLen++ })
+	total := lineageLen + len(st.pending)
 	var opaque string
-	st.base.Walk(func(n *plan.Node) {
-		if opaque != "" {
+	opaqueDepth := 0
+	var scan func(n *plan.Node, depth int)
+	scan = func(n *plan.Node, depth int) {
+		if n == nil || opaque != "" {
 			return
 		}
 		switch {
 		case fingerprintOpaqueOps[n.Op]:
-			opaque = n.Op
+			opaque, opaqueDepth = n.Op, depth
 		case n.Op == "Filter" && strings.HasPrefix(n.Detail, "custom"):
 			// A custom Where predicate already folded into the lineage
 			// (e.g. by Cache or a join) is just as opaque as a pending
 			// one.
-			opaque = "a custom Where predicate"
+			opaque, opaqueDepth = "a custom Where predicate", depth
 		}
-	})
+		for _, c := range n.Children {
+			scan(c, depth+1)
+		}
+	}
+	scan(st.base, 0)
 	if opaque != "" {
-		return "", fmt.Errorf("stark: fingerprint: chain contains %s, whose closure cannot be fingerprinted", opaque)
+		return "", fmt.Errorf("stark: fingerprint: operator %d of %d in the chain is %s, whose closure cannot be fingerprinted",
+			lineageLen-opaqueDepth, total, opaque)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "gen=%d|opt=%t|mode=%s|", st.sds.Dataset().ID(), !st.noOpt, st.mode)
 	b.WriteString(st.base.Canonical())
-	for _, p := range st.pending {
+	for i, p := range st.pending {
+		if p.attr != nil {
+			// Typed attribute predicates hash in canonical form (fields
+			// named, constants typed, IN sets sorted), so logically equal
+			// attribute filters share a cache key.
+			fmt.Fprintf(&b, "|attr %s", p.attr.String())
+			continue
+		}
 		if p.info.Kind == plan.Custom || p.opaque {
-			return "", fmt.Errorf("stark: fingerprint: chain contains an opaque predicate (custom Where or distance function), which cannot be fingerprinted")
+			return "", fmt.Errorf("stark: fingerprint: operator %d of %d in the chain (%s) is an opaque predicate (custom Where or distance function), which cannot be fingerprinted",
+				lineageLen+i+1, total, p.name)
 		}
 		// Hash the full query object (exact WKT + time interval), not
 		// just the planner's envelope summary: two geometries sharing

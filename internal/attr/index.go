@@ -1,0 +1,128 @@
+package attr
+
+import "sort"
+
+// Index is a per-partition secondary index over one field: the field
+// values sorted ascending with a parallel slice of row ids (positions
+// in the partition's row order). Range and equality predicates
+// resolve to contiguous spans by binary search; postings stream out
+// in row order per span.
+type Index struct {
+	field string
+	kind  Kind
+	vals  []Value
+	rows  []int32
+}
+
+// BuildIndex sorts column (column[i] holds row i's value) into a
+// postings index. The sort is stable, so rows stay ascending within
+// runs of equal values.
+func BuildIndex(field string, kind Kind, column []Value) *Index {
+	ix := &Index{
+		field: field,
+		kind:  kind,
+		vals:  append([]Value(nil), column...),
+		rows:  make([]int32, len(column)),
+	}
+	for i := range ix.rows {
+		ix.rows[i] = int32(i)
+	}
+	sort.Stable(&indexSorter{ix})
+	return ix
+}
+
+type indexSorter struct{ ix *Index }
+
+func (s *indexSorter) Len() int           { return len(s.ix.vals) }
+func (s *indexSorter) Less(i, j int) bool { return s.ix.vals[i].Less(s.ix.vals[j]) }
+func (s *indexSorter) Swap(i, j int) {
+	s.ix.vals[i], s.ix.vals[j] = s.ix.vals[j], s.ix.vals[i]
+	s.ix.rows[i], s.ix.rows[j] = s.ix.rows[j], s.ix.rows[i]
+}
+
+// Field returns the indexed field name.
+func (ix *Index) Field() string { return ix.field }
+
+// Len returns the number of indexed rows.
+func (ix *Index) Len() int { return len(ix.vals) }
+
+func (ix *Index) firstGE(v Value) int {
+	return sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i].Compare(v) >= 0 })
+}
+
+func (ix *Index) firstGT(v Value) int {
+	return sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i].Compare(v) > 0 })
+}
+
+// spans resolves p to half-open [lo, hi) ranges over the sorted
+// column. OpIn produces one span per distinct set value; other
+// operators produce at most one.
+func (ix *Index) spans(p Pred) [][2]int {
+	n := len(ix.vals)
+	switch p.Op {
+	case OpEq:
+		return [][2]int{{ix.firstGE(p.Lo), ix.firstGT(p.Lo)}}
+	case OpLt:
+		return [][2]int{{0, ix.firstGE(p.Lo)}}
+	case OpLe:
+		return [][2]int{{0, ix.firstGT(p.Lo)}}
+	case OpGt:
+		return [][2]int{{ix.firstGT(p.Lo), n}}
+	case OpGe:
+		return [][2]int{{ix.firstGE(p.Lo), n}}
+	case OpBetween:
+		return [][2]int{{ix.firstGE(p.Lo), ix.firstGT(p.Hi)}}
+	case OpIn:
+		spans := make([][2]int, 0, len(p.Set))
+		for _, v := range p.Set {
+			spans = append(spans, [2]int{ix.firstGE(v), ix.firstGT(v)})
+		}
+		return spans
+	}
+	return nil
+}
+
+// Postings streams the row ids matching p (in index order, not row
+// order) and returns how many there were. A nil yield just counts —
+// span arithmetic, no iteration.
+func (ix *Index) Postings(p Pred, yield func(row int32)) int {
+	total := 0
+	for _, sp := range ix.spans(p) {
+		if sp[1] <= sp[0] {
+			continue
+		}
+		total += sp[1] - sp[0]
+		if yield != nil {
+			for _, row := range ix.rows[sp[0]:sp[1]] {
+				yield(row)
+			}
+		}
+	}
+	return total
+}
+
+// Stats derives exact field statistics from the sorted column: exact
+// min/max, exact NDV, and an equi-width histogram for numeric kinds.
+func (ix *Index) Stats(histN int) *FieldStats {
+	fs := &FieldStats{Field: ix.field, Kind: ix.kind, Count: int64(len(ix.vals))}
+	if len(ix.vals) == 0 {
+		return fs
+	}
+	fs.Min, fs.Max = ix.vals[0], ix.vals[len(ix.vals)-1]
+	fs.NDV = 1
+	for i := 1; i < len(ix.vals); i++ {
+		if ix.vals[i].Compare(ix.vals[i-1]) != 0 {
+			fs.NDV++
+		}
+	}
+	if histN > 0 {
+		if _, ok := fs.Min.Num(); ok {
+			nums := make([]float64, len(ix.vals))
+			for i, v := range ix.vals {
+				nums[i], _ = v.Num()
+			}
+			fs.buildHist(histN, nums, 1)
+		}
+	}
+	return fs
+}

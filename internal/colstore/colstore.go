@@ -201,6 +201,31 @@ func (b *Bitset) Reset(n int) {
 	b.n = n
 }
 
+// ClearAll sizes the bitset for n rows with every bit clear — the
+// starting state for building a postings bitset with Set.
+func (b *Bitset) ClearAll(n int) {
+	nw := (n + 63) / 64
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+	}
+	b.words = b.words[:nw]
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = n
+}
+
+// Set sets row bit i.
+func (b *Bitset) Set(i int) { b.words[i/64] |= 1 << uint(i%64) }
+
+// And intersects b with o in place. Both bitsets must be sized for
+// the same row count (they index the same partition's row order).
+func (b *Bitset) And(o *Bitset) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
 // Count returns the number of set bits — the survivor count.
 func (b *Bitset) Count() int {
 	c := 0

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"stark/internal/attr"
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/partition"
@@ -58,12 +59,22 @@ type SpatialDataset[V any] struct {
 // layout: repartitioning or filtering invalidates by construction.
 type spatialAux[V any] struct {
 	// statsCache memoises planner statistics per grid resolution.
-	statsMu    sync.Mutex
-	statsCache map[int]*stats.Summary
+	// statsSeeded marks summaries handed in by SeedStats (mutable
+	// snapshots): they lack per-field statistics but must never trigger
+	// a rescan.
+	statsMu     sync.Mutex
+	statsCache  map[int]*stats.Summary
+	statsSeeded bool
 
 	// col is the columnar sidecar built by BuildColumnar.
 	colMu sync.Mutex
 	col   *columnarSidecar[V]
+
+	// schema is the registered attribute schema; attrSide holds the
+	// lazily built per-partition attribute postings (see attr.go).
+	attrMu   sync.Mutex
+	schema   *attr.Schema[V]
+	attrSide *attrSidecar[V]
 }
 
 // newSpatial builds a SpatialDataset with a fresh aux.
@@ -163,12 +174,23 @@ func (s *SpatialDataset[V]) Stats(gridN int) (*stats.Summary, error) {
 	if gridN <= 0 {
 		gridN = stats.DefaultGridSize
 	}
+	var fields []attr.Field[V]
+	if sch := s.Schema(); sch != nil {
+		fields = sch.Fields()
+	}
 	s.aux.statsMu.Lock()
 	defer s.aux.statsMu.Unlock()
 	if sum, ok := s.aux.statsCache[gridN]; ok {
-		return sum, nil
+		// A summary collected before the schema was registered lacks
+		// per-field statistics; recollect so attribute predicates get
+		// real selectivities — unless the summary was seeded (a mutable
+		// snapshot's incrementally maintained stats must never trigger
+		// a rescan; attr selectivities fall back to defaults there).
+		if len(fields) == 0 || sum.Fields != nil || s.aux.statsSeeded {
+			return sum, nil
+		}
 	}
-	sum, err := stats.Collect(s.ds, gridN)
+	sum, err := stats.CollectFields(s.ds, gridN, fields)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +215,25 @@ func (s *SpatialDataset[V]) SeedStats(sum *stats.Summary) {
 		s.aux.statsCache = make(map[int]*stats.Summary, 1)
 	}
 	s.aux.statsCache[stats.DefaultGridSize] = sum
+	s.aux.statsSeeded = true
+}
+
+// SetSchema registers the attribute schema of the dataset's payloads:
+// the typed field extractors the planner's per-field statistics, the
+// attribute postings indexes and the typed filter paths all read
+// through. Like the other aux state it binds to this dataset instance;
+// transformations return fresh instances without a schema.
+func (s *SpatialDataset[V]) SetSchema(sch *attr.Schema[V]) {
+	s.aux.attrMu.Lock()
+	s.aux.schema = sch
+	s.aux.attrMu.Unlock()
+}
+
+// Schema returns the registered attribute schema, or nil.
+func (s *SpatialDataset[V]) Schema() *attr.Schema[V] {
+	s.aux.attrMu.Lock()
+	defer s.aux.attrMu.Unlock()
+	return s.aux.schema
 }
 
 // relevantPartitions returns the partitions a query with the given

@@ -158,6 +158,14 @@ func (s *IndexedDataset[V]) filterIndexed(q stobject.STObject, pruneEnv geom.Env
 // from collected statistics instead of partitioner extents. visit nil
 // selects the partitioner-pruned default.
 func (s *IndexedDataset[V]) FilterPartitions(q stobject.STObject, pruneEnv geom.Envelope, pred stobject.Predicate, visit []int) ([]Tuple[V], error) {
+	return s.FilterPartitionsRows(q, pruneEnv, func(kv Tuple[V]) bool { return pred(kv.Key, q) }, visit)
+}
+
+// FilterPartitionsRows is FilterPartitions with a payload-aware
+// candidate check: keep sees the whole record, so typed attribute
+// predicates can refine index candidates inline alongside the exact
+// spatial predicates.
+func (s *IndexedDataset[V]) FilterPartitionsRows(q stobject.STObject, pruneEnv geom.Envelope, keep func(kv Tuple[V]) bool, visit []int) ([]Tuple[V], error) {
 	rec := s.recorder()
 	qEnv := q.Envelope()
 	if !pruneEnv.IsEmpty() {
@@ -171,7 +179,7 @@ func (s *IndexedDataset[V]) FilterPartitions(q stobject.STObject, pruneEnv geom.
 			rec.CandidatesRefined(int64(len(candidates)))
 			for _, id := range candidates {
 				kv := ip.Items[id]
-				if pred(kv.Key, q) {
+				if keep(kv) {
 					out = append(out, kv)
 				}
 			}

@@ -23,6 +23,30 @@ func (s *SpatialDataset[V]) Where(q stobject.STObject, pred stobject.Predicate) 
 	return newSpatial(scanFiltered(s, q, pred), s.sp, s.rec)
 }
 
+// WhereRows keeps the records satisfying a payload-aware predicate,
+// lazily and fused like Where. It is the inline execution form of
+// typed attribute predicates: the compiled attribute checks run
+// against each record's payload in the same partition loop as the
+// spatial predicates, before any of them.
+func (s *SpatialDataset[V]) WhereRows(keep func(key stobject.STObject, v V) bool) *SpatialDataset[V] {
+	rec := s.recorder()
+	ds := s.ds
+	out := engine.NewStream(s.Context(), ds.Name()+".attrRowScan", ds.NumPartitions(),
+		func(p int, yield func(Tuple[V]) bool) error {
+			var scanned int64
+			err := ds.EachPartition(p, func(kv Tuple[V]) bool {
+				scanned++
+				if !keep(kv.Key, kv.Value) {
+					return true
+				}
+				return yield(kv)
+			})
+			rec.ElementsScanned(scanned)
+			return err
+		})
+	return newSpatial(out.WithRecorder(s.rec), s.sp, s.rec)
+}
+
 // WhereIntersects is Where with the Intersects predicate.
 func (s *SpatialDataset[V]) WhereIntersects(q stobject.STObject) *SpatialDataset[V] {
 	return s.Where(q, stobject.Intersects)

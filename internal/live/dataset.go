@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"stark/internal/attr"
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/partition"
@@ -88,6 +89,7 @@ type BatchResult struct {
 type viewState[V any] struct {
 	gen   uint64
 	trees []*tree[V]
+	attrs []*partAttrs[V] // nil slots until SetAttrFields
 	stats *stats.Summary
 }
 
@@ -107,6 +109,11 @@ type Dataset[V any] struct {
 	trees  []*tree[V]
 	partOf map[int64]int // live ID -> partition; writer-only
 	inc    *stats.Incremental
+
+	// attrFields and attrs are the maintained attribute postings (see
+	// postings.go); attrs slots stay nil until SetAttrFields.
+	attrFields []attr.Field[V]
+	attrs      []*partAttrs[V]
 
 	// onCommit, when set, runs inside Apply's critical section after
 	// validation and before any mutation — the write-ahead point: an
@@ -135,6 +142,7 @@ func NewDataset[V any](ctx *engine.Context, name string, sp partition.SpatialPar
 		sp:     sp,
 		order:  order,
 		trees:  make([]*tree[V], n),
+		attrs:  make([]*partAttrs[V], n),
 		partOf: make(map[int64]int),
 		inc:    stats.NewIncremental(n, 0),
 	}
@@ -260,6 +268,7 @@ func (d *Dataset[V]) applyLocked(ops []Op[V], hook bool) (BatchResult, error) {
 func (d *Dataset[V]) applyInsert(rec Record[V], gen uint64) {
 	p := d.partitionFor(rec.Key)
 	d.trees[p].insert(Entry[V]{ID: rec.ID, Key: rec.Key, Value: rec.Value, addGen: gen})
+	d.attrInsert(p, rec, gen)
 	d.partOf[rec.ID] = p
 	d.inc.ApplyInsert(p, rec.Key)
 }
@@ -273,6 +282,7 @@ func (d *Dataset[V]) applyDelete(id int64, gen uint64) bool {
 	if ok {
 		d.inc.ApplyDelete(p, old.Key)
 	}
+	d.attrDelete(p, id, gen)
 	delete(d.partOf, id)
 	return ok
 }
@@ -288,14 +298,17 @@ func (d *Dataset[V]) vacuum() {
 			d.trees[p] = t.rebuild()
 		}
 	}
+	d.attrVacuum()
 }
 
-// publish swaps in the new view: generation, tree set and a
-// deep-copied stats summary, as one atomic pointer store.
+// publish swaps in the new view: generation, tree set, attribute
+// postings and a deep-copied stats summary, as one atomic pointer
+// store.
 func (d *Dataset[V]) publish(gen uint64) {
 	d.view.Store(&viewState[V]{
 		gen:   gen,
 		trees: append([]*tree[V](nil), d.trees...),
+		attrs: append([]*partAttrs[V](nil), d.attrs...),
 		stats: d.inc.Summary(),
 	})
 }

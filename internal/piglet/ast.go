@@ -62,6 +62,16 @@ type Filter struct {
 	Pred  Predicate
 }
 
+// AttrFilter keeps the rows whose named field satisfies a typed
+// comparison: FILTER rel BY field <op> literal, with op one of
+// == < <= > >= and the literal a number, a 'string' or true/false.
+type AttrFilter struct {
+	Input string
+	Field string
+	Op    string // as written: == < <= > >=
+	Value any    // float64, string or bool
+}
+
 // PartitionOp spatially repartitions a relation.
 // Kind is "grid" or "bsp"; Param is partitions-per-dimension (grid)
 // or the cost threshold (bsp).
@@ -138,6 +148,7 @@ type BufferOp struct {
 }
 
 func (Load) op()        {}
+func (AttrFilter) op()  {}
 func (SampleOp) op()    {}
 func (DistinctOp) op()  {}
 func (UnionOp) op()     {}

@@ -36,6 +36,14 @@ type Row struct {
 // NotClustered marks rows that never passed a CLUSTER operator.
 const NotClustered = stark.ClusterNoise - 1
 
+// rowSchema names the Row fields FILTER field comparisons compile
+// against.
+var rowSchema = stark.NewAttrSchema[Row]().
+	Int64("id", func(r Row) int64 { return int64(r.Event.ID) }).
+	String("category", func(r Row) string { return r.Event.Category }).
+	Int64("time", func(r Row) int64 { return r.Event.Time }).
+	Int64("cluster", func(r Row) int64 { return int64(r.Cluster) })
+
 // rowsCell is the materialisation state of a relation, shared between
 // relations that are guaranteed to hold the same rows (a partitioned
 // relation shares its input's cell, as repartitioning moves no row in
@@ -329,6 +337,17 @@ func (ex *executor) evalOp(st Assign) (*Relation, error) {
 		default:
 			nds = rel.ds.Where(q, pred, expand)
 		}
+		return lazy(rel, nds, st.Line), nil
+
+	case AttrFilter:
+		rel, err := ex.relation(op.Input, st.Line)
+		if err != nil {
+			return nil, err
+		}
+		// The typed comparison defers like the spatial filters: it
+		// joins the chain's pending set and compiles through the
+		// planner's attribute access-path choice.
+		nds := rel.ds.WithSchema(rowSchema).FilterOp(op.Field, op.Op, op.Value)
 		return lazy(rel, nds, st.Line), nil
 
 	case PartitionOp:

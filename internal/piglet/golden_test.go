@@ -52,6 +52,19 @@ EXPLAIN j;
 `,
 		},
 		{
+			// Typed attribute comparisons mixed with a spatial window:
+			// the plan renders AttrScan/AttrIndex nodes with estimated
+			// selectivities next to the spatial access path.
+			name: "filter_attr",
+			script: `
+e = LOAD 'data/events.csv';
+sports = FILTER e BY category == 'sports';
+windowed = FILTER sports BY INTERSECTS('POLYGON ((10 10, 60 10, 60 60, 10 60, 10 10))', 0, 1000);
+recent = FILTER windowed BY time >= 500;
+EXPLAIN recent;
+`,
+		},
+		{
 			// A withindistance filter (expensive refinement — the cost
 			// model may pick a live index) feeding a kNN.
 			name: "knn_withindistance",

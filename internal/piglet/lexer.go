@@ -35,6 +35,7 @@ const (
 	tokSemicolon
 	tokLParen
 	tokRParen
+	tokOp // comparison operator: == != < <= > >=
 )
 
 func (k tokenKind) String() string {
@@ -57,6 +58,8 @@ func (k tokenKind) String() string {
 		return "'('"
 	case tokRParen:
 		return "')'"
+	case tokOp:
+		return "comparison operator"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}
@@ -86,8 +89,28 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case c == '=':
-			toks = append(toks, token{tokEquals, "=", line})
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "==", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokEquals, "=", line})
+				i++
+			}
+		case c == '<' || c == '>':
+			op := string(c)
 			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, line})
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("piglet: line %d: unexpected character %q", line, c)
+			}
 		case c == ',':
 			toks = append(toks, token{tokComma, ",", line})
 			i++

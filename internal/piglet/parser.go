@@ -165,6 +165,12 @@ func (p *parser) operator() (Operator, error) {
 		if err := p.expectKeyword("by"); err != nil {
 			return nil, err
 		}
+		// Lookahead distinguishes the two filter forms: a field
+		// comparison (ident followed by a comparison operator) versus a
+		// spatio-temporal predicate (ident followed by '(').
+		if p.at(tokIdent) && p.toks[p.pos+1].kind == tokOp {
+			return p.attrFilter(input.text)
+		}
 		pred, err := p.filterPredicate()
 		if err != nil {
 			return nil, err
@@ -366,6 +372,44 @@ func (p *parser) operator() (Operator, error) {
 	default:
 		return nil, fmt.Errorf("piglet: line %d: unknown operator %q", t.line, t.text)
 	}
+}
+
+// attrFilter parses the field-comparison form of FILTER after the
+// lookahead decided for it: field <op> literal.
+func (p *parser) attrFilter(input string) (Operator, error) {
+	field, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOp)
+	if err != nil {
+		return nil, err
+	}
+	if op.text == "!=" {
+		return nil, fmt.Errorf("piglet: line %d: != is not supported in FILTER (use two filters or ==)", op.line)
+	}
+	var val any
+	switch v := p.cur(); {
+	case v.kind == tokString:
+		p.advance()
+		val = v.text
+	case v.kind == tokNumber:
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		val = n
+	case keywordIs(v, "true"):
+		p.advance()
+		val = true
+	case keywordIs(v, "false"):
+		p.advance()
+		val = false
+	default:
+		return nil, fmt.Errorf("piglet: line %d: expected a number, 'string' or true/false after %s, got %q",
+			v.line, op.text, v.text)
+	}
+	return AttrFilter{Input: input, Field: strings.ToLower(field.text), Op: op.text, Value: val}, nil
 }
 
 var filterPredicates = map[string]bool{

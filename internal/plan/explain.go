@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"stark/internal/attr"
 	"stark/internal/geom"
 )
 
@@ -189,6 +190,57 @@ func FilterNode(d FilterDecision, preds []Pred, alreadyIndexed bool, child *Node
 		n.Prop("selectivity=%.4f", d.Sel[0])
 	}
 	return n.Add(child)
+}
+
+// AttrProp renders the attribute access-path annotation of a planned
+// filter, or "" when the filter has no attribute predicates.
+func (d FilterDecision) AttrProp() string {
+	switch d.AttrStrategy {
+	case AttrInline:
+		return fmt.Sprintf("attr=inline eval on survivors (attr_index_cost=%s)",
+			costString(d.AttrIndexCost))
+	case AttrIndexProbe:
+		return fmt.Sprintf("attr=index postings probe (scan_cost=%s attr_index_cost=%s)",
+			trimFloat(d.ScanCost), trimFloat(d.AttrIndexCost))
+	case AttrIntersect:
+		return fmt.Sprintf("attr=postings AND kernel survivors (columnar_cost=%s intersect_cost=%s)",
+			costString(d.ColumnarCost), trimFloat(d.AttrIntersectCost))
+	}
+	return ""
+}
+
+// AttrNodes builds the EXPLAIN children of a planned filter's typed
+// attribute predicates: AttrIndex[...] for predicates resolved
+// through the postings sidecar (the probe driver, or every predicate
+// under the intersection strategy), AttrScan[...] for those evaluated
+// inline on survivors. The node detail is the predicate's canonical
+// text form, so the nodes round-trip through Canonical/ParseCanonical
+// and contribute to plan fingerprints.
+func AttrNodes(d FilterDecision, preds []attr.Pred) []*Node {
+	nodes := make([]*Node, len(preds))
+	for i, p := range preds {
+		op := "AttrScan"
+		if d.AttrStrategy == AttrIntersect ||
+			(d.AttrStrategy == AttrIndexProbe && i == d.AttrFirst) {
+			op = "AttrIndex"
+		}
+		n := NewNode(op, p.String())
+		if i < len(d.AttrSel) {
+			n.Prop("est_sel=%.4f", d.AttrSel[i])
+		}
+		nodes[i] = n
+	}
+	return nodes
+}
+
+// NaiveAttrNodes builds unplanned AttrScan children (Optimize(false)):
+// caller order, no estimates.
+func NaiveAttrNodes(preds []attr.Pred) []*Node {
+	nodes := make([]*Node, len(preds))
+	for i, p := range preds {
+		nodes[i] = NewNode("AttrScan", p.String())
+	}
+	return nodes
 }
 
 // LiveScanNode builds the EXPLAIN leaf of a mutable-dataset snapshot:

@@ -34,6 +34,7 @@ import (
 	"math"
 	"sort"
 
+	"stark/internal/attr"
 	"stark/internal/geom"
 	"stark/internal/stats"
 )
@@ -134,6 +135,17 @@ const (
 	// sweep: a handful of float compares over cache-resident columns,
 	// far below an exact predicate call through interface dispatch.
 	CostKernel = 0.05
+	// CostAttrEval is the per-record cost of one typed attribute
+	// comparison: an extractor call plus a tag-switched compare —
+	// cheaper than an exact geometry check, pricier than a kernel.
+	CostAttrEval = 0.02
+	// CostAttrProbe is the fixed cost of one per-partition postings
+	// lookup (a couple of binary-search descents over the sorted
+	// column).
+	CostAttrProbe = 8.0
+	// CostAttrBuild is the per-record cost of building one partition's
+	// attribute postings index (extractor call + sort amortised).
+	CostAttrBuild = 1.5
 )
 
 // evalCost returns the cost of one exact evaluation of p.
@@ -158,6 +170,49 @@ type FilterOptions struct {
 	// Columnar marks a dataset carrying a built columnar sidecar, so
 	// the batched-kernel scan is a physical alternative.
 	Columnar bool
+	// Attr lists the typed attribute predicates conjoined with the
+	// spatio-temporal ones; their selectivities come from the
+	// summary's per-field statistics.
+	Attr []attr.Pred
+	// AttrIndexed marks a dataset instance that already carries built
+	// attribute postings sidecars, so an attribute-first probe pays no
+	// build cost.
+	AttrIndexed bool
+}
+
+// AttrStrategy names the attribute access path of a planned filter.
+type AttrStrategy int
+
+const (
+	// AttrNone: the filter has no typed attribute predicates.
+	AttrNone AttrStrategy = iota
+	// AttrInline: attribute predicates are evaluated inline (cheap
+	// typed compares) on the rows the spatial access path yields.
+	AttrInline
+	// AttrIndexProbe: the most selective attribute predicate drives a
+	// per-partition postings probe; the remaining attribute and all
+	// spatial predicates refine the candidates.
+	AttrIndexProbe
+	// AttrIntersect: attribute postings are materialised as bitsets
+	// and ANDed with the columnar kernels' survivor bitset before
+	// exact refinement.
+	AttrIntersect
+)
+
+// String returns the lower-case strategy name used in EXPLAIN output.
+func (s AttrStrategy) String() string {
+	switch s {
+	case AttrNone:
+		return "none"
+	case AttrInline:
+		return "scan"
+	case AttrIndexProbe:
+		return "index"
+	case AttrIntersect:
+		return "intersect"
+	default:
+		return fmt.Sprintf("attr(%d)", int(s))
+	}
 }
 
 // FilterDecision is the planner's verdict for a conjunctive
@@ -190,6 +245,19 @@ type FilterDecision struct {
 	// (+Inf when no sidecar is available).
 	UseColumnar  bool
 	ColumnarCost float64
+	// AttrStrategy is the chosen attribute access path (AttrNone when
+	// the filter has no typed attribute predicates). AttrSel holds the
+	// per-attribute-predicate selectivity estimates (input order),
+	// AttrOrder the evaluation order (most selective first), AttrFirst
+	// the index of the probe-driving predicate. AttrIndexCost and
+	// AttrIntersectCost are the compared estimates of the two
+	// postings-backed paths (+Inf when inapplicable).
+	AttrStrategy      AttrStrategy
+	AttrSel           []float64
+	AttrOrder         []int
+	AttrFirst         int
+	AttrIndexCost     float64
+	AttrIntersectCost float64
 }
 
 // PlanFilter plans a conjunctive filter (every predicate must hold)
@@ -291,7 +359,119 @@ func PlanFilter(sum *stats.Summary, preds []Pred, opt FilterOptions) FilterDecis
 			}
 		}
 	}
+	if len(opt.Attr) > 0 {
+		planAttr(&d, sum, preds, opt)
+	}
 	return d
+}
+
+// planAttr re-costs the physical alternatives with typed attribute
+// predicates folded in and picks the attribute access path. It runs
+// only when attribute predicates exist, so plans without them are
+// bit-identical to the pre-attribute planner.
+func planAttr(d *FilterDecision, sum *stats.Summary, preds []Pred, opt FilterOptions) {
+	rows := float64(d.InputRows)
+	n := len(opt.Attr)
+
+	// Per-predicate selectivity from the per-field statistics
+	// (attr.DefaultSelectivity when the sweep had no schema), combined
+	// under independence.
+	d.AttrSel = make([]float64, n)
+	attrAll := 1.0
+	for i, p := range opt.Attr {
+		s := sum.FieldStats(p.Field).Selectivity(p)
+		d.AttrSel[i] = s
+		attrAll *= s
+	}
+	d.AttrOrder = make([]int, n)
+	for i := range d.AttrOrder {
+		d.AttrOrder[i] = i
+	}
+	sort.SliceStable(d.AttrOrder, func(a, b int) bool {
+		return d.AttrSel[d.AttrOrder[a]] < d.AttrSel[d.AttrOrder[b]]
+	})
+	d.AttrFirst = d.AttrOrder[0]
+
+	spatialRefine := 0.0
+	for _, i := range d.Order {
+		spatialRefine += evalCost(preds[i])
+	}
+	attrEvalAll := CostAttrEval * float64(n)
+
+	// Fused scan, attribute predicates evaluated first (they are the
+	// cheap checks), spatial cascade on the survivors.
+	d.ScanCost = rows * attrEvalAll
+	est := rows * attrAll
+	for _, i := range d.Order {
+		d.ScanCost += est * evalCost(preds[i])
+		est *= d.Sel[i]
+	}
+	d.EstRows = est
+
+	// Spatial index probe, attributes refined inline on candidates.
+	d.IndexCost = math.Inf(1)
+	if len(preds) > 0 {
+		d.IndexCost = 0
+		if !opt.AlreadyIndexed {
+			d.IndexCost = rows * CostBuild
+		}
+		d.IndexCost += float64(len(d.Visit)) * CostProbe
+		cand := rows * d.Sel[d.Order[0]]
+		d.IndexCost += cand * (spatialRefine + attrEvalAll)
+	}
+
+	// Attribute-first postings probe: the most selective attribute
+	// predicate yields candidates, everything else refines them.
+	d.AttrIndexCost = 0
+	if !opt.AttrIndexed {
+		d.AttrIndexCost = rows * CostAttrBuild
+	}
+	d.AttrIndexCost += float64(len(d.Visit)) * CostAttrProbe
+	cand := rows * d.AttrSel[d.AttrFirst]
+	d.AttrIndexCost += cand * (CostAttrEval*float64(n-1) + spatialRefine)
+
+	// Columnar alternatives: kernels over the spatial predicates with
+	// inline attribute refinement, or a candidate-set intersection —
+	// attribute postings materialised as bitsets and ANDed with the
+	// kernel survivors, shrinking the exact-refinement set by the
+	// combined attribute selectivity.
+	d.ColumnarCost = math.Inf(1)
+	d.AttrIntersectCost = math.Inf(1)
+	if opt.Columnar && len(preds) > 0 {
+		kernels := rows * CostKernel * float64(len(preds))
+		surv := rows * d.Sel[d.Order[0]]
+		d.ColumnarCost = kernels + surv*(spatialRefine+attrEvalAll)
+		inter := kernels
+		if !opt.AttrIndexed {
+			inter += rows * CostAttrBuild
+		}
+		inter += float64(len(d.Visit))*CostAttrProbe*float64(n) + rows*CostKernel*float64(n)
+		inter += rows * d.Sel[d.Order[0]] * attrAll * spatialRefine
+		d.AttrIntersectCost = inter
+	}
+
+	// Pick the cheapest applicable plan. Ties keep the earlier (and
+	// simpler) alternative.
+	d.UseIndex, d.UseColumnar = false, false
+	d.AttrStrategy = AttrInline
+	best := d.ScanCost
+	if rows > 0 {
+		if d.IndexCost < best {
+			best = d.IndexCost
+			d.UseIndex, d.UseColumnar, d.AttrStrategy = true, false, AttrInline
+		}
+		if d.ColumnarCost < best {
+			best = d.ColumnarCost
+			d.UseIndex, d.UseColumnar, d.AttrStrategy = false, true, AttrInline
+		}
+		if d.AttrIndexCost < best {
+			best = d.AttrIndexCost
+			d.UseIndex, d.UseColumnar, d.AttrStrategy = false, false, AttrIndexProbe
+		}
+		if d.AttrIntersectCost < best {
+			d.UseIndex, d.UseColumnar, d.AttrStrategy = false, true, AttrIntersect
+		}
+	}
 }
 
 // ---- Join planning ----

@@ -394,6 +394,7 @@ func (c *Catalog) restoreMutable(ctx *stark.Context, spec DatasetSpec, gen int64
 		return err
 	}
 	mds := stark.NewMutableDataset[workload.Event](ctx, spec.Name, sp, order)
+	mds.SetAttrFields(workload.EventSchema())
 	if err := mds.Restore(liveGen, recs); err != nil {
 		return err
 	}
@@ -537,6 +538,7 @@ func stageMutable(ctx *stark.Context, events []workload.Event, spec DatasetSpec)
 	}
 
 	mds := stark.NewMutableDataset[workload.Event](ctx, spec.Name, sp, order)
+	mds.SetAttrFields(workload.EventSchema())
 	if len(tuples) > 0 {
 		recs := make([]stark.LiveRecord[workload.Event], len(tuples))
 		for i, kv := range tuples {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"stark"
+	"stark/internal/attr"
 	"stark/internal/geom"
 	"stark/internal/workload"
 )
@@ -173,6 +174,49 @@ type QueryRequest struct {
 	HasTime bool `json:"hasTime"`
 	// Distance parameterises withindistance.
 	Distance float64 `json:"distance"`
+	// Where adds typed attribute predicates over the event fields (id,
+	// category, time): a single clause object or an array of clauses,
+	// ANDed with the spatial predicate. With Where present, WKT may be
+	// omitted for a pure attribute query.
+	Where WhereClauses `json:"where,omitempty"`
+}
+
+// WhereClause is one typed attribute comparison:
+//
+//	{"field": "category", "op": "eq", "value": "sports"}
+//	{"field": "time", "op": "between", "value": 100, "value2": 200}
+//	{"field": "id", "op": "in", "values": [1, 2, 3]}
+//
+// Ops: eq, lt, le, gt, ge (and symbol spellings), between
+// (value..value2, both inclusive), in (values).
+type WhereClause struct {
+	Field  string `json:"field"`
+	Op     string `json:"op"`
+	Value  any    `json:"value,omitempty"`
+	Value2 any    `json:"value2,omitempty"`
+	Values []any  `json:"values,omitempty"`
+}
+
+// WhereClauses decodes from either a single clause object or an array
+// of clauses.
+type WhereClauses []WhereClause
+
+func (w *WhereClauses) UnmarshalJSON(b []byte) error {
+	trimmed := strings.TrimLeft(string(b), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		var one WhereClause
+		if err := json.Unmarshal(b, &one); err != nil {
+			return err
+		}
+		*w = WhereClauses{one}
+		return nil
+	}
+	var many []WhereClause
+	if err := json.Unmarshal(b, &many); err != nil {
+		return err
+	}
+	*w = many
+	return nil
 }
 
 // KNNRequest finds the K events nearest to a point.
@@ -251,10 +295,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	streamFeatureCollection(w, filtered)
 }
 
+// eventSchema is the shared attribute schema the where clauses
+// compile against.
+var eventSchema = workload.EventSchema()
+
 // buildFilterOn compiles a QueryRequest into a filter chain over a
 // dataset — shared by the legacy GeoJSON endpoint, the NDJSON
-// service endpoint and both EXPLAIN handlers.
+// service endpoint and both EXPLAIN handlers. Where clauses AND with
+// the spatial predicate; with Where present and WKT empty, the query
+// is attribute-only.
 func buildFilterOn(ds *stark.Dataset[workload.Event], req QueryRequest) (*stark.Dataset[workload.Event], error) {
+	if len(req.Where) > 0 {
+		var err error
+		ds, err = applyWhere(ds.WithSchema(eventSchema), req.Where)
+		if err != nil {
+			return nil, err
+		}
+		if req.WKT == "" {
+			return ds, nil
+		}
+	}
 	q, err := queryObject(req)
 	if err != nil {
 		return nil, fmt.Errorf("bad query: %v", err)
@@ -276,6 +336,68 @@ func buildFilterOn(ds *stark.Dataset[workload.Event], req QueryRequest) (*stark.
 	default:
 		return nil, fmt.Errorf("unknown predicate %q", req.Predicate)
 	}
+}
+
+// applyWhere validates each clause against the event schema (so a bad
+// field or operand maps to 400, not a failed execution) and defers it
+// onto the chain.
+func applyWhere(ds *stark.Dataset[workload.Event], where []WhereClause) (*stark.Dataset[workload.Event], error) {
+	for i, c := range where {
+		if err := checkWhere(c); err != nil {
+			return nil, fmt.Errorf("bad where clause %d: %v", i, err)
+		}
+		switch strings.ToLower(c.Op) {
+		case "between":
+			ds = ds.FilterRange(c.Field, c.Value, c.Value2)
+		case "in":
+			ds = ds.FilterIn(c.Field, c.Values...)
+		default:
+			ds = ds.FilterOp(c.Field, c.Op, c.Value)
+		}
+	}
+	return ds, nil
+}
+
+// checkWhere type-checks one clause against the event schema without
+// touching a chain.
+func checkWhere(c WhereClause) error {
+	op, err := attr.ParseOp(c.Op)
+	if err != nil {
+		return err
+	}
+	p := attr.Pred{Field: c.Field, Op: op}
+	switch op {
+	case attr.OpIn:
+		if len(c.Values) == 0 {
+			return fmt.Errorf("op in needs a non-empty values array")
+		}
+		for _, raw := range c.Values {
+			v, err := attr.FromAny(raw)
+			if err != nil {
+				return err
+			}
+			p.Set = append(p.Set, v)
+		}
+	case attr.OpBetween:
+		if c.Value == nil || c.Value2 == nil {
+			return fmt.Errorf("op between needs value and value2")
+		}
+		if p.Lo, err = attr.FromAny(c.Value); err != nil {
+			return err
+		}
+		if p.Hi, err = attr.FromAny(c.Value2); err != nil {
+			return err
+		}
+	default:
+		if c.Value == nil {
+			return fmt.Errorf("op %s needs value", op)
+		}
+		if p.Lo, err = attr.FromAny(c.Value); err != nil {
+			return err
+		}
+	}
+	_, err = eventSchema.Check(p.Canonicalize())
+	return err
 }
 
 // handleExplain compiles the same filter chain /api/query would run,

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"stark/internal/attr"
 	"stark/internal/geom"
 	"stark/internal/stobject"
 )
@@ -175,6 +176,14 @@ func (s *Summary) Clone() *Summary {
 		g := *s.Grid
 		g.Cells = append([]float64(nil), s.Grid.Cells...)
 		out.Grid = &g
+	}
+	if s.Fields != nil {
+		// FieldStats values are immutable once built; copying the map
+		// header is enough to isolate the snapshot.
+		out.Fields = make(map[string]*attr.FieldStats, len(s.Fields))
+		for k, v := range s.Fields {
+			out.Fields[k] = v
+		}
 	}
 	return &out
 }

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"stark/internal/attr"
 	"stark/internal/engine"
 	"stark/internal/geom"
 	"stark/internal/stobject"
@@ -74,6 +75,20 @@ type Summary struct {
 	Parts []PartitionStats `json:"partitions"`
 	// Grid is the spatial histogram, nil for an empty dataset.
 	Grid *Histogram `json:"grid,omitempty"`
+	// Fields holds per-field attribute statistics (min/max/NDV/
+	// histogram), keyed by field name. Populated only when the sweep
+	// was given a schema's extractors (CollectFields); nil otherwise,
+	// in which case attribute selectivities fall back to
+	// attr.DefaultSelectivity.
+	Fields map[string]*attr.FieldStats `json:"fields,omitempty"`
+}
+
+// FieldStats returns the statistics of one field, or nil.
+func (s *Summary) FieldStats(name string) *attr.FieldStats {
+	if s == nil {
+		return nil
+	}
+	return s.Fields[name]
 }
 
 // Collect runs the single statistics pass over a dataset of
@@ -82,6 +97,14 @@ type Summary struct {
 // not to ElementsScanned: statistics collection is planner overhead,
 // not predicate work.
 func Collect[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN int) (*Summary, error) {
+	return CollectFields(ds, gridN, nil)
+}
+
+// CollectFields is Collect with attribute-field extractors threaded
+// into the same one-pass sweep: each record's tagged fields feed
+// per-field accumulators (min/max, bounded distinct set, numeric
+// reservoir), merged across partitions into Summary.Fields.
+func CollectFields[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN int, fields []attr.Field[V]) (*Summary, error) {
 	if gridN <= 0 {
 		gridN = DefaultGridSize
 	}
@@ -90,6 +113,7 @@ func Collect[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN
 		ps     PartitionStats
 		sample []geom.Point
 		seen   int64
+		fields []*attr.FieldAcc
 	}
 	accs := make([]acc, n)
 	parts := make([]int, n)
@@ -99,6 +123,12 @@ func Collect[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN
 	metrics := ds.Context().Metrics()
 	err := ds.Context().RunJob(parts, func(p int) error {
 		a := acc{ps: PartitionStats{MBR: geom.EmptyEnvelope()}}
+		if len(fields) > 0 {
+			a.fields = make([]*attr.FieldAcc, len(fields))
+			for i, f := range fields {
+				a.fields[i] = attr.NewFieldAcc(f.Name, f.Kind, int64(p)*31+int64(i))
+			}
+		}
 		// Deterministic reservoir so repeated collections (and the
 		// histogram estimates derived from them) are reproducible.
 		rng := rand.New(rand.NewSource(int64(p)*2654435761 + 1))
@@ -117,6 +147,9 @@ func Collect[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN
 					}
 				}
 				a.ps.Timed++
+			}
+			for i, f := range fields {
+				a.fields[i].Add(f.Get(kv.Value))
 			}
 			c := kv.Key.Centroid()
 			a.seen++
@@ -155,6 +188,18 @@ func Collect[V any](ds *engine.Dataset[engine.Pair[stobject.STObject, V]], gridN
 				}
 			}
 			sum.Timed += a.ps.Timed
+		}
+	}
+	if len(fields) > 0 {
+		sum.Fields = make(map[string]*attr.FieldStats, len(fields))
+		for i, f := range fields {
+			merged := attr.NewFieldAcc(f.Name, f.Kind, int64(i))
+			for p := range accs {
+				if accs[p].fields != nil {
+					merged.Merge(accs[p].fields[i])
+				}
+			}
+			sum.Fields[f.Name] = merged.Finish(DefaultGridSize)
 		}
 	}
 	if sum.Count == 0 {

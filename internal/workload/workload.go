@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"stark/internal/attr"
 	"stark/internal/dfs"
 	"stark/internal/engine"
 	"stark/internal/geom"
@@ -34,6 +35,16 @@ type Event struct {
 
 // Categories used by the event generator.
 var Categories = []string{"politics", "sports", "culture", "disaster", "science"}
+
+// EventSchema returns the attribute schema of Event: the typed field
+// accessors the query service and benchmarks register so id, category
+// and time are filterable with typed predicates.
+func EventSchema() *attr.Schema[Event] {
+	return attr.NewSchema[Event]().
+		Int64("id", func(e Event) int64 { return int64(e.ID) }).
+		String("category", func(e Event) string { return e.Category }).
+		Int64("time", func(e Event) int64 { return e.Time })
+}
 
 // Distribution selects the spatial distribution of generated points.
 type Distribution int

@@ -18,6 +18,7 @@ package stark
 import (
 	"sync"
 
+	"stark/internal/attr"
 	"stark/internal/core"
 	"stark/internal/engine"
 	"stark/internal/geom"
@@ -129,6 +130,20 @@ func (m *MutableDataset[V]) Delete(ids ...int64) (BatchResult, error) {
 // are grow-only over-approximations.
 func (m *MutableDataset[V]) Stats() *DatasetStats { return m.d.Snapshot().Stats() }
 
+// SetAttrFields registers the attribute schema whose field postings
+// the dataset maintains incrementally across mutation batches,
+// backfilling from the records already live. Attribute filters on
+// snapshots taken afterwards answer index-eligible predicates
+// straight from the generation-tagged postings instead of scanning.
+// The memoised snapshot view is invalidated, so the next Snapshot
+// (and its fingerprints) reflects the new access paths.
+func (m *MutableDataset[V]) SetAttrFields(schema *AttrSchema[V]) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.d.SetAttrFields(schema.Fields())
+	m.view = nil
+}
+
 // OnCommit installs a hook that runs inside Apply's critical section
 // after a batch validates and before any record mutates; an error
 // from the hook aborts the batch with nothing applied. This is the
@@ -195,10 +210,8 @@ func newLiveView[V any](ctx *Context, name string, order int, snap *live.Snapsho
 		// maintained summary is seeded into the stats cache up front.
 		sds.SeedStats(snap.Stats())
 		base := plan.LiveScanNode(name, snap.Gen(), snap.NumPartitions(), order, snap.Count())
-		probe := func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject) bool, visit []int) ([]Tuple[V], error) {
-			parts, err := snap.FilterPartitionsRecorder(rec, pruneEnv, func(key STObject, _ V) bool {
-				return refine(key)
-			}, visit)
+		probe := func(rec *engine.Recorder, pruneEnv geom.Envelope, refine func(key STObject, v V) bool, visit []int) ([]Tuple[V], error) {
+			parts, err := snap.FilterPartitionsRecorder(rec, pruneEnv, refine, visit)
 			if err != nil {
 				return nil, err
 			}
@@ -208,6 +221,17 @@ func newLiveView[V any](ctx *Context, name string, order int, snap *live.Snapsho
 			}
 			return rows, nil
 		}
-		return state[V]{sds: sds, base: base, liveProbe: probe}, nil
+		attrProbe := func(rec *engine.Recorder, pred attr.Pred, refine func(key STObject, v V) bool, visit []int) ([]Tuple[V], error) {
+			parts, err := snap.AttrProbeRecorder(rec, pred, refine, visit)
+			if err != nil {
+				return nil, err
+			}
+			var rows []Tuple[V]
+			for _, p := range parts {
+				rows = append(rows, p...)
+			}
+			return rows, nil
+		}
+		return state[V]{sds: sds, base: base, liveProbe: probe, liveAttrProbe: attrProbe, liveAttrHas: snap.HasAttrField}, nil
 	})
 }
